@@ -1,0 +1,48 @@
+"""Ablation — workload shape knobs.
+
+How the harness numbers respond to update packing density (NLRI per
+UPDATE) and table size: sanity that the Fig. 4 relative measurements
+are not artifacts of one packing choice.
+"""
+
+import pytest
+
+from repro.sim.harness import ConvergenceHarness
+from repro.workload import RibGenerator, build_updates
+
+
+@pytest.mark.parametrize("density", [1, 8, 64])
+def test_packing_density(benchmark, density, fig4_routes):
+    routes = fig4_routes[:1200]
+
+    def run():
+        harness = ConvergenceHarness(
+            "bird", "plain", "native", routes, max_prefixes_per_update=density
+        )
+        return harness.run()
+
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_packing_reduces_message_count(benchmark, fig4_routes):
+    routes = fig4_routes[:1200]
+    sparse = build_updates(routes, next_hop=1, max_prefixes_per_update=1)
+    dense = build_updates(routes, next_hop=1, max_prefixes_per_update=64)
+    benchmark.pedantic(
+        lambda: build_updates(routes, next_hop=1, max_prefixes_per_update=64),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print(f"\nupdates: density=1 -> {len(sparse)}, density=64 -> {len(dense)}")
+    assert len(dense) < len(sparse)
+
+
+@pytest.mark.parametrize("size", [500, 2000])
+def test_table_size_scaling(benchmark, size):
+    routes = RibGenerator(n_routes=size, seed=99).generate()
+
+    def run():
+        return ConvergenceHarness("frr", "plain", "native", routes).run()
+
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)

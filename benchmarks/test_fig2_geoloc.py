@@ -1,0 +1,51 @@
+"""Fig. 2 scenario as a benchmark — the GeoLoc program's cost.
+
+The paper does not time GeoLoc, but it is the flagship example, so we
+measure what the four-bytecode program (receive + import + export +
+encode — the most insertion points of any use case) costs end-to-end
+relative to a plain DUT, with both engines.
+"""
+
+import statistics
+
+import pytest
+
+from repro.plugins import geoloc
+from repro.sim.harness import ConvergenceHarness
+
+
+def run_once(routes, with_geoloc, engine="jit"):
+    harness = ConvergenceHarness("bird", "plain", "native", routes, engine=engine)
+    if with_geoloc:
+        harness.dut.xtra["coord"] = geoloc.coord_bytes(50.85, 4.35)
+        harness.dut.attach_manifest(geoloc.build_manifest(max_distance_km=50000))
+    return harness
+
+
+@pytest.mark.parametrize("engine", ["jit"])
+def test_fig2_geoloc_overhead(benchmark, engine, fig4_routes, fig4_params):
+    runs = max(3, fig4_params["runs"] // 2)
+    plain, tagged = [], []
+    for _ in range(runs):
+        plain.append(run_once(fig4_routes, with_geoloc=False).run())
+        tagged.append(run_once(fig4_routes, with_geoloc=True, engine=engine).run())
+    base = statistics.median(plain)
+    impact = (statistics.median(tagged) - base) / base * 100
+    print(
+        f"\nGeoLoc (4 bytecodes, {engine}): plain={base * 1000:.1f}ms "
+        f"tagged={statistics.median(tagged) * 1000:.1f}ms impact={impact:+.1f}%"
+    )
+    benchmark.pedantic(
+        lambda: run_once(fig4_routes, with_geoloc=True, engine=engine).run(),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    # Four insertion points with real bytecode: bounded overhead.
+    assert impact < 400.0
+
+    harness = run_once(fig4_routes, with_geoloc=True, engine=engine)
+    harness.run()
+    stats = harness.dut.vmm.stats()
+    assert stats["geoloc_receive"]["errors"] == 0
+    assert stats["geoloc_encode"]["executions"] > 0

@@ -1,0 +1,89 @@
+"""Fig. 4 (orange boxes) — origin validation: extension vs native.
+
+Reproduces §3.4: same Fig. 3 testbed over eBGP sessions; the DUT loads
+a ROA set marking 75 % of the injected prefixes valid and classifies
+every route without discarding.  Native FRR browses a ROA *trie* per
+check; native BIRD and the extension use a *hash table*.
+
+Shape targets (paper):
+
+* on BIRD, the extension performs similarly to native (both hash);
+* on FRRouting, the extension is *faster* than native — the trie
+  browse loses to hash probes.  The ``pyext`` arm carries this
+  crossover; the ``jit`` arm adds the Python bytecode-interpretation
+  tax on top (see EXPERIMENTS.md for the decomposition).
+"""
+
+import pytest
+
+from repro.core.insertion_points import InsertionPoint
+from repro.eval import fig4
+from repro.plugins import origin_validation
+from repro.sim.harness import ConvergenceHarness
+
+
+@pytest.mark.parametrize("implementation", ["frr", "bird"])
+@pytest.mark.parametrize("engine", ["pyext", "jit"])
+def test_fig4_origin_validation(
+    benchmark, implementation, engine, fig4_routes, fig4_roas, fig4_params
+):
+    result = fig4.run_cell(
+        implementation,
+        "origin_validation",
+        fig4_routes,
+        roas=fig4_roas,
+        runs=fig4_params["runs"],
+        engine=engine,
+    )
+    stats = result.stats()
+    print()
+    print(fig4.render_table([result], fig4_params["routes"], fig4_params["runs"]))
+
+    benchmark.pedantic(
+        lambda: ConvergenceHarness(
+            implementation,
+            "origin_validation",
+            "extension",
+            fig4_routes,
+            fig4_roas,
+            engine=engine,
+        ).run(),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=0,
+    )
+
+    if engine == "pyext":
+        if implementation == "frr":
+            # The paper's surprise: hash-based extension beats the
+            # native trie browse.  Tolerate noise but require the
+            # extension to at least not lose.
+            assert stats["median"] < 10.0
+        else:
+            # "similar performance as BIRD's native code".
+            assert -25.0 < stats["median"] < 25.0
+    else:
+        assert stats["median"] < 300.0  # bounded interpretation tax
+
+
+def test_validation_counters_native_vs_extension(benchmark, fig4_routes, fig4_roas):
+    """Correctness gate: both arms classify identically (75% valid)."""
+
+    def run_both():
+        native = ConvergenceHarness("frr", "origin_validation", "native", fig4_routes, fig4_roas)
+        native.run()
+        extension = ConvergenceHarness(
+            "frr", "origin_validation", "extension", fig4_routes, fig4_roas
+        )
+        extension.run()
+        chain = extension.dut.vmm._chains[InsertionPoint.BGP_INBOUND_FILTER]
+        return dict(native.dut.validity_counters), origin_validation.read_validity_counters(
+            chain[0].state
+        )
+
+    native_counts, extension_counts = benchmark.pedantic(
+        run_both, rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert native_counts == extension_counts
+    total = sum(extension_counts.values())
+    assert 0.70 < extension_counts["VALID"] / total < 0.80

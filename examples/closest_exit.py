@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Programming the decision process: prefer the closest exit.
+
+The paper's GeoLoc section says the attribute "can be used to adapt
+router decisions".  This example does it on the BGP_DECISION insertion
+point: a Brussels router hears the same prefix from a Sydney exit
+(short AS path) and a Paris exit (longer path).  Natively, the shorter
+path wins; with the closest-exit program loaded, Paris wins — and the
+same bytecode makes the same choice on PyFRR and PyBIRD.
+"""
+
+from repro.bgp import Prefix
+from repro.bgp.attributes import make_as_path, make_geoloc, make_next_hop, make_origin
+from repro.bgp.aspath import AsPath
+from repro.bgp.constants import Origin
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.prefix import parse_ipv4
+from repro.bird import BirdDaemon
+from repro.frr import FrrDaemon
+from repro.plugins import closest_exit, geoloc
+
+PREFIX = Prefix.parse("203.0.113.0/24")
+
+
+def announcement(asn, next_hop, coord, extra_hops=()):
+    return UpdateMessage(
+        attributes=[
+            make_origin(Origin.IGP),
+            make_as_path(AsPath.from_sequence((asn,) + tuple(extra_hops))),
+            make_next_hop(parse_ipv4(next_hop)),
+            make_geoloc(*coord),
+        ],
+        nlri=[PREFIX],
+    )
+
+
+def run(daemon_cls, with_plugin):
+    daemon = daemon_cls(
+        asn=65001,
+        router_id="1.1.1.1",
+        xtra={"coord": geoloc.coord_bytes(50.85, 4.35)},  # Brussels
+    )
+    if with_plugin:
+        daemon.attach_manifest(closest_exit.build_manifest())
+    for address, asn in (("10.0.0.8", 65100), ("10.0.0.9", 65200)):
+        daemon.add_neighbor(address, asn, lambda data: None)
+        daemon._established[parse_ipv4(address)] = True
+    # Sydney: 1-hop AS path.  Paris: 2 hops but 16,000 km closer.
+    daemon.receive_message(
+        "10.0.0.8", announcement(65100, "10.0.0.8", (-33.86, 151.21))
+    )
+    daemon.receive_message(
+        "10.0.0.9", announcement(65200, "10.0.0.9", (48.85, 2.35), extra_hops=(65300,))
+    )
+    return daemon.loc_rib.lookup(PREFIX).source.peer_asn
+
+
+def main() -> None:
+    for daemon_cls in (FrrDaemon, BirdDaemon):
+        native = run(daemon_cls, with_plugin=False)
+        programmed = run(daemon_cls, with_plugin=True)
+        print(
+            f"{daemon_cls.__name__}: native picks AS{native} (shortest path), "
+            f"closest-exit program picks AS{programmed} (Paris)"
+        )
+        assert native == 65100 and programmed == 65200
+
+
+if __name__ == "__main__":
+    main()

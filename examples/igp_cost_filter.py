@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""§3.1: export filtering on IGP cost — the transatlantic scenario.
+
+An ISP has routers in London, Amsterdam, Frankfurt and New York.  The
+transatlantic links carry IGP cost 1000.  The operator wants European
+routes advertised to European eBGP peers only while they are actually
+reachable inside Europe: when both intra-European links to London
+fail, London's routes suddenly resolve across the Atlantic and must
+stop being advertised — something ingress-assigned communities cannot
+express (they never change when the IGP distance does).
+
+Listing 1 of the paper, attached to Frankfurt's BGP_OUTBOUND_FILTER,
+does exactly that.
+"""
+
+from repro.bgp import Prefix
+from repro.bird import BirdDaemon
+from repro.igp import IgpTopology, IgpView, Spf
+from repro.plugins import igp_filter
+from repro.sim import Network
+
+
+def build_igp() -> IgpTopology:
+    topology = IgpTopology()
+    topology.add_node("london", "10.1.0.1")
+    topology.add_node("amsterdam", "10.1.0.2")
+    topology.add_node("frankfurt", "10.1.0.3")
+    topology.add_node("newyork", "10.1.0.4")
+    topology.add_link("london", "amsterdam", 10)
+    topology.add_link("london", "frankfurt", 10)
+    topology.add_link("amsterdam", "frankfurt", 5)
+    # Transatlantic links: discouraged with cost 1000 (paper's knob).
+    topology.add_link("london", "newyork", 1000)
+    topology.add_link("amsterdam", "newyork", 1000)
+    return topology
+
+
+def main() -> None:
+    topology = build_igp()
+    spf = Spf(topology)
+
+    network = Network()
+    # Frankfurt is the router under scrutiny: it exports to an eBGP peer.
+    frankfurt = BirdDaemon(
+        asn=65001,
+        router_id="10.1.0.3",
+        igp=IgpView(spf, topology, "frankfurt"),
+        nexthop_self=False,  # keep the iBGP nexthop so IGP cost matters
+    )
+    frankfurt.attach_manifest(igp_filter.build_manifest(max_metric=500))
+
+    london = BirdDaemon(asn=65001, router_id="10.1.0.1")
+    peer = BirdDaemon(asn=65200, router_id="9.9.9.9")
+
+    network.add_router("london", london)
+    network.add_router("frankfurt", frankfurt)
+    network.add_router("peer", peer)
+    network.connect("london", "10.1.0.1", "frankfurt", "10.1.0.3")
+    network.connect("frankfurt", "10.1.0.30", "peer", "9.9.9.9")
+    network.establish_all()
+
+    prefix = Prefix.parse("198.18.0.0/16")
+    london.originate(prefix, next_hop=topology.loopback("london"))
+    network.run()
+
+    assert peer.loc_rib.lookup(prefix) is not None
+    print(
+        "healthy IGP: Frankfurt->London metric =",
+        frankfurt.igp.metric_to(topology.loopback("london")),
+        "-> route exported to the eBGP peer",
+    )
+
+    # Both intra-European links to London fail.
+    topology.remove_link("london", "frankfurt")
+    topology.remove_link("london", "amsterdam")
+    spf.invalidate()
+    # Frankfurt re-evaluates its exports (a real daemon would do this on
+    # the IGP event; we poke the prefix).
+    frankfurt._export_prefix(prefix)
+    network.run()
+
+    assert peer.loc_rib.lookup(prefix) is None
+    print(
+        "after the failures: metric =",
+        frankfurt.igp.metric_to(topology.loopback("london")),
+        "(via New York) -> route withdrawn from the eBGP peer",
+    )
+    print("A community-based filter would still be advertising it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Shared BGP protocol substrate: wire format, RIBs, decision process.
+
+This package is the RFC 4271 machinery both vendor daemons
+(:mod:`repro.frr`, :mod:`repro.bird`) are built on.  The xBGP layer
+(:mod:`repro.core`) exposes these abstract data structures through the
+vendor-neutral API.
+"""
+
+from .aspath import AsPath, AsPathSegment
+from .attributes import PathAttribute
+from .communities import Community, LargeCommunity, community
+from .constants import (
+    AttrFlag,
+    AttrTypeCode,
+    MessageType,
+    Origin,
+    RouteOriginValidity,
+    SessionType,
+)
+from .messages import (
+    KeepaliveMessage,
+    NotificationMessage,
+    OpenMessage,
+    UpdateMessage,
+)
+from .peer import Neighbor
+from .prefix import Prefix, format_ipv4, parse_ipv4
+from .roa import HashRoaTable, Roa, TrieRoaTable
+
+__all__ = [
+    "AsPath",
+    "AsPathSegment",
+    "PathAttribute",
+    "Community",
+    "LargeCommunity",
+    "community",
+    "AttrFlag",
+    "AttrTypeCode",
+    "MessageType",
+    "Origin",
+    "RouteOriginValidity",
+    "SessionType",
+    "KeepaliveMessage",
+    "NotificationMessage",
+    "OpenMessage",
+    "UpdateMessage",
+    "Neighbor",
+    "Prefix",
+    "format_ipv4",
+    "parse_ipv4",
+    "HashRoaTable",
+    "Roa",
+    "TrieRoaTable",
+]

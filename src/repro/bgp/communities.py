@@ -1,0 +1,100 @@
+"""RFC 1997 communities and RFC 8092 large communities."""
+
+from __future__ import annotations
+
+import struct
+from typing import FrozenSet, Iterable, Tuple
+
+from .constants import WellKnownCommunity
+
+__all__ = [
+    "Community",
+    "community",
+    "encode_communities",
+    "decode_communities",
+    "LargeCommunity",
+    "encode_large_communities",
+    "decode_large_communities",
+    "CommunityDecodeError",
+]
+
+
+class CommunityDecodeError(ValueError):
+    """Raised for malformed community wire bytes."""
+
+
+class Community(int):
+    """A 32-bit community, printable as ``asn:value``."""
+
+    def __new__(cls, value: int) -> "Community":
+        if not 0 <= value <= 0xFFFFFFFF:
+            raise ValueError(f"community out of range: {value:#x}")
+        return super().__new__(cls, value)
+
+    @property
+    def asn(self) -> int:
+        return int(self) >> 16
+
+    @property
+    def value(self) -> int:
+        return int(self) & 0xFFFF
+
+    def is_well_known(self) -> bool:
+        return int(self) in WellKnownCommunity._value2member_map_
+
+    def __str__(self) -> str:
+        if self.is_well_known():
+            return WellKnownCommunity(int(self)).name
+        return f"{self.asn}:{self.value}"
+
+    def __repr__(self) -> str:
+        return f"Community({str(self)!r})"
+
+
+def community(asn: int, value: int) -> Community:
+    """Build a community from its ``asn:value`` halves."""
+    if not 0 <= asn <= 0xFFFF or not 0 <= value <= 0xFFFF:
+        raise ValueError(f"community halves out of range: {asn}:{value}")
+    return Community((asn << 16) | value)
+
+
+def encode_communities(communities: Iterable[int]) -> bytes:
+    """Encode the COMMUNITIES attribute value (sorted for determinism)."""
+    return b"".join(struct.pack("!I", int(c)) for c in sorted(set(communities)))
+
+
+def decode_communities(data: bytes) -> FrozenSet[Community]:
+    """Decode a COMMUNITIES attribute value into a frozen set."""
+    if len(data) % 4 != 0:
+        raise CommunityDecodeError(f"length {len(data)} not a multiple of 4")
+    return frozenset(
+        Community(struct.unpack_from("!I", data, i)[0]) for i in range(0, len(data), 4)
+    )
+
+
+class LargeCommunity(Tuple[int, int, int]):
+    """A 12-byte (global, local1, local2) large community."""
+
+    def __new__(cls, global_admin: int, local1: int, local2: int) -> "LargeCommunity":
+        for part in (global_admin, local1, local2):
+            if not 0 <= part <= 0xFFFFFFFF:
+                raise ValueError(f"large community part out of range: {part}")
+        return super().__new__(cls, (global_admin, local1, local2))
+
+    def __str__(self) -> str:
+        return ":".join(str(part) for part in self)
+
+
+def encode_large_communities(communities: Iterable[LargeCommunity]) -> bytes:
+    """Encode the LARGE_COMMUNITIES attribute value."""
+    return b"".join(struct.pack("!III", *c) for c in sorted(set(communities)))
+
+
+def decode_large_communities(data: bytes) -> FrozenSet[LargeCommunity]:
+    """Decode a LARGE_COMMUNITIES attribute value."""
+    if len(data) % 12 != 0:
+        raise CommunityDecodeError(f"length {len(data)} not a multiple of 12")
+    return frozenset(
+        LargeCommunity(*struct.unpack_from("!III", data, i))
+        for i in range(0, len(data), 12)
+    )

@@ -1,0 +1,170 @@
+"""Protocol constants shared across the BGP substrate (RFC 4271 et al.)."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "BGP_VERSION",
+    "BGP_HEADER_SIZE",
+    "BGP_MAX_MESSAGE_SIZE",
+    "BGP_MARKER",
+    "MessageType",
+    "AttrTypeCode",
+    "AttrFlag",
+    "Origin",
+    "AsPathSegmentType",
+    "NotificationCode",
+    "OpenSubcode",
+    "UpdateSubcode",
+    "FsmSubcode",
+    "CeaseSubcode",
+    "WellKnownCommunity",
+    "SessionType",
+    "RouteOriginValidity",
+    "AS_TRANS",
+]
+
+BGP_VERSION = 4
+BGP_HEADER_SIZE = 19
+BGP_MAX_MESSAGE_SIZE = 4096
+BGP_MARKER = b"\xff" * 16
+
+#: Placeholder 2-octet AS for 4-octet AS numbers (RFC 6793).
+AS_TRANS = 23456
+
+
+class MessageType(enum.IntEnum):
+    """RFC 4271 §4.1 message type codes."""
+
+    OPEN = 1
+    UPDATE = 2
+    NOTIFICATION = 3
+    KEEPALIVE = 4
+    ROUTE_REFRESH = 5  # RFC 2918
+
+
+class AttrTypeCode(enum.IntEnum):
+    """Path attribute type codes (IANA BGP parameters registry)."""
+
+    ORIGIN = 1
+    AS_PATH = 2
+    NEXT_HOP = 3
+    MULTI_EXIT_DISC = 4
+    LOCAL_PREF = 5
+    ATOMIC_AGGREGATE = 6
+    AGGREGATOR = 7
+    COMMUNITIES = 8
+    ORIGINATOR_ID = 9
+    CLUSTER_LIST = 10
+    MP_REACH_NLRI = 14
+    MP_UNREACH_NLRI = 15
+    LARGE_COMMUNITIES = 32
+    #: The paper's GeoLoc attribute (draft-chen-idr-geo-coordinates);
+    #: never standardized, so it uses a code from the "reserved for
+    #: development" upper range.
+    GEOLOC = 243
+
+
+class AttrFlag(enum.IntFlag):
+    """Path attribute flag octet (RFC 4271 §4.3)."""
+
+    EXTENDED_LENGTH = 0x10
+    PARTIAL = 0x20
+    TRANSITIVE = 0x40
+    OPTIONAL = 0x80
+
+
+class Origin(enum.IntEnum):
+    """ORIGIN attribute values."""
+
+    IGP = 0
+    EGP = 1
+    INCOMPLETE = 2
+
+
+class AsPathSegmentType(enum.IntEnum):
+    """AS_PATH segment types."""
+
+    AS_SET = 1
+    AS_SEQUENCE = 2
+    AS_CONFED_SEQUENCE = 3
+    AS_CONFED_SET = 4
+
+
+class NotificationCode(enum.IntEnum):
+    """NOTIFICATION error codes (RFC 4271 §4.5)."""
+
+    MESSAGE_HEADER_ERROR = 1
+    OPEN_MESSAGE_ERROR = 2
+    UPDATE_MESSAGE_ERROR = 3
+    HOLD_TIMER_EXPIRED = 4
+    FSM_ERROR = 5
+    CEASE = 6
+
+
+class OpenSubcode(enum.IntEnum):
+    UNSUPPORTED_VERSION = 1
+    BAD_PEER_AS = 2
+    BAD_BGP_IDENTIFIER = 3
+    UNSUPPORTED_OPTIONAL_PARAMETER = 4
+    UNACCEPTABLE_HOLD_TIME = 6
+
+
+class UpdateSubcode(enum.IntEnum):
+    MALFORMED_ATTRIBUTE_LIST = 1
+    UNRECOGNIZED_WELL_KNOWN_ATTRIBUTE = 2
+    MISSING_WELL_KNOWN_ATTRIBUTE = 3
+    ATTRIBUTE_FLAGS_ERROR = 4
+    ATTRIBUTE_LENGTH_ERROR = 5
+    INVALID_ORIGIN_ATTRIBUTE = 6
+    INVALID_NEXT_HOP_ATTRIBUTE = 8
+    OPTIONAL_ATTRIBUTE_ERROR = 9
+    INVALID_NETWORK_FIELD = 10
+    MALFORMED_AS_PATH = 11
+
+
+class FsmSubcode(enum.IntEnum):
+    """RFC 6608 FSM error subcodes."""
+
+    UNSPECIFIED = 0
+    UNEXPECTED_IN_OPENSENT = 1
+    UNEXPECTED_IN_OPENCONFIRM = 2
+    UNEXPECTED_IN_ESTABLISHED = 3
+
+
+class CeaseSubcode(enum.IntEnum):
+    """RFC 4486 cease subcodes."""
+
+    MAX_PREFIXES_REACHED = 1
+    ADMIN_SHUTDOWN = 2
+    PEER_DECONFIGURED = 3
+    ADMIN_RESET = 4
+    CONNECTION_REJECTED = 5
+    OTHER_CONFIGURATION_CHANGE = 6
+    COLLISION_RESOLUTION = 7
+    OUT_OF_RESOURCES = 8
+
+
+class WellKnownCommunity(enum.IntEnum):
+    """RFC 1997 well-known community values."""
+
+    NO_EXPORT = 0xFFFFFF01
+    NO_ADVERTISE = 0xFFFFFF02
+    NO_EXPORT_SUBCONFED = 0xFFFFFF03
+
+
+class SessionType(enum.IntEnum):
+    """Session type as exposed by the xBGP ``peer_info`` helper."""
+
+    IBGP_SESSION = 1
+    EBGP_SESSION = 2
+    LOCAL_SESSION = 3
+
+
+class RouteOriginValidity(enum.IntEnum):
+    """RFC 6811 origin-validation states."""
+
+    VALID = 0
+    NOT_FOUND = 1
+    INVALID = 2

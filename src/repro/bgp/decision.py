@@ -1,0 +1,111 @@
+"""The BGP decision process (RFC 4271 §9.1.2.2 route ranking).
+
+Both vendor daemons call :func:`best_route` on the Adj-RIB-In
+candidates for a prefix.  The comparison is the classic ladder:
+
+1. highest LOCAL_PREF;
+2. shortest AS_PATH (AS_SET counts as one hop);
+3. lowest ORIGIN (IGP < EGP < INCOMPLETE);
+4. lowest MED, compared only between routes from the same neighbouring
+   AS (unless ``always_compare_med``);
+5. eBGP-learned preferred over iBGP-learned;
+6. lowest IGP metric to the BGP next hop;
+7. lowest ORIGINATOR_ID (or peer router id) — RFC 4456 §9;
+8. shortest CLUSTER_LIST — RFC 4456 §9;
+9. lowest peer address.
+
+The ranking is exposed both as a single-winner selection and as a
+``sort key`` so tests can assert full deterministic orderings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from .rib import RouteView
+
+__all__ = ["DecisionConfig", "best_route", "rank_routes", "compare_routes"]
+
+R = TypeVar("R", bound=RouteView)
+
+#: Returns the IGP metric towards an address (next hop); ``None`` or a
+#: large value means unreachable.
+IgpMetricFn = Callable[[int], int]
+
+_UNREACHABLE = 2**32
+
+
+class DecisionConfig:
+    """Knobs altering the ranking, mirroring real daemon options."""
+
+    __slots__ = ("always_compare_med", "igp_metric", "prefer_oldest")
+
+    def __init__(
+        self,
+        always_compare_med: bool = False,
+        igp_metric: Optional[IgpMetricFn] = None,
+    ):
+        self.always_compare_med = always_compare_med
+        self.igp_metric = igp_metric
+
+    def metric_to(self, address: int) -> int:
+        if self.igp_metric is None:
+            return 0
+        try:
+            metric = self.igp_metric(address)
+        except KeyError:
+            return _UNREACHABLE
+        return _UNREACHABLE if metric is None else metric
+
+
+def compare_routes(a: RouteView, b: RouteView, config: DecisionConfig) -> int:
+    """Three-way comparison: negative when ``a`` is preferred over ``b``."""
+    if a.local_pref() != b.local_pref():
+        return b.local_pref() - a.local_pref()
+    if a.as_path_length() != b.as_path_length():
+        return a.as_path_length() - b.as_path_length()
+    if a.origin() != b.origin():
+        return a.origin() - b.origin()
+    same_neighbor = a.neighbor_asn() == b.neighbor_asn()
+    if (config.always_compare_med or same_neighbor) and a.med() != b.med():
+        return a.med() - b.med()
+    if a.from_ebgp() != b.from_ebgp():
+        return -1 if a.from_ebgp() else 1
+    metric_a = config.metric_to(a.next_hop())
+    metric_b = config.metric_to(b.next_hop())
+    if metric_a != metric_b:
+        return -1 if metric_a < metric_b else 1
+    if a.originator_or_router_id() != b.originator_or_router_id():
+        return -1 if a.originator_or_router_id() < b.originator_or_router_id() else 1
+    if a.cluster_list_length() != b.cluster_list_length():
+        return a.cluster_list_length() - b.cluster_list_length()
+    if a.peer_address() != b.peer_address():
+        return -1 if a.peer_address() < b.peer_address() else 1
+    return 0
+
+
+def best_route(candidates: Sequence[R], config: Optional[DecisionConfig] = None) -> Optional[R]:
+    """Select the single best route among ``candidates``.
+
+    A linear pass with the three-way comparator: order independent for
+    a fixed candidate set because the comparator is a total preorder
+    with the final peer-address tie break making it antisymmetric.
+    """
+    if not candidates:
+        return None
+    config = config or DecisionConfig()
+    best = candidates[0]
+    for route in candidates[1:]:
+        if compare_routes(route, best, config) < 0:
+            best = route
+    return best
+
+
+def rank_routes(candidates: Iterable[R], config: Optional[DecisionConfig] = None) -> List[R]:
+    """Return ``candidates`` fully ordered, best first."""
+    import functools
+
+    config = config or DecisionConfig()
+    return sorted(
+        candidates, key=functools.cmp_to_key(lambda a, b: compare_routes(a, b, config))
+    )

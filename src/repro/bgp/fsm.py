@@ -1,0 +1,259 @@
+"""The BGP session finite state machine (RFC 4271 §8).
+
+A deliberately event-driven FSM: callers feed it events (start, stop,
+connection up/down, received messages, timer expiries) and it returns
+actions (messages to send, session up/down signals).  It owns no I/O,
+so it runs identically under the discrete-event simulator and the
+asyncio transport.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional
+
+from .constants import (
+    CeaseSubcode,
+    FsmSubcode,
+    MessageType,
+    NotificationCode,
+    OpenSubcode,
+)
+from .messages import (
+    BgpMessage,
+    KeepaliveMessage,
+    NotificationMessage,
+    OpenMessage,
+    UpdateMessage,
+)
+
+__all__ = ["FsmState", "FsmEvent", "Action", "SessionFsm", "FsmError"]
+
+
+class FsmState(enum.Enum):
+    IDLE = "Idle"
+    CONNECT = "Connect"
+    ACTIVE = "Active"
+    OPEN_SENT = "OpenSent"
+    OPEN_CONFIRM = "OpenConfirm"
+    ESTABLISHED = "Established"
+
+
+class FsmEvent(enum.Enum):
+    MANUAL_START = 1
+    MANUAL_STOP = 2
+    CONNECTION_RETRY_EXPIRES = 9
+    HOLD_TIMER_EXPIRES = 10
+    KEEPALIVE_TIMER_EXPIRES = 11
+    TCP_CONNECTED = 17
+    TCP_FAILED = 18
+    MESSAGE_RECEIVED = 27
+
+
+class Action(enum.Enum):
+    SEND_OPEN = "send_open"
+    SEND_KEEPALIVE = "send_keepalive"
+    SEND_NOTIFICATION = "send_notification"
+    SESSION_ESTABLISHED = "session_established"
+    SESSION_DOWN = "session_down"
+    DELIVER_UPDATE = "deliver_update"
+    START_CONNECT = "start_connect"
+
+
+class FsmError(Exception):
+    """Raised on events that are illegal for the current state."""
+
+
+class SessionFsm:
+    """One peer session's state machine.
+
+    ``process(event, message=None)`` returns a list of
+    ``(Action, payload)`` tuples that the surrounding session driver
+    executes (send a message, deliver an UPDATE to the daemon, tear the
+    session down…).
+    """
+
+    def __init__(self, local_asn: int, router_id: int, hold_time: int = 90):
+        self.local_asn = local_asn
+        self.router_id = router_id
+        self.configured_hold_time = hold_time
+        self.state = FsmState.IDLE
+        self.negotiated_hold_time = hold_time
+        self.peer_open: Optional[OpenMessage] = None
+        self._observers: List[Callable[[FsmState, FsmState], None]] = []
+
+    def add_observer(self, callback: Callable[[FsmState, FsmState], None]) -> None:
+        """Register a state-transition observer (for tests and logging)."""
+        self._observers.append(callback)
+
+    def _transition(self, new_state: FsmState) -> None:
+        old_state, self.state = self.state, new_state
+        for observer in self._observers:
+            observer(old_state, new_state)
+
+    # -- event processing ---------------------------------------------
+
+    def process(self, event: FsmEvent, message: Optional[BgpMessage] = None):
+        """Feed one event; return the list of resulting actions."""
+        handler = getattr(self, f"_in_{self.state.name.lower()}")
+        return handler(event, message)
+
+    def _open_message(self) -> OpenMessage:
+        return OpenMessage.for_speaker(
+            self.local_asn, self.router_id, self.configured_hold_time
+        )
+
+    def _drop(self, notification: Optional[NotificationMessage] = None):
+        actions = []
+        if notification is not None and self.state in (
+            FsmState.OPEN_SENT,
+            FsmState.OPEN_CONFIRM,
+            FsmState.ESTABLISHED,
+        ):
+            actions.append((Action.SEND_NOTIFICATION, notification))
+        if self.state == FsmState.ESTABLISHED:
+            actions.append((Action.SESSION_DOWN, None))
+        self.peer_open = None
+        self._transition(FsmState.IDLE)
+        return actions
+
+    # -- per-state handlers -------------------------------------------
+
+    def _in_idle(self, event: FsmEvent, message):
+        if event == FsmEvent.MANUAL_START:
+            self._transition(FsmState.CONNECT)
+            return [(Action.START_CONNECT, None)]
+        # Everything else is ignored in Idle (RFC 4271 §8.2.2).
+        return []
+
+    def _in_connect(self, event: FsmEvent, message):
+        if event == FsmEvent.TCP_CONNECTED:
+            self._transition(FsmState.OPEN_SENT)
+            return [(Action.SEND_OPEN, self._open_message())]
+        if event == FsmEvent.TCP_FAILED:
+            self._transition(FsmState.ACTIVE)
+            return []
+        if event == FsmEvent.CONNECTION_RETRY_EXPIRES:
+            return [(Action.START_CONNECT, None)]
+        if event == FsmEvent.MANUAL_STOP:
+            return self._drop()
+        return []
+
+    def _in_active(self, event: FsmEvent, message):
+        if event == FsmEvent.TCP_CONNECTED:
+            self._transition(FsmState.OPEN_SENT)
+            return [(Action.SEND_OPEN, self._open_message())]
+        if event == FsmEvent.CONNECTION_RETRY_EXPIRES:
+            self._transition(FsmState.CONNECT)
+            return [(Action.START_CONNECT, None)]
+        if event == FsmEvent.MANUAL_STOP:
+            return self._drop()
+        return []
+
+    def _in_open_sent(self, event: FsmEvent, message):
+        if event == FsmEvent.MESSAGE_RECEIVED and isinstance(message, OpenMessage):
+            problem = self._validate_open(message)
+            if problem is not None:
+                return self._drop(problem)
+            self.peer_open = message
+            self.negotiated_hold_time = min(
+                self.configured_hold_time, message.hold_time
+            )
+            self._transition(FsmState.OPEN_CONFIRM)
+            return [(Action.SEND_KEEPALIVE, KeepaliveMessage())]
+        if event == FsmEvent.MESSAGE_RECEIVED and isinstance(
+            message, NotificationMessage
+        ):
+            return self._drop()
+        if event == FsmEvent.HOLD_TIMER_EXPIRES:
+            return self._drop(
+                NotificationMessage(NotificationCode.HOLD_TIMER_EXPIRED)
+            )
+        if event == FsmEvent.TCP_FAILED:
+            self._transition(FsmState.ACTIVE)
+            return []
+        if event == FsmEvent.MANUAL_STOP:
+            return self._drop(
+                NotificationMessage(
+                    NotificationCode.CEASE, CeaseSubcode.ADMIN_SHUTDOWN
+                )
+            )
+        if event == FsmEvent.MESSAGE_RECEIVED:
+            return self._drop(
+                NotificationMessage(
+                    NotificationCode.FSM_ERROR, FsmSubcode.UNEXPECTED_IN_OPENSENT
+                )
+            )
+        return []
+
+    def _in_open_confirm(self, event: FsmEvent, message):
+        if event == FsmEvent.MESSAGE_RECEIVED and isinstance(message, KeepaliveMessage):
+            self._transition(FsmState.ESTABLISHED)
+            return [(Action.SESSION_ESTABLISHED, self.peer_open)]
+        if event == FsmEvent.MESSAGE_RECEIVED and isinstance(
+            message, NotificationMessage
+        ):
+            return self._drop()
+        if event == FsmEvent.HOLD_TIMER_EXPIRES:
+            return self._drop(
+                NotificationMessage(NotificationCode.HOLD_TIMER_EXPIRED)
+            )
+        if event == FsmEvent.KEEPALIVE_TIMER_EXPIRES:
+            return [(Action.SEND_KEEPALIVE, KeepaliveMessage())]
+        if event == FsmEvent.MANUAL_STOP:
+            return self._drop(
+                NotificationMessage(
+                    NotificationCode.CEASE, CeaseSubcode.ADMIN_SHUTDOWN
+                )
+            )
+        if event == FsmEvent.MESSAGE_RECEIVED:
+            return self._drop(
+                NotificationMessage(
+                    NotificationCode.FSM_ERROR, FsmSubcode.UNEXPECTED_IN_OPENCONFIRM
+                )
+            )
+        return []
+
+    def _in_established(self, event: FsmEvent, message):
+        if event == FsmEvent.MESSAGE_RECEIVED and isinstance(message, UpdateMessage):
+            return [(Action.DELIVER_UPDATE, message)]
+        if event == FsmEvent.MESSAGE_RECEIVED and isinstance(message, KeepaliveMessage):
+            return []
+        if event == FsmEvent.MESSAGE_RECEIVED and isinstance(
+            message, NotificationMessage
+        ):
+            return self._drop()
+        if event == FsmEvent.KEEPALIVE_TIMER_EXPIRES:
+            return [(Action.SEND_KEEPALIVE, KeepaliveMessage())]
+        if event == FsmEvent.HOLD_TIMER_EXPIRES:
+            return self._drop(
+                NotificationMessage(NotificationCode.HOLD_TIMER_EXPIRED)
+            )
+        if event in (FsmEvent.MANUAL_STOP, FsmEvent.TCP_FAILED):
+            notification = None
+            if event == FsmEvent.MANUAL_STOP:
+                notification = NotificationMessage(
+                    NotificationCode.CEASE, CeaseSubcode.ADMIN_SHUTDOWN
+                )
+            return self._drop(notification)
+        if event == FsmEvent.MESSAGE_RECEIVED:
+            return self._drop(
+                NotificationMessage(
+                    NotificationCode.FSM_ERROR, FsmSubcode.UNEXPECTED_IN_ESTABLISHED
+                )
+            )
+        return []
+
+    # -- validation ----------------------------------------------------
+
+    def _validate_open(self, message: OpenMessage) -> Optional[NotificationMessage]:
+        if message.hold_time not in (0,) and message.hold_time < 3:
+            return NotificationMessage(
+                NotificationCode.OPEN_MESSAGE_ERROR,
+                OpenSubcode.UNACCEPTABLE_HOLD_TIME,
+            )
+        if message.router_id in (0, 0xFFFFFFFF):
+            return NotificationMessage(
+                NotificationCode.OPEN_MESSAGE_ERROR, OpenSubcode.BAD_BGP_IDENTIFIER
+            )
+        return None

@@ -1,0 +1,90 @@
+"""Neighbor (peer) configuration and state shared by both daemons."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .constants import SessionType
+from .prefix import format_ipv4, parse_ipv4
+
+__all__ = ["Neighbor"]
+
+
+class Neighbor:
+    """One configured BGP neighbor.
+
+    Carries everything the xBGP ``peer_info`` helper exposes: addresses,
+    AS numbers, router ids and the session type, plus host-side policy
+    knobs (route-reflector client flag, cluster id) and free-form
+    configuration (``xtra``) reachable through the ``get_xtra`` helper.
+    """
+
+    __slots__ = (
+        "peer_address",
+        "peer_asn",
+        "local_address",
+        "local_asn",
+        "peer_router_id",
+        "local_router_id",
+        "rr_client",
+        "cluster_id",
+        "xtra",
+        "established",
+    )
+
+    def __init__(
+        self,
+        peer_address: int,
+        peer_asn: int,
+        local_address: int,
+        local_asn: int,
+        peer_router_id: int = 0,
+        local_router_id: int = 0,
+        rr_client: bool = False,
+        cluster_id: int = 0,
+        xtra: Optional[Dict[str, Any]] = None,
+    ):
+        self.peer_address = peer_address
+        self.peer_asn = peer_asn
+        self.local_address = local_address
+        self.local_asn = local_asn
+        self.peer_router_id = peer_router_id or peer_address
+        self.local_router_id = local_router_id or local_address
+        self.rr_client = rr_client
+        self.cluster_id = cluster_id or self.local_router_id
+        self.xtra: Dict[str, Any] = dict(xtra or {})
+        self.established = False
+
+    @classmethod
+    def build(
+        cls,
+        peer_address: str,
+        peer_asn: int,
+        local_address: str,
+        local_asn: int,
+        **kwargs: Any,
+    ) -> "Neighbor":
+        """Convenience constructor taking dotted-quad addresses."""
+        return cls(
+            parse_ipv4(peer_address), peer_asn, parse_ipv4(local_address), local_asn,
+            **kwargs,
+        )
+
+    @property
+    def session_type(self) -> SessionType:
+        """iBGP when the AS numbers match, eBGP otherwise."""
+        if self.peer_asn == self.local_asn:
+            return SessionType.IBGP_SESSION
+        return SessionType.EBGP_SESSION
+
+    def is_ibgp(self) -> bool:
+        return self.session_type == SessionType.IBGP_SESSION
+
+    def is_ebgp(self) -> bool:
+        return self.session_type == SessionType.EBGP_SESSION
+
+    def __repr__(self) -> str:
+        return (
+            f"Neighbor({format_ipv4(self.peer_address)} AS{self.peer_asn} "
+            f"{self.session_type.name})"
+        )

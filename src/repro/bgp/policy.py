@@ -1,0 +1,162 @@
+"""Native import/export filter framework.
+
+Both daemons evaluate ordered filter chains at the inbound- and
+outbound-filter points.  Each filter returns a :class:`FilterResult`:
+``ACCEPT`` or ``REJECT`` short-circuit the chain; ``CONTINUE`` passes
+the (possibly rewritten) route to the next filter, falling through to
+accept at chain end — the same semantics the VMM's ``next()`` chaining
+gives xBGP extension code, so native and extension filters compose.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from .attributes import PathAttribute, make_communities
+from .constants import AttrTypeCode, WellKnownCommunity
+from .peer import Neighbor
+from .prefix import Prefix
+from .rib import RouteView
+
+__all__ = [
+    "FilterAction",
+    "FilterResult",
+    "FilterChain",
+    "PrefixListFilter",
+    "CommunityTagFilter",
+    "CommunityMatchFilter",
+    "AsPathLoopFilter",
+    "NoExportFilter",
+]
+
+
+class FilterAction(enum.Enum):
+    ACCEPT = "accept"
+    REJECT = "reject"
+    CONTINUE = "continue"
+
+
+class FilterResult:
+    """Outcome of one filter: an action plus the (maybe rewritten) route."""
+
+    __slots__ = ("action", "route")
+
+    def __init__(self, action: FilterAction, route: Optional[RouteView] = None):
+        self.action = action
+        self.route = route
+
+    @classmethod
+    def accept(cls, route: RouteView) -> "FilterResult":
+        return cls(FilterAction.ACCEPT, route)
+
+    @classmethod
+    def reject(cls) -> "FilterResult":
+        return cls(FilterAction.REJECT)
+
+    @classmethod
+    def proceed(cls, route: RouteView) -> "FilterResult":
+        return cls(FilterAction.CONTINUE, route)
+
+
+#: A filter: (route, neighbor) -> FilterResult.
+Filter = Callable[[RouteView, Neighbor], FilterResult]
+
+
+class FilterChain:
+    """Ordered filter list with CONTINUE/ACCEPT/REJECT semantics."""
+
+    def __init__(self, filters: Iterable[Filter] = ()):
+        self._filters: List[Filter] = list(filters)
+
+    def append(self, filter_fn: Filter) -> None:
+        self._filters.append(filter_fn)
+
+    def __len__(self) -> int:
+        return len(self._filters)
+
+    def evaluate(self, route: RouteView, neighbor: Neighbor) -> Optional[RouteView]:
+        """Run the chain; return the accepted route or None if rejected."""
+        current = route
+        for filter_fn in self._filters:
+            result = filter_fn(current, neighbor)
+            if result.action == FilterAction.REJECT:
+                return None
+            if result.route is not None:
+                current = result.route
+            if result.action == FilterAction.ACCEPT:
+                return current
+        return current
+
+
+class PrefixListFilter:
+    """Reject (or only-accept) routes matching a prefix list."""
+
+    def __init__(self, prefixes: Sequence[Prefix], permit: bool = False):
+        self._prefixes = tuple(prefixes)
+        self._permit = permit
+
+    def __call__(self, route: RouteView, neighbor: Neighbor) -> FilterResult:
+        matched = any(entry.contains(route.prefix) for entry in self._prefixes)
+        if matched == self._permit:
+            return FilterResult.proceed(route)
+        return FilterResult.reject()
+
+
+class CommunityTagFilter:
+    """Attach a community on import (the classic ingress-tagging trick)."""
+
+    def __init__(self, community_value: int):
+        self._community = community_value
+
+    def __call__(self, route: RouteView, neighbor: Neighbor) -> FilterResult:
+        attributes = route.attribute_list()
+        existing = route.attribute(AttrTypeCode.COMMUNITIES)
+        communities = set(existing.as_communities()) if existing is not None else set()
+        communities.add(self._community)
+        attributes = [
+            a for a in attributes if a.type_code != AttrTypeCode.COMMUNITIES
+        ]
+        attributes.append(make_communities(communities))
+        return FilterResult.proceed(route.with_attributes(attributes))
+
+
+class CommunityMatchFilter:
+    """Reject routes carrying a community (egress side of tagging)."""
+
+    def __init__(self, community_value: int):
+        self._community = community_value
+
+    def __call__(self, route: RouteView, neighbor: Neighbor) -> FilterResult:
+        attribute = route.attribute(AttrTypeCode.COMMUNITIES)
+        if attribute is not None and self._community in attribute.as_communities():
+            return FilterResult.reject()
+        return FilterResult.proceed(route)
+
+
+class AsPathLoopFilter:
+    """RFC 4271 §9.1.2: drop routes whose AS_PATH contains our AS."""
+
+    def __init__(self, local_asn: int):
+        self._local_asn = local_asn
+
+    def __call__(self, route: RouteView, neighbor: Neighbor) -> FilterResult:
+        attribute = route.attribute(AttrTypeCode.AS_PATH)
+        if attribute is not None and attribute.as_path().contains(self._local_asn):
+            return FilterResult.reject()
+        return FilterResult.proceed(route)
+
+
+class NoExportFilter:
+    """RFC 1997: honour NO_EXPORT / NO_ADVERTISE on export."""
+
+    def __call__(self, route: RouteView, neighbor: Neighbor) -> FilterResult:
+        attribute = route.attribute(AttrTypeCode.COMMUNITIES)
+        if attribute is None:
+            return FilterResult.proceed(route)
+        communities = attribute.as_communities()
+        if WellKnownCommunity.NO_ADVERTISE in communities:
+            return FilterResult.reject()
+        if WellKnownCommunity.NO_EXPORT in communities and neighbor.is_ebgp():
+            return FilterResult.reject()
+        return FilterResult.proceed(route)

@@ -1,0 +1,261 @@
+"""Route Origin Authorizations and RFC 6811 origin validation.
+
+Two interchangeable stores implement the same validation semantics with
+the two data structures §3.4 of the paper contrasts:
+
+* :class:`TrieRoaTable` — FRRouting style: ROAs live in a prefix trie
+  that is *browsed* (walk every covering node) on each check;
+* :class:`HashRoaTable` — BIRD style: ROAs are bucketed in a hash table
+  keyed by (network, length) and a check probes at most ``33 - minlen``
+  buckets.
+
+The paper found the hash-based extension ~10 % *faster* than FRR's
+native trie browse; the two stores let us reproduce (and ablate) that.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .constants import RouteOriginValidity
+from .prefix import Prefix, mask_for
+from .trie import PrefixTrie
+
+__all__ = [
+    "Roa",
+    "RoaTable",
+    "TrieRoaTable",
+    "HashRoaTable",
+    "load_roa_file",
+    "dump_roa_file",
+    "make_roas_for_prefixes",
+]
+
+
+class Roa:
+    """One ROA: prefix, authorized origin AS, max length."""
+
+    __slots__ = ("prefix", "asn", "max_length")
+
+    def __init__(self, prefix: Prefix, asn: int, max_length: Optional[int] = None):
+        if max_length is None:
+            max_length = prefix.length
+        if not prefix.length <= max_length <= 32:
+            raise ValueError(
+                f"maxLength {max_length} outside [{prefix.length}, 32]"
+            )
+        self.prefix = prefix
+        self.asn = asn
+        self.max_length = max_length
+
+    def authorizes(self, prefix: Prefix, origin_asn: int) -> bool:
+        """RFC 6811: ROA covers the prefix, length fits, origin matches."""
+        return (
+            self.prefix.contains(prefix)
+            and prefix.length <= self.max_length
+            and self.asn == origin_asn
+            and self.asn != 0
+        )
+
+    def covers(self, prefix: Prefix) -> bool:
+        """The ROA covers the prefix (regardless of origin/maxlen)."""
+        return self.prefix.contains(prefix)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Roa):
+            return NotImplemented
+        return (
+            self.prefix == other.prefix
+            and self.asn == other.asn
+            and self.max_length == other.max_length
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.prefix, self.asn, self.max_length))
+
+    def __repr__(self) -> str:
+        return f"Roa({self.prefix}, AS{self.asn}, maxlen={self.max_length})"
+
+
+class RoaTable:
+    """Validation interface shared by both stores."""
+
+    def add(self, roa: Roa) -> None:
+        raise NotImplementedError
+
+    def remove(self, roa: Roa) -> None:
+        raise NotImplementedError
+
+    def covering(self, prefix: Prefix) -> List[Roa]:
+        """All ROAs whose prefix covers ``prefix``."""
+        raise NotImplementedError
+
+    def all_roas(self) -> List[Roa]:
+        """Every stored ROA (order unspecified)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def validate(self, prefix: Prefix, origin_asn: int) -> RouteOriginValidity:
+        """RFC 6811 §2 validation outcome."""
+        covering = self.covering(prefix)
+        if not covering:
+            return RouteOriginValidity.NOT_FOUND
+        for roa in covering:
+            if roa.authorizes(prefix, origin_asn):
+                return RouteOriginValidity.VALID
+        return RouteOriginValidity.INVALID
+
+    def extend(self, roas: Iterable[Roa]) -> None:
+        for roa in roas:
+            self.add(roa)
+
+
+class TrieRoaTable(RoaTable):
+    """FRRouting-style trie store: validation browses the trie."""
+
+    def __init__(self) -> None:
+        self._trie: PrefixTrie[List[Roa]] = PrefixTrie()
+        self._count = 0
+
+    def add(self, roa: Roa) -> None:
+        bucket = self._trie.get(roa.prefix)
+        if bucket is None:
+            bucket = []
+            self._trie.insert(roa.prefix, bucket)
+        if roa not in bucket:
+            bucket.append(roa)
+            self._count += 1
+
+    def remove(self, roa: Roa) -> None:
+        bucket = self._trie.get(roa.prefix)
+        if bucket is None or roa not in bucket:
+            raise KeyError(repr(roa))
+        bucket.remove(roa)
+        self._count -= 1
+        if not bucket:
+            self._trie.remove(roa.prefix)
+
+    def covering(self, prefix: Prefix) -> List[Roa]:
+        # Deliberate per-check walk of every node on the path — the
+        # behaviour FRRouting's validated-ROA trie browse exhibits.
+        found: List[Roa] = []
+        for _, bucket in self._trie.covering(prefix):
+            found.extend(bucket)
+        return found
+
+    def all_roas(self) -> List[Roa]:
+        return [roa for _, bucket in self._trie.items() for roa in bucket]
+
+    def __len__(self) -> int:
+        return self._count
+
+
+class HashRoaTable(RoaTable):
+    """BIRD-style hash store: buckets keyed by (network, length)."""
+
+    def __init__(self) -> None:
+        self._buckets: Dict[Tuple[int, int], List[Roa]] = {}
+        self._count = 0
+        self._min_length = 33
+
+    def add(self, roa: Roa) -> None:
+        key = (roa.prefix.network, roa.prefix.length)
+        bucket = self._buckets.setdefault(key, [])
+        if roa not in bucket:
+            bucket.append(roa)
+            self._count += 1
+            self._min_length = min(self._min_length, roa.prefix.length)
+
+    def remove(self, roa: Roa) -> None:
+        key = (roa.prefix.network, roa.prefix.length)
+        bucket = self._buckets.get(key)
+        if bucket is None or roa not in bucket:
+            raise KeyError(repr(roa))
+        bucket.remove(roa)
+        self._count -= 1
+        if not bucket:
+            del self._buckets[key]
+
+    def covering(self, prefix: Prefix) -> List[Roa]:
+        found: List[Roa] = []
+        buckets = self._buckets
+        if not buckets:
+            return found
+        network = prefix.network
+        get = buckets.get
+        for length in range(self._min_length, prefix.length + 1):
+            shift = 32 - length
+            bucket = get(((network >> shift) << shift if shift else network, length))
+            if bucket:
+                found.extend(bucket)
+        return found
+
+    def all_roas(self) -> List[Roa]:
+        return [roa for bucket in self._buckets.values() for roa in bucket]
+
+    def __len__(self) -> int:
+        return self._count
+
+
+def load_roa_file(path: str, table: Optional[RoaTable] = None) -> RoaTable:
+    """Load a ROA table from a text file.
+
+    Format: one ROA per line, ``prefix/len origin_asn [max_length]``;
+    blank lines and ``#`` comments are skipped.  Matches the paper's
+    methodology: the DUT "does not implement the RPKI-Rtr protocol but
+    loads a file".
+    """
+    if table is None:
+        table = HashRoaTable()
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            fields = line.split()
+            if len(fields) not in (2, 3):
+                raise ValueError(f"{path}:{line_number}: expected 2-3 fields")
+            prefix = Prefix.parse(fields[0])
+            asn = int(fields[1])
+            max_length = int(fields[2]) if len(fields) == 3 else None
+            table.add(Roa(prefix, asn, max_length))
+    return table
+
+
+def dump_roa_file(path: str, roas: Iterable[Roa]) -> None:
+    """Write ROAs in the :func:`load_roa_file` format."""
+    with open(path, "w") as handle:
+        handle.write("# prefix origin_asn max_length\n")
+        for roa in roas:
+            handle.write(f"{roa.prefix} {roa.asn} {roa.max_length}\n")
+
+
+def make_roas_for_prefixes(
+    origins: Iterable[Tuple[Prefix, int]],
+    valid_fraction: float = 0.75,
+    seed: int = 20200604,
+) -> List[Roa]:
+    """Build a ROA set marking ``valid_fraction`` of the routes VALID.
+
+    Reproduces the paper's §3.4 workload: "loads a file that considers
+    75 % of the injected prefixes as valid".  For a deterministic
+    ``seed``, each (prefix, origin) pair independently gets a matching
+    ROA with probability ``valid_fraction``; the rest get a ROA for a
+    different AS (making them INVALID) with probability one half, or no
+    ROA (NOT_FOUND) otherwise.
+    """
+    if not 0.0 <= valid_fraction <= 1.0:
+        raise ValueError(f"valid_fraction out of range: {valid_fraction}")
+    rng = random.Random(seed)
+    roas: List[Roa] = []
+    for prefix, origin_asn in origins:
+        draw = rng.random()
+        if draw < valid_fraction:
+            roas.append(Roa(prefix, origin_asn, prefix.length))
+        elif draw < valid_fraction + (1.0 - valid_fraction) / 2.0:
+            roas.append(Roa(prefix, origin_asn + 1 or 1, prefix.length))
+        # else: no ROA -> NOT_FOUND
+    return roas

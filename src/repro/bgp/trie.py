@@ -1,0 +1,172 @@
+"""Binary prefix trie (radix-1) for longest-prefix and covering lookups.
+
+PyFRR stores validated ROAs in this trie and *browses* it on every
+origin-validation check, mirroring FRRouting's per-check walk over its
+ROA table — the behaviour §3.4 of the paper found to be slower than a
+hash lookup.  The trie is also the substrate for FIB longest-match.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from .prefix import Prefix
+
+__all__ = ["PrefixTrie"]
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_Node[V]"]] = [None, None]
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+class PrefixTrie(Generic[V]):
+    """Maps :class:`Prefix` keys to values with prefix-aware queries.
+
+    Supports exact lookup, longest-prefix match on addresses, iteration
+    over all covering (less specific) and covered (more specific)
+    entries, insertion and deletion.
+    """
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        node = self._find(prefix)
+        return node is not None and node.has_value
+
+    # -- mutation ----------------------------------------------------
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert or replace the value stored at ``prefix``."""
+        node = self._root
+        for i in range(prefix.length):
+            bit = prefix.bit(i)
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def remove(self, prefix: Prefix) -> V:
+        """Remove and return the value at ``prefix``.
+
+        Raises :class:`KeyError` when absent.  Interior nodes left empty
+        are pruned so the trie does not grow monotonically.
+        """
+        path: List[Tuple[_Node[V], int]] = []
+        node = self._root
+        for i in range(prefix.length):
+            bit = prefix.bit(i)
+            child = node.children[bit]
+            if child is None:
+                raise KeyError(str(prefix))
+            path.append((node, bit))
+            node = child
+        if not node.has_value:
+            raise KeyError(str(prefix))
+        value = node.value
+        node.value = None
+        node.has_value = False
+        self._size -= 1
+        # Prune childless, valueless tail nodes.
+        for parent, bit in reversed(path):
+            child = parent.children[bit]
+            assert child is not None
+            if child.has_value or child.children[0] or child.children[1]:
+                break
+            parent.children[bit] = None
+        return value  # type: ignore[return-value]
+
+    # -- queries -----------------------------------------------------
+
+    def get(self, prefix: Prefix, default: Optional[V] = None) -> Optional[V]:
+        """Exact-match lookup."""
+        node = self._find(prefix)
+        if node is not None and node.has_value:
+            return node.value
+        return default
+
+    def longest_match(self, prefix: Prefix) -> Optional[Tuple[Prefix, V]]:
+        """Most specific stored entry covering ``prefix`` (incl. itself)."""
+        best: Optional[Tuple[int, V]] = None
+        node = self._root
+        if node.has_value:
+            best = (0, node.value)  # type: ignore[assignment]
+        for i in range(prefix.length):
+            child = node.children[prefix.bit(i)]
+            if child is None:
+                break
+            node = child
+            if node.has_value:
+                best = (i + 1, node.value)  # type: ignore[assignment]
+        if best is None:
+            return None
+        length, value = best
+        return Prefix(prefix.network, length), value
+
+    def lookup_address(self, address: int) -> Optional[Tuple[Prefix, V]]:
+        """Longest-prefix match for a host ``address``."""
+        return self.longest_match(Prefix(address, 32))
+
+    def covering(self, prefix: Prefix) -> Iterator[Tuple[Prefix, V]]:
+        """Yield every stored entry that covers ``prefix``, shortest first.
+
+        This is the "browse" walk PyFRR's native origin validator uses:
+        it visits each node on the path rather than doing one hash probe.
+        """
+        node = self._root
+        if node.has_value:
+            yield Prefix(0, 0), node.value  # type: ignore[misc]
+        for i in range(prefix.length):
+            child = node.children[prefix.bit(i)]
+            if child is None:
+                return
+            node = child
+            if node.has_value:
+                yield Prefix(prefix.network, i + 1), node.value  # type: ignore[misc]
+
+    def covered(self, prefix: Prefix) -> Iterator[Tuple[Prefix, V]]:
+        """Yield every stored entry equal to or more specific than ``prefix``."""
+        node = self._find(prefix)
+        if node is None:
+            return
+        stack: List[Tuple[_Node[V], int, int]] = [(node, prefix.network, prefix.length)]
+        while stack:
+            current, network, length = stack.pop()
+            if current.has_value:
+                yield Prefix(network, length), current.value  # type: ignore[misc]
+            for bit in (1, 0):
+                child = current.children[bit]
+                if child is not None:
+                    child_net = network | (bit << (31 - length)) if length < 32 else network
+                    stack.append((child, child_net, length + 1))
+
+    def items(self) -> Iterator[Tuple[Prefix, V]]:
+        """Iterate all (prefix, value) pairs in depth-first order."""
+        yield from self.covered(Prefix(0, 0))
+
+    # -- internals ---------------------------------------------------
+
+    def _find(self, prefix: Prefix) -> Optional[_Node[V]]:
+        node = self._root
+        for i in range(prefix.length):
+            child = node.children[prefix.bit(i)]
+            if child is None:
+                return None
+            node = child
+        return node

@@ -1,0 +1,12 @@
+"""PyBIRD: the BIRD-flavoured host implementation.
+
+BIRD-like internals: flexible eattr lists holding raw wire bytes, a
+hash-table ROA store, lazy attribute parsing.  Thin xBGP glue.
+"""
+
+from .daemon import BirdDaemon
+from .eattrs import Eattr, EattrList
+from .rib import BirdRoute
+from .xbgp_glue import BirdHost
+
+__all__ = ["BirdDaemon", "Eattr", "EattrList", "BirdRoute", "BirdHost"]

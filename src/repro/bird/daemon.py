@@ -1,0 +1,560 @@
+"""PyBIRD: a BIRD-flavoured BGP daemon.
+
+Distinctive internals (mirroring what the paper leaned on in BIRD):
+
+* attributes live in flexible, wire-shaped :class:`EattrList`s;
+* validated ROAs sit in a **hash table** (:class:`HashRoaTable`) — one
+  probe per candidate length;
+* route objects parse attribute bytes lazily.
+
+The daemon is transport agnostic: a harness registers a ``send_fn`` per
+neighbor and feeds received bytes to :meth:`receive_raw`; both the
+discrete-event simulator and the asyncio transport drive it this way.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import Counter
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..bgp.attributes import (
+    PathAttribute,
+    make_as_path,
+    make_cluster_list,
+    make_next_hop,
+    make_origin,
+    make_originator_id,
+)
+from ..bgp.aspath import AsPath
+from ..bgp.constants import (
+    AttrTypeCode,
+    Origin,
+    RouteOriginValidity,
+    WellKnownCommunity,
+)
+from ..bgp.decision import DecisionConfig, best_route, compare_routes
+from ..bgp.messages import (
+    BgpMessage,
+    RouteRefreshMessage,
+    UpdateMessage,
+    split_stream,
+)
+from ..bgp.peer import Neighbor
+from ..bgp.policy import FilterChain
+from ..bgp.prefix import Prefix, parse_ipv4
+from ..bgp.rib import AdjRibIn, AdjRibOut, LocRib
+from ..bgp.roa import HashRoaTable, RoaTable
+from ..core.context import ExecutionContext
+from ..core.insertion_points import InsertionPoint
+from ..core.manifest import Manifest
+from ..core.vmm import VirtualMachineManager, VmmConfig
+from ..core.abi import FILTER_ACCEPT, FILTER_REJECT
+from ..igp.spf import UNREACHABLE, IgpView
+from .eattrs import EattrList
+from .rib import BirdRoute
+from .xbgp_glue import BirdHost
+
+__all__ = ["BirdDaemon"]
+
+#: Attribute codes PyBIRD knows how to put on the wire natively.  Codes
+#: outside this set stay in the RIB but are *not* encoded — an
+#: extension at BGP_ENCODE_MESSAGE must write them (the GeoLoc design
+#: of Fig. 2).
+NATIVE_ENCODABLE = frozenset(
+    {
+        AttrTypeCode.ORIGIN,
+        AttrTypeCode.AS_PATH,
+        AttrTypeCode.NEXT_HOP,
+        AttrTypeCode.MULTI_EXIT_DISC,
+        AttrTypeCode.LOCAL_PREF,
+        AttrTypeCode.ATOMIC_AGGREGATE,
+        AttrTypeCode.AGGREGATOR,
+        AttrTypeCode.COMMUNITIES,
+        AttrTypeCode.ORIGINATOR_ID,
+        AttrTypeCode.CLUSTER_LIST,
+        AttrTypeCode.LARGE_COMMUNITIES,
+    }
+)
+
+_LOCAL_SOURCE = 0  # pseudo peer address for locally originated routes
+
+
+class BirdDaemon:
+    """One PyBIRD router instance."""
+
+    implementation = "bird"
+
+    def __init__(
+        self,
+        asn: int,
+        router_id: str,
+        local_address: Optional[str] = None,
+        route_reflector: Optional[str] = None,
+        cluster_id: Optional[str] = None,
+        always_compare_med: bool = False,
+        nexthop_self: bool = True,
+        roa_table: Optional[RoaTable] = None,
+        igp: Optional[IgpView] = None,
+        xtra: Optional[Dict[str, bytes]] = None,
+        vmm_config: Optional[VmmConfig] = None,
+    ):
+        if route_reflector not in (None, "native", "extension"):
+            raise ValueError(f"bad route_reflector mode {route_reflector!r}")
+        self.asn = asn
+        self.router_id = parse_ipv4(router_id)
+        self.local_address = parse_ipv4(local_address or router_id)
+        self.route_reflector = route_reflector
+        self.cluster_id = parse_ipv4(cluster_id) if cluster_id else self.router_id
+        self.always_compare_med = always_compare_med
+        self.nexthop_self = nexthop_self
+        #: BIRD-style: validated ROAs in a hash table.
+        self.roa_table = roa_table if roa_table is not None else None
+        self.igp = igp
+        self.xtra: Dict[str, bytes] = dict(xtra or {})
+
+        self.neighbors: Dict[int, Neighbor] = {}
+        self._send_fns: Dict[int, Callable[[bytes], None]] = {}
+        self._established: Dict[int, bool] = {}
+        self._rx_buffers: Dict[int, bytearray] = {}
+
+        self.adj_rib_in: AdjRibIn[BirdRoute] = AdjRibIn()
+        self.loc_rib: LocRib[BirdRoute] = LocRib()
+        self.adj_rib_out: AdjRibOut[BirdRoute] = AdjRibOut()
+        self._local_routes: Dict[Prefix, BirdRoute] = {}
+
+        self.import_chain = FilterChain()
+        self.export_chain = FilterChain()
+
+        self.validity_counters: Counter = Counter()
+        self.stats: Counter = Counter()
+        self._log: List[str] = []
+
+        self.host = BirdHost(self)
+        self.vmm = VirtualMachineManager(self.host, vmm_config)
+
+    # -- wiring ------------------------------------------------------------
+
+    def add_neighbor(
+        self,
+        peer_address: str,
+        peer_asn: int,
+        send_fn: Callable[[bytes], None],
+        rr_client: bool = False,
+    ) -> Neighbor:
+        """Configure a neighbor and its outgoing-bytes callback."""
+        neighbor = Neighbor.build(
+            peer_address,
+            peer_asn,
+            local_address="0.0.0.0",
+            local_asn=self.asn,
+            rr_client=rr_client,
+        )
+        neighbor.local_address = self.local_address
+        neighbor.local_router_id = self.router_id
+        neighbor.cluster_id = self.cluster_id
+        self.neighbors[neighbor.peer_address] = neighbor
+        self._send_fns[neighbor.peer_address] = send_fn
+        self._established[neighbor.peer_address] = False
+        self._rx_buffers[neighbor.peer_address] = bytearray()
+        return neighbor
+
+    def session_up(self, peer_address: str) -> None:
+        """Mark the session Established and send the full table."""
+        address = parse_ipv4(peer_address)
+        neighbor = self.neighbors[address]
+        neighbor.established = True
+        self._established[address] = True
+        for prefix in list(self.loc_rib.prefixes()):
+            self._export_prefix(prefix, only_peers=[address])
+        self._send_update(address, UpdateMessage.end_of_rib())
+
+    def session_down(self, peer_address: str) -> None:
+        address = parse_ipv4(peer_address)
+        self._established[address] = False
+        self.neighbors[address].established = False
+        dropped = self.adj_rib_in.drop_peer(address)
+        self.adj_rib_out.drop_peer(address)
+        for route in dropped:
+            self._run_decision(route.prefix)
+
+    def attach_program(self, program) -> None:
+        self.vmm.attach_program(program)
+
+    def attach_manifest(self, manifest: Manifest) -> None:
+        self.vmm.attach_program(manifest.load())
+
+    def log(self, message: str) -> None:
+        self._log.append(message)
+        if len(self._log) > 10_000:
+            del self._log[:5_000]
+
+    @property
+    def log_messages(self) -> List[str]:
+        return list(self._log)
+
+    def igp_metric(self, address: int) -> int:
+        if self.igp is None:
+            return 0
+        return self.igp.metric_to(address)
+
+    # -- local origination ----------------------------------------------------
+
+    def originate(
+        self,
+        prefix: Prefix,
+        next_hop: Optional[int] = None,
+        attributes: Optional[Sequence[PathAttribute]] = None,
+    ) -> None:
+        """Install a locally-originated route and advertise it."""
+        if attributes is None:
+            attributes = [
+                make_origin(Origin.IGP),
+                make_as_path(AsPath()),
+                make_next_hop(next_hop if next_hop else self.local_address),
+            ]
+        route = BirdRoute(prefix, None, EattrList.from_wire(attributes))
+        self._local_routes[prefix] = route
+        self._run_decision(prefix)
+
+    def withdraw_local(self, prefix: Prefix) -> None:
+        if self._local_routes.pop(prefix, None) is not None:
+            self._run_decision(prefix)
+
+    # -- receive path ------------------------------------------------------------
+
+    def receive_raw(self, peer_address: str, data: bytes) -> None:
+        """Feed raw TCP bytes from a peer (reassembles messages)."""
+        address = parse_ipv4(peer_address)
+        buffer = self._rx_buffers[address]
+        buffer.extend(data)
+        for message in split_stream(buffer):
+            self.receive_message(peer_address, message)
+
+    def receive_message(self, peer_address: str, message: BgpMessage) -> None:
+        address = parse_ipv4(peer_address)
+        neighbor = self.neighbors.get(address)
+        if neighbor is None:
+            self.stats["unknown_peer"] += 1
+            return
+        self.stats["messages_received"] += 1
+        if isinstance(message, UpdateMessage):
+            self._process_update(neighbor, message)
+        elif isinstance(message, RouteRefreshMessage):
+            self._process_route_refresh(neighbor)
+
+    def _process_update(self, neighbor: Neighbor, update: UpdateMessage) -> None:
+        if update.is_end_of_rib():
+            self.stats["eor_received"] += 1
+            return
+        eattrs = EattrList.from_wire(update.attributes)
+
+        # Insertion point 1: BGP_RECEIVE_MESSAGE — extension code may
+        # rewrite the UPDATE's attributes before import processing.
+        ctx = ExecutionContext(
+            self.host,
+            InsertionPoint.BGP_RECEIVE_MESSAGE,
+            neighbor=neighbor,
+            route=eattrs,
+            message=update.encode(),
+        )
+        self.vmm.run(ctx, lambda: 0)
+
+        dirty: List[Prefix] = []
+        for prefix in update.withdrawn:
+            if self.adj_rib_in.withdraw(neighbor.peer_address, prefix) is not None:
+                dirty.append(prefix)
+
+        if update.nlri:
+            for prefix in update.nlri:
+                if self._import_route(neighbor, prefix, eattrs):
+                    dirty.append(prefix)
+
+        for prefix in dirty:
+            self._run_decision(prefix)
+
+    def _import_route(self, neighbor: Neighbor, prefix: Prefix, eattrs: EattrList) -> bool:
+        """Run import processing for one NLRI; returns True if RIB changed."""
+        route = BirdRoute(prefix, neighbor, eattrs)
+
+        # Mandatory RFC 4271 sanity: AS-path loop detection.
+        if neighbor.is_ebgp() and route.as_path().contains(self.asn):
+            self.stats["loop_rejected"] += 1
+            return self._treat_as_withdraw(neighbor, prefix)
+
+        # Insertion point 2: BGP_INBOUND_FILTER.
+        ctx = ExecutionContext(
+            self.host,
+            InsertionPoint.BGP_INBOUND_FILTER,
+            neighbor=neighbor,
+            route=route,
+            prefix=prefix,
+        )
+        verdict = self.vmm.run(ctx, lambda: self._native_import(ctx))
+        route = ctx.route  # may have been rewritten copy-on-write
+
+        if verdict == FILTER_REJECT:
+            self.stats["import_rejected"] += 1
+            return self._treat_as_withdraw(neighbor, prefix)
+
+        # Native origin validation (BIRD style: one hash probe chain).
+        # Validity is recorded, never used to discard — §3.4 methodology.
+        if self.roa_table is not None and neighbor.is_ebgp():
+            validity = self.roa_table.validate(prefix, route.origin_asn())
+            route.validity = validity
+            self.validity_counters[RouteOriginValidity(validity).name] += 1
+
+        self.adj_rib_in.update(neighbor.peer_address, route)
+        return True
+
+    def _native_import(self, ctx: ExecutionContext) -> int:
+        """PyBIRD's native import processing (the VMM default)."""
+        route: BirdRoute = ctx.route
+        neighbor = ctx.neighbor
+
+        # Native route-reflection import checks (RFC 4456 §8) only when
+        # the host implements RR itself.
+        if self.route_reflector == "native" and neighbor.is_ibgp():
+            originator = route.attribute(AttrTypeCode.ORIGINATOR_ID)
+            if originator is not None and originator.as_u32() == self.router_id:
+                return FILTER_REJECT
+            cluster_list = route.attribute(AttrTypeCode.CLUSTER_LIST)
+            if cluster_list is not None and self.cluster_id in cluster_list.as_cluster_list():
+                return FILTER_REJECT
+
+        filtered = self.import_chain.evaluate(route, neighbor)
+        if filtered is None:
+            return FILTER_REJECT
+        ctx.route = filtered
+        return FILTER_ACCEPT
+
+    def _treat_as_withdraw(self, neighbor: Neighbor, prefix: Prefix) -> bool:
+        return self.adj_rib_in.withdraw(neighbor.peer_address, prefix) is not None
+
+    def _process_route_refresh(self, neighbor: Neighbor) -> None:
+        """RFC 2918: resend our full Adj-RIB-Out for this peer."""
+        self.stats["route_refresh_received"] += 1
+        for prefix in list(self.loc_rib.prefixes()):
+            self._export_prefix(prefix, only_peers=[neighbor.peer_address])
+        self._send_update(neighbor.peer_address, UpdateMessage.end_of_rib())
+
+    # -- decision process -----------------------------------------------------------
+
+    def _decision_config(self) -> DecisionConfig:
+        metric = self.igp.metric_to if self.igp is not None else None
+        return DecisionConfig(
+            always_compare_med=self.always_compare_med, igp_metric=metric
+        )
+
+    def _select_best(self, candidates: List[BirdRoute]) -> Optional[BirdRoute]:
+        if not candidates:
+            return None
+        config = self._decision_config()
+        if self.vmm.attached_codes(InsertionPoint.BGP_DECISION):
+            best = candidates[0]
+            for candidate in candidates[1:]:
+                ctx = ExecutionContext(
+                    self.host,
+                    InsertionPoint.BGP_DECISION,
+                    route=candidate,
+                    best_route=best,
+                    prefix=candidate.prefix,
+                )
+                native = (
+                    lambda c=candidate, b=best: 1
+                    if compare_routes(c, b, config) < 0
+                    else 2
+                )
+                if self.vmm.run(ctx, native) == 1:
+                    best = candidate
+            return best
+        return best_route(candidates, config)
+
+    def _run_decision(self, prefix: Prefix) -> None:
+        candidates = self.adj_rib_in.candidates(prefix)
+        local = self._local_routes.get(prefix)
+        if local is not None:
+            candidates.append(local)
+        best = self._select_best(candidates)
+        previous = self.loc_rib.lookup(prefix)
+        if best is previous:
+            return
+        if best is None:
+            self.loc_rib.remove(prefix)
+        else:
+            self.loc_rib.install(best)
+        self._export_prefix(prefix)
+
+    # -- export path ------------------------------------------------------------------
+
+    def _export_prefix(self, prefix: Prefix, only_peers: Optional[List[int]] = None) -> None:
+        best = self.loc_rib.lookup(prefix)
+        peers = only_peers if only_peers is not None else list(self.neighbors)
+        for address in peers:
+            if not self._established.get(address):
+                continue
+            neighbor = self.neighbors[address]
+            if best is None:
+                self._withdraw_from(neighbor, prefix)
+                continue
+            if best.source is not None and best.source.peer_address == address:
+                # Never advertise a route back to the peer it came from.
+                self._withdraw_from(neighbor, prefix)
+                continue
+            export_route = self._export_filter(best, neighbor)
+            if export_route is None:
+                self._withdraw_from(neighbor, prefix)
+                continue
+            export_route = self._apply_export_mechanics(export_route, neighbor)
+            self.adj_rib_out.advertise(address, export_route)
+            self._send_route(neighbor, export_route)
+
+    def _export_filter(self, route: BirdRoute, neighbor: Neighbor) -> Optional[BirdRoute]:
+        """Insertion point 4: BGP_OUTBOUND_FILTER around native export."""
+        ctx = ExecutionContext(
+            self.host,
+            InsertionPoint.BGP_OUTBOUND_FILTER,
+            neighbor=neighbor,
+            route=route,
+            prefix=route.prefix,
+        )
+        verdict = self.vmm.run(ctx, lambda: self._native_export(ctx))
+        if verdict == FILTER_REJECT:
+            self.stats["export_rejected"] += 1
+            return None
+        return ctx.route
+
+    def _native_export(self, ctx: ExecutionContext) -> int:
+        route: BirdRoute = ctx.route
+        neighbor = ctx.neighbor
+        source = route.source
+
+        if source is not None and source.is_ibgp() and neighbor.is_ibgp():
+            if self.route_reflector == "native":
+                # Reflect client routes to everyone, non-client routes
+                # to clients only (RFC 4456 §6).
+                if not (source.rr_client or neighbor.rr_client):
+                    return FILTER_REJECT
+                reflected = self._stamp_reflection(route)
+                ctx.route = reflected
+                route = reflected
+            elif self.route_reflector == "extension":
+                # Host is RR-unaware: relaxed split horizon; the
+                # extension outbound code is responsible for loop
+                # prevention and attribute stamping.
+                pass
+            else:
+                return FILTER_REJECT  # classic iBGP split horizon
+
+        communities = route.attribute(AttrTypeCode.COMMUNITIES)
+        if communities is not None:
+            values = communities.as_communities()
+            if WellKnownCommunity.NO_ADVERTISE in values:
+                return FILTER_REJECT
+            if WellKnownCommunity.NO_EXPORT in values and neighbor.is_ebgp():
+                return FILTER_REJECT
+
+        filtered = self.export_chain.evaluate(route, neighbor)
+        if filtered is None:
+            return FILTER_REJECT
+        ctx.route = filtered
+        return FILTER_ACCEPT
+
+    def _stamp_reflection(self, route: BirdRoute) -> BirdRoute:
+        """Native RFC 4456 attribute stamping (ORIGINATOR_ID, CLUSTER_LIST)."""
+        eattrs = route.eattrs.copy()
+        if AttrTypeCode.ORIGINATOR_ID not in eattrs:
+            originator = route.source.peer_router_id if route.source else self.router_id
+            attr = make_originator_id(originator)
+            eattrs.ea_set(attr.type_code, attr.flags, attr.value)
+        existing = eattrs.ea_find(AttrTypeCode.CLUSTER_LIST)
+        previous: Tuple[int, ...] = ()
+        if existing is not None:
+            previous = tuple(
+                struct.unpack_from("!I", existing.data, i)[0]
+                for i in range(0, len(existing.data), 4)
+            )
+        attr = make_cluster_list((self.cluster_id,) + previous)
+        eattrs.ea_set(attr.type_code, attr.flags, attr.value)
+        return route.with_eattrs(eattrs)
+
+    def _apply_export_mechanics(self, route: BirdRoute, neighbor: Neighbor) -> BirdRoute:
+        """AS-path prepend / next-hop / LOCAL_PREF handling per session type."""
+        eattrs = route.eattrs.copy()
+        if neighbor.is_ebgp():
+            path = route.as_path().prepend(self.asn)
+            attr = make_as_path(path)
+            eattrs.ea_set(attr.type_code, attr.flags, attr.value)
+            next_hop = make_next_hop(self.local_address)
+            eattrs.ea_set(next_hop.type_code, next_hop.flags, next_hop.value)
+            eattrs.ea_unset(AttrTypeCode.LOCAL_PREF)
+            eattrs.ea_unset(AttrTypeCode.MULTI_EXIT_DISC)
+        else:
+            if AttrTypeCode.LOCAL_PREF not in eattrs:
+                local_pref = PathAttribute(0x40, AttrTypeCode.LOCAL_PREF, struct.pack("!I", 100))
+                eattrs.ea_set(local_pref.type_code, local_pref.flags, local_pref.value)
+            if self.nexthop_self and route.source is not None and route.source.is_ebgp():
+                next_hop = make_next_hop(self.local_address)
+                eattrs.ea_set(next_hop.type_code, next_hop.flags, next_hop.value)
+        return route.with_eattrs(eattrs)
+
+    # -- encoding -----------------------------------------------------------------------
+
+    def _encode_attributes(self, route: BirdRoute, neighbor: Neighbor) -> bytes:
+        """Native attr encoding plus BGP_ENCODE_MESSAGE extension bytes."""
+        native = b"".join(
+            eattr.to_path_attribute().encode()
+            for eattr in route.eattrs
+            if eattr.code in NATIVE_ENCODABLE
+        )
+        out_buffer = bytearray()
+        ctx = ExecutionContext(
+            self.host,
+            InsertionPoint.BGP_ENCODE_MESSAGE,
+            neighbor=neighbor,
+            route=route,
+            prefix=route.prefix,
+            out_buffer=out_buffer,
+        )
+        self.vmm.run(ctx, lambda: 0)
+        return native + bytes(out_buffer)
+
+    def _send_route(self, neighbor: Neighbor, route: BirdRoute) -> None:
+        attrs_blob = self._encode_attributes(route, neighbor)
+        body = (
+            struct.pack("!H", 0)
+            + struct.pack("!H", len(attrs_blob))
+            + attrs_blob
+            + route.prefix.encode()
+        )
+        from ..bgp.messages import encode_header
+        from ..bgp.constants import MessageType
+
+        self._send_raw(neighbor.peer_address, encode_header(MessageType.UPDATE, body))
+        self.stats["updates_sent"] += 1
+
+    def _withdraw_from(self, neighbor: Neighbor, prefix: Prefix) -> None:
+        if self.adj_rib_out.withdraw(neighbor.peer_address, prefix) is None:
+            return
+        update = UpdateMessage(withdrawn=[prefix])
+        self._send_update(neighbor.peer_address, update)
+
+    def _send_update(self, peer_address: int, update: UpdateMessage) -> None:
+        self._send_raw(peer_address, update.encode())
+        self.stats["updates_sent"] += 1
+
+    def _send_raw(self, peer_address: int, data: bytes) -> None:
+        send_fn = self._send_fns.get(peer_address)
+        if send_fn is not None:
+            send_fn(data)
+
+    # -- introspection ----------------------------------------------------------------
+
+    def loc_rib_snapshot(self) -> Dict[Prefix, List[PathAttribute]]:
+        """Prefix -> neutral attribute list, for cross-host equivalence tests."""
+        return {
+            route.prefix: sorted(
+                route.attribute_list(), key=lambda a: a.type_code
+            )
+            for route in self.loc_rib.routes()
+        }

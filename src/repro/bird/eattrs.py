@@ -1,0 +1,107 @@
+"""BIRD-style extended attributes (eattrs).
+
+Real BIRD keeps route attributes in a generic ``eattr`` list — id,
+flags, raw data — with a uniform find/set/unset API, which is why the
+paper's BIRD glue was thin ("BIRD includes a flexible API to manage BGP
+attributes.  xBGP simply extends this API").  PyBIRD mirrors that: an
+:class:`EattrList` stores attribute values as the raw network-byte-
+order bytes straight off the wire, so converting to and from the
+neutral xBGP representation is almost free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..bgp.attributes import PathAttribute
+
+__all__ = ["Eattr", "EattrList"]
+
+
+class Eattr:
+    """One extended attribute: (code, flags, raw bytes)."""
+
+    __slots__ = ("code", "flags", "data")
+
+    def __init__(self, code: int, flags: int, data: bytes):
+        self.code = code
+        self.flags = flags
+        self.data = bytes(data)
+
+    def to_path_attribute(self) -> PathAttribute:
+        return PathAttribute(self.flags, self.code, self.data)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Eattr):
+            return NotImplemented
+        return (
+            self.code == other.code
+            and self.flags == other.flags
+            and self.data == other.data
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.code, self.flags, self.data))
+
+    def __repr__(self) -> str:
+        return f"Eattr({self.code}, {self.flags:#04x}, {self.data.hex()})"
+
+
+class EattrList:
+    """Mutable list of eattrs with BIRD's find/set/unset API."""
+
+    __slots__ = ("_attrs",)
+
+    def __init__(self, attrs: Optional[Dict[int, Eattr]] = None):
+        self._attrs: Dict[int, Eattr] = dict(attrs) if attrs else {}
+
+    @classmethod
+    def from_wire(cls, attributes: Iterable[PathAttribute]) -> "EattrList":
+        """Build from decoded path attributes (keeps raw values)."""
+        instance = cls()
+        for attribute in attributes:
+            instance._attrs[attribute.type_code] = Eattr(
+                attribute.type_code, attribute.flags, attribute.value
+            )
+        return instance
+
+    # -- the flexible attribute API --------------------------------------
+
+    def ea_find(self, code: int) -> Optional[Eattr]:
+        return self._attrs.get(code)
+
+    def ea_set(self, code: int, flags: int, data: bytes) -> None:
+        self._attrs[code] = Eattr(code, flags, data)
+
+    def ea_unset(self, code: int) -> bool:
+        return self._attrs.pop(code, None) is not None
+
+    def __contains__(self, code: int) -> bool:
+        return code in self._attrs
+
+    def __len__(self) -> int:
+        return len(self._attrs)
+
+    def __iter__(self) -> Iterator[Eattr]:
+        for code in sorted(self._attrs):
+            yield self._attrs[code]
+
+    # -- conversion / identity ----------------------------------------------
+
+    def copy(self) -> "EattrList":
+        return EattrList(self._attrs)
+
+    def to_path_attributes(self) -> List[PathAttribute]:
+        return [eattr.to_path_attribute() for eattr in self]
+
+    def cache_key(self) -> Tuple[Tuple[int, int, bytes], ...]:
+        """Hashable identity used for update packing and dedup."""
+        return tuple((e.code, e.flags, e.data) for e in self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EattrList):
+            return NotImplemented
+        return self._attrs == other._attrs
+
+    def __repr__(self) -> str:
+        return f"EattrList({list(self)!r})"

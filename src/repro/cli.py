@@ -1,0 +1,210 @@
+"""Command-line tools: ``xbgp <subcommand>``.
+
+Subcommands:
+
+* ``compile``  — compile an xc source file to eBPF bytecode (hex) or
+  disassembly, with ``-D NAME=VALUE`` constants;
+* ``disasm``   — disassemble bytecode hex;
+* ``verify``   — run the static verifier over bytecode hex;
+* ``fig1``     — print the Fig. 1 standardization-delay CDF;
+* ``fig4``     — run one Fig. 4 cell (implementation × feature ×
+  engine) and print the paper-style row;
+* ``gen-table`` — generate a synthetic RIS-like table and write it as
+  an MRT TABLE_DUMP_V2 file;
+* ``loc``      — print the §2.1 glue-size report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from .core.abi import HELPER_IDS, PLUGIN_CONSTANTS
+
+__all__ = ["main"]
+
+
+def _parse_defines(pairs: List[str]) -> Dict[str, int]:
+    constants = {}
+    for pair in pairs:
+        name, _, value = pair.partition("=")
+        if not value:
+            raise SystemExit(f"bad -D {pair!r}: expected NAME=VALUE")
+        constants[name] = int(value, 0)
+    return constants
+
+
+def _cmd_compile(args) -> int:
+    from .ebpf.disassembler import disassemble
+    from .ebpf.isa import encode_program
+    from .xc import compile_source
+
+    with open(args.source) as handle:
+        source = handle.read()
+    constants = dict(PLUGIN_CONSTANTS)
+    constants.update(_parse_defines(args.define))
+    program = compile_source(source, HELPER_IDS, constants)
+    if args.disasm:
+        names = {helper_id: name for name, helper_id in HELPER_IDS.items()}
+        output = disassemble(program, names) + "\n"
+    else:
+        output = encode_program(program).hex() + "\n"
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(output)
+    else:
+        sys.stdout.write(output)
+    print(f"# {len(program)} instructions", file=sys.stderr)
+    return 0
+
+
+def _read_bytecode(path: str):
+    from .ebpf.isa import decode_program
+
+    with open(path) as handle:
+        text = handle.read().strip()
+    return decode_program(bytes.fromhex(text))
+
+
+def _cmd_disasm(args) -> int:
+    from .ebpf.disassembler import disassemble
+
+    names = {helper_id: name for name, helper_id in HELPER_IDS.items()}
+    print(disassemble(_read_bytecode(args.bytecode), names))
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from .ebpf.verifier import VerifierConfig, VerifierError, verify
+
+    program = _read_bytecode(args.bytecode)
+    config = VerifierConfig(
+        allow_loops=not args.no_loops,
+        allowed_helpers=set(HELPER_IDS.values()),
+    )
+    try:
+        verify(program, config)
+    except VerifierError as exc:
+        print(f"REJECTED: {exc}")
+        return 1
+    print(f"OK: {len(program)} instructions verified")
+    return 0
+
+
+def _cmd_fig1(args) -> int:
+    from .eval import fig1
+
+    print(fig1.render_table())
+    return 0
+
+
+def _cmd_fig4(args) -> int:
+    from .bgp.roa import make_roas_for_prefixes
+    from .eval import fig4
+    from .workload import RibGenerator, origins_of
+
+    routes = RibGenerator(n_routes=args.routes, seed=args.seed).generate()
+    roas = None
+    if args.feature == "origin_validation":
+        roas = make_roas_for_prefixes(origins_of(routes), 0.75, seed=args.seed)
+    result = fig4.run_cell(
+        args.implementation, args.feature, routes, roas, runs=args.runs, engine=args.engine
+    )
+    print(fig4.render_table([result], args.routes, args.runs))
+    return 0
+
+
+def _cmd_gen_table(args) -> int:
+    from .bgp.prefix import parse_ipv4
+    from .mrt import MrtPeer, RibEntry, write_table
+    from .workload import RibGenerator, build_updates
+
+    routes = RibGenerator(n_routes=args.routes, seed=args.seed).generate()
+    peer_address = parse_ipv4("10.0.0.9")
+    updates = build_updates(routes, next_hop=peer_address, session="ebgp", sender_asn=65100)
+    entries = [
+        RibEntry(prefix, 0, args.timestamp, update.attributes)
+        for update in updates
+        for prefix in update.nlri
+    ]
+    with open(args.output, "wb") as handle:
+        write_table(
+            handle,
+            [MrtPeer(peer_address, peer_address, 65100)],
+            entries,
+            timestamp=args.timestamp,
+        )
+    print(f"wrote {len(entries)} RIB entries to {args.output}")
+    return 0
+
+
+def _cmd_loc(args) -> int:
+    from .eval import loc_report
+
+    print(loc_report.render_table())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="xbgp", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile xc source to eBPF bytecode")
+    p.add_argument("source", help="xc source file")
+    p.add_argument("-o", "--output", help="write hex/disasm here (default stdout)")
+    p.add_argument("--disasm", action="store_true", help="emit disassembly, not hex")
+    p.add_argument(
+        "-D", dest="define", action="append", default=[], metavar="NAME=VALUE",
+        help="predefine a constant (repeatable)",
+    )
+    p.set_defaults(fn=_cmd_compile)
+
+    p = sub.add_parser("disasm", help="disassemble bytecode hex")
+    p.add_argument("bytecode", help="file holding hex bytecode")
+    p.set_defaults(fn=_cmd_disasm)
+
+    p = sub.add_parser("verify", help="verify bytecode hex")
+    p.add_argument("bytecode", help="file holding hex bytecode")
+    p.add_argument("--no-loops", action="store_true", help="reject back-edges")
+    p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser("fig1", help="print the Fig. 1 CDF")
+    p.set_defaults(fn=_cmd_fig1)
+
+    p = sub.add_parser("fig4", help="run one Fig. 4 cell")
+    p.add_argument("--implementation", choices=["frr", "bird"], default="frr")
+    p.add_argument(
+        "--feature",
+        choices=["route_reflection", "origin_validation"],
+        default="route_reflection",
+    )
+    p.add_argument("--engine", choices=["jit", "interp", "pyext"], default="jit")
+    p.add_argument("--routes", type=int, default=2500)
+    p.add_argument("--runs", type=int, default=7)
+    p.add_argument("--seed", type=int, default=20200604)
+    p.set_defaults(fn=_cmd_fig4)
+
+    p = sub.add_parser("gen-table", help="write a synthetic MRT table dump")
+    p.add_argument("output", help="MRT file to write")
+    p.add_argument("--routes", type=int, default=10000)
+    p.add_argument("--seed", type=int, default=20200604)
+    p.add_argument("--timestamp", type=int, default=1_591_228_800)  # 2020-06-04
+    p.set_defaults(fn=_cmd_gen_table)
+
+    p = sub.add_parser("loc", help="print the glue LoC report")
+    p.set_defaults(fn=_cmd_loc)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # e.g. `xbgp disasm ... | head`
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""The xBGP insertion points (the green circles of Fig. 2).
+
+Each point names one operation of the abstract BGP machine where the
+VMM may substitute or augment the host's native code:
+
+* ``BGP_RECEIVE_MESSAGE`` — an UPDATE arrived and was parsed; extension
+  code may rewrite/extend its attributes before import processing.
+* ``BGP_INBOUND_FILTER`` — one route from the UPDATE is considered for
+  the Adj-RIB-In; verdict is accept/reject; the route may be rewritten.
+* ``BGP_DECISION`` — two candidate routes are compared; extension code
+  may override the RFC 4271 ranking.
+* ``BGP_OUTBOUND_FILTER`` — a Loc-RIB route is considered for export to
+  one peer; verdict is accept/reject; the route may be rewritten.
+* ``BGP_ENCODE_MESSAGE`` — the host serializes an UPDATE for a peer;
+  extension code may append attribute bytes with ``write_buf``.
+
+Other insertion points might be defined to support other types of BGP
+extensions (§2 of the paper); adding a member here plus a host glue
+call site is all it takes.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["InsertionPoint"]
+
+
+class InsertionPoint(enum.Enum):
+    BGP_RECEIVE_MESSAGE = "bgp_receive_message"
+    BGP_INBOUND_FILTER = "bgp_inbound_filter"
+    BGP_DECISION = "bgp_decision"
+    BGP_OUTBOUND_FILTER = "bgp_outbound_filter"
+    BGP_ENCODE_MESSAGE = "bgp_encode_message"
+
+    @classmethod
+    def parse(cls, name: str) -> "InsertionPoint":
+        """Accept either the enum name or its value string."""
+        try:
+            return cls[name]
+        except KeyError:
+            return cls(name.lower())

@@ -1,0 +1,178 @@
+"""Manifests: the deployment unit of an xBGP program.
+
+§2.1: "the VMM is initialized with a manifest containing the extension
+bytecodes and the points where they must be inserted.  Different
+extension codes can be attached to the same insertion point, and the
+manifest defines in which order they are executed.  The manifest also
+lists the different xBGP API functions that the bytecode uses."
+
+A manifest here is JSON::
+
+    {
+      "name": "geoloc",
+      "codes": [
+        {"name": "geoloc_receive",
+         "insertion_point": "BGP_RECEIVE_MESSAGE",
+         "seq": 0,
+         "helpers": ["get_peer_info", "get_arg", "add_attr"],
+         "source": "u64 run(...) { ... }"},
+        {"name": "geoloc_export", ..., "bytecode": "b7000000..."}
+      ],
+      "maps": {"roa": [[key, value], ...]},
+      "constants": {"MAX_METRIC": 50}
+    }
+
+Codes carry either xc ``source`` (compiled at load) or hex ``bytecode``
+(pre-assembled).  Either way, the loaded program is plain eBPF.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from ..ebpf.isa import decode_program, encode_program
+from ..xc import compile_source
+from .abi import HELPER_IDS, PLUGIN_CONSTANTS
+from .extension import DEFAULT_SHARED_SIZE, ExtensionCode, XbgpProgram
+from .insertion_points import InsertionPoint
+
+__all__ = ["Manifest", "ManifestError"]
+
+
+class ManifestError(ValueError):
+    """Malformed manifest content."""
+
+
+class Manifest:
+    """Parsed manifest, loadable into an :class:`XbgpProgram`."""
+
+    def __init__(
+        self,
+        name: str,
+        codes: List[Dict[str, Any]],
+        maps: Optional[Dict[str, List[List[int]]]] = None,
+        constants: Optional[Dict[str, int]] = None,
+        shared_size: int = DEFAULT_SHARED_SIZE,
+    ):
+        self.name = name
+        self.codes = codes
+        self.maps = maps or {}
+        self.constants = constants or {}
+        self.shared_size = shared_size
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.name:
+            raise ManifestError("manifest needs a name")
+        if not self.codes:
+            raise ManifestError("manifest lists no extension codes")
+        seen = set()
+        for spec in self.codes:
+            for field in ("name", "insertion_point", "helpers"):
+                if field not in spec:
+                    raise ManifestError(f"code missing {field!r}: {spec}")
+            if spec["name"] in seen:
+                raise ManifestError(f"duplicate code name {spec['name']!r}")
+            seen.add(spec["name"])
+            if ("source" in spec) == ("bytecode" in spec):
+                raise ManifestError(
+                    f"{spec['name']}: exactly one of source/bytecode required"
+                )
+            try:
+                InsertionPoint.parse(spec["insertion_point"])
+            except (KeyError, ValueError) as exc:
+                raise ManifestError(
+                    f"{spec['name']}: bad insertion point "
+                    f"{spec['insertion_point']!r}"
+                ) from exc
+            unknown = [h for h in spec["helpers"] if h not in HELPER_IDS]
+            if unknown:
+                raise ManifestError(f"{spec['name']}: unknown helpers {unknown}")
+
+    # -- (de)serialization -------------------------------------------------
+
+    @classmethod
+    def from_json(cls, text: str) -> "Manifest":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ManifestError(f"not JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ManifestError("manifest must be a JSON object")
+        return cls(
+            name=data.get("name", ""),
+            codes=data.get("codes", []),
+            maps=data.get("maps"),
+            constants=data.get("constants"),
+            shared_size=data.get("shared_size", DEFAULT_SHARED_SIZE),
+        )
+
+    @classmethod
+    def from_file(cls, path: str) -> "Manifest":
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "name": self.name,
+                "codes": self.codes,
+                "maps": self.maps,
+                "constants": self.constants,
+                "shared_size": self.shared_size,
+            },
+            indent=2,
+        )
+
+    # -- loading ---------------------------------------------------------------
+
+    def load(self) -> XbgpProgram:
+        """Compile/decode every code and build the :class:`XbgpProgram`."""
+        map_data = {
+            name: _entries_to_map(name, entries)
+            for name, entries in self.maps.items()
+        }
+        program = XbgpProgram(
+            self.name, [], map_data=map_data, shared_size=self.shared_size
+        )
+        compile_constants = dict(PLUGIN_CONSTANTS)
+        compile_constants.update(program.map_constants())
+        compile_constants.update(self.constants)
+        codes = []
+        for spec in self.codes:
+            point = InsertionPoint.parse(spec["insertion_point"])
+            from_source = "source" in spec
+            if from_source:
+                instructions = compile_source(
+                    spec["source"], HELPER_IDS, compile_constants
+                )
+            else:
+                try:
+                    instructions = decode_program(bytes.fromhex(spec["bytecode"]))
+                except ValueError as exc:
+                    raise ManifestError(f"{spec['name']}: bad bytecode: {exc}") from exc
+            codes.append(
+                ExtensionCode(
+                    spec["name"],
+                    instructions,
+                    spec["helpers"],
+                    point,
+                    seq=spec.get("seq", 0),
+                    # xc-compiled code follows the segregated frame
+                    # layout; raw bytecode gets the conservative JIT.
+                    layout_hint=from_source,
+                )
+            )
+        program.codes = codes
+        return program
+
+
+def _entries_to_map(name: str, entries) -> Dict[int, List[int]]:
+    table: Dict[int, List[int]] = {}
+    for entry in entries:
+        if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+            raise ManifestError(f"map {name!r}: entries must be [key, value] pairs")
+        key, value = int(entry[0]), int(entry[1])
+        table.setdefault(key, []).append(value)
+    return table

@@ -1,0 +1,202 @@
+"""The Virtual Machine Manager — libxbgp's multiplexer (§2.1).
+
+The host implementation calls :meth:`VirtualMachineManager.run` instead
+of its native function at every insertion point.  The VMM:
+
+1. checks whether extension codes are attached to that point — if not,
+   it executes the host's default function;
+2. otherwise runs the first code in manifest order;
+3. a code either *returns a result* (which the VMM hands back to the
+   host) or calls ``next()`` to delegate to the following code, falling
+   back to the default function at chain end;
+4. execution is monitored: a sandbox violation, a blown instruction
+   budget or a helper error aborts the code, notifies the host and
+   falls back to the default function.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..ebpf.helpers import HelperError, HelperTable
+from ..ebpf.memory import SandboxViolation, VmMemory
+from ..ebpf.verifier import VerifierConfig, VerifierError, verify
+from ..ebpf.vm import ExecutionError, VirtualMachine
+from .api import build_helper_table
+from .context import ExecutionContext, NextRequested
+from .extension import ExtensionCode, NativeExtensionCode, ProgramState, XbgpProgram
+from .host_interface import HostImplementation
+from .insertion_points import InsertionPoint
+
+__all__ = ["VmmConfig", "VirtualMachineManager", "AttachError"]
+
+
+class AttachError(Exception):
+    """A program could not be attached (verification or lookup failed)."""
+
+
+class VmmConfig:
+    """Resource limits applied to every attached extension code."""
+
+    __slots__ = ("step_budget", "heap_size", "allow_loops", "max_instructions", "engine")
+
+    def __init__(
+        self,
+        step_budget: int = 1_000_000,
+        heap_size: int = 1 << 16,
+        allow_loops: bool = True,
+        max_instructions: int = 65536,
+        engine: str = "jit",
+    ):
+        if engine not in ("jit", "interp"):
+            raise ValueError(f"bad engine {engine!r}")
+        self.step_budget = step_budget
+        self.heap_size = heap_size
+        self.allow_loops = allow_loops
+        self.max_instructions = max_instructions
+        self.engine = engine
+
+
+class _Attached:
+    """One attached extension code with its persistent VM and stats."""
+
+    __slots__ = ("code", "vm", "state", "executions", "errors")
+
+    def __init__(self, code, vm: Optional[VirtualMachine], state: ProgramState):
+        self.code = code
+        self.vm = vm
+        self.state = state
+        self.executions = 0
+        self.errors = 0
+
+
+class VirtualMachineManager:
+    """Attach xBGP programs to a host and execute them at runtime."""
+
+    def __init__(self, host: HostImplementation, config: Optional[VmmConfig] = None):
+        self.host = host
+        self.config = config or VmmConfig()
+        self.helper_table: HelperTable = build_helper_table()
+        self._chains: Dict[InsertionPoint, List[_Attached]] = {}
+        self._programs: Dict[str, XbgpProgram] = {}
+        self.fallbacks = 0
+
+    # -- attachment -----------------------------------------------------
+
+    def attach_program(self, program: XbgpProgram) -> None:
+        """Verify and attach every extension code of ``program``.
+
+        Verification enforces the manifest contract: each bytecode may
+        only call the helpers it declared.  Any verification failure
+        rejects the whole program (no partial attachment).
+        """
+        if program.name in self._programs:
+            raise AttachError(f"program {program.name!r} already attached")
+        state = program.build_state()
+        attached: List[_Attached] = []
+        for code in program.codes:
+            if isinstance(code, NativeExtensionCode):
+                attached.append(_Attached(code, None, state))
+                continue
+            if not isinstance(code, ExtensionCode):
+                raise AttachError(f"unsupported code object {code!r}")
+            try:
+                helpers = self.helper_table.restricted(code.helper_names)
+            except KeyError as exc:
+                raise AttachError(f"{code.name}: {exc}") from exc
+            verifier_config = VerifierConfig(
+                max_instructions=self.config.max_instructions,
+                allow_loops=self.config.allow_loops,
+                allowed_helpers=set(helpers.ids()),
+            )
+            try:
+                verify(code.instructions, verifier_config)
+            except VerifierError as exc:
+                raise AttachError(f"{code.name}: verification failed: {exc}") from exc
+            memory = VmMemory(heap_size=self.config.heap_size)
+            memory.attach(state.shared)
+            vm = VirtualMachine(
+                code.instructions,
+                helpers,
+                memory=memory,
+                step_budget=self.config.step_budget,
+                jit=self.config.engine == "jit",
+                trusted_layout=code.layout_hint,
+            )
+            vm.program_state = state
+            vm.prepare()  # pay translation cost at attach, not first run
+            attached.append(_Attached(code, vm, state))
+        for item in attached:
+            chain = self._chains.setdefault(item.code.insertion_point, [])
+            chain.append(item)
+            chain.sort(key=lambda entry: entry.code.seq)
+        self._programs[program.name] = program
+
+    def detach_program(self, name: str) -> None:
+        """Remove every extension code of program ``name``."""
+        program = self._programs.pop(name, None)
+        if program is None:
+            raise KeyError(name)
+        codes = set(id(code) for code in program.codes)
+        for chain in self._chains.values():
+            chain[:] = [item for item in chain if id(item.code) not in codes]
+
+    def attached_codes(self, point: InsertionPoint) -> List[str]:
+        """Names of the codes attached to ``point``, in execution order."""
+        return [item.code.name for item in self._chains.get(point, [])]
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-code execution and error counters."""
+        result: Dict[str, Dict[str, int]] = {}
+        for chain in self._chains.values():
+            for item in chain:
+                result[item.code.name] = {
+                    "executions": item.executions,
+                    "errors": item.errors,
+                }
+        return result
+
+    # -- execution ---------------------------------------------------------
+
+    def run(
+        self,
+        ctx: ExecutionContext,
+        default_fn: Callable[[], int],
+    ) -> int:
+        """Execute the chain at ``ctx.insertion_point``.
+
+        ``default_fn`` is the host's native implementation of the
+        operation; it runs when nothing is attached, when every code
+        delegates with ``next()``, or when a code errors out.
+        """
+        chain = self._chains.get(ctx.insertion_point)
+        if not chain:
+            return default_fn()
+        for item in chain:
+            item.executions += 1
+            ctx.next_requested = False
+            if item.code.is_native:
+                try:
+                    return item.code.fn(ctx, self.host)
+                except NextRequested:
+                    continue
+                except Exception as exc:  # noqa: BLE001 - must never crash the host
+                    item.errors += 1
+                    ctx.error = f"{item.code.name}: {exc}"
+                    self.host.log(f"[vmm] {ctx.error}; falling back to native")
+                    self.fallbacks += 1
+                    return default_fn()
+            vm = item.vm
+            vm.ctx = ctx
+            vm.memory.reset_heap()
+            try:
+                return vm.run(r1=0)
+            except NextRequested:
+                continue
+            except (SandboxViolation, ExecutionError, HelperError) as exc:
+                item.errors += 1
+                ctx.error = f"{item.code.name}: {exc}"
+                self.host.log(f"[vmm] {ctx.error}; falling back to native")
+                self.fallbacks += 1
+                return default_fn()
+        return default_fn()

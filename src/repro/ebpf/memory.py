@@ -1,0 +1,170 @@
+"""Sandboxed VM memory: bounds-checked regions in a virtual address space.
+
+The paper leans on eBPF's isolation guarantee ("an extension code has
+its own dedicated memory space and cannot directly access the memory of
+other extension codes or the host implementation").  Here that isolation
+is concrete: a VM can only dereference addresses that fall inside a
+region registered with its :class:`VmMemory`; everything else raises
+:class:`SandboxViolation`, which the VMM turns into a fallback to the
+host's native code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "SandboxViolation",
+    "MemoryRegion",
+    "VmMemory",
+    "STACK_SIZE",
+    "STACK_BASE",
+    "HEAP_BASE",
+    "ARG_BASE",
+]
+
+STACK_SIZE = 512
+#: Virtual layout: the exact numbers are arbitrary but stable, and far
+#: from zero so that null-pointer dereferences always fault.
+STACK_BASE = 0x1000_0000
+ARG_BASE = 0x2000_0000
+HEAP_BASE = 0x3000_0000
+SHARED_BASE = 0x4000_0000
+
+
+class SandboxViolation(Exception):
+    """An extension code touched memory outside its sandbox."""
+
+
+class MemoryRegion:
+    """A contiguous, optionally read-only, span of VM memory."""
+
+    __slots__ = ("base", "data", "writable", "label")
+
+    def __init__(self, base: int, size: int, writable: bool = True, label: str = ""):
+        if size < 0:
+            raise ValueError(f"negative region size: {size}")
+        self.base = base
+        self.data = bytearray(size)
+        self.writable = writable
+        self.label = label or f"region@{base:#x}"
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.data)
+
+    def contains(self, address: int, size: int) -> bool:
+        return self.base <= address and address + size <= self.end
+
+    def __repr__(self) -> str:
+        mode = "rw" if self.writable else "ro"
+        return f"MemoryRegion({self.label}, {self.base:#x}+{len(self.data)}, {mode})"
+
+
+class VmMemory:
+    """The address space of one virtual machine execution.
+
+    Holds the stack, the argument region and a bump-allocated heap that
+    helper functions use to hand structured data (peer info, attribute
+    bytes…) to the extension code.  The heap is *ephemeral*: §2.1 of the
+    paper notes ephemeral allocations are freed automatically when the
+    extension code finishes — :meth:`reset_heap` implements that.
+    """
+
+    def __init__(self, heap_size: int = 1 << 16):
+        self.stack = MemoryRegion(STACK_BASE, STACK_SIZE, writable=True, label="stack")
+        self._heap = MemoryRegion(HEAP_BASE, heap_size, writable=True, label="heap")
+        self._heap_used = 0
+        self._regions: List[MemoryRegion] = [self.stack, self._heap]
+
+    # -- region management ---------------------------------------------
+
+    def attach(self, region: MemoryRegion) -> None:
+        """Register an extra region (argument block, shared memory…)."""
+        for existing in self._regions:
+            if existing.base < region.end and region.base < existing.end:
+                raise ValueError(f"{region} overlaps {existing}")
+        self._regions.append(region)
+
+    def detach(self, region: MemoryRegion) -> None:
+        self._regions.remove(region)
+
+    def frame_pointer(self) -> int:
+        """Initial r10: one past the top of the stack (grows down)."""
+        return self.stack.end
+
+    # -- heap ------------------------------------------------------------
+
+    def alloc(self, size: int) -> int:
+        """Bump-allocate ``size`` bytes of heap; return the VM address."""
+        if size < 0:
+            raise ValueError(f"negative allocation: {size}")
+        aligned = (size + 7) & ~7
+        if self._heap_used + aligned > len(self._heap.data):
+            raise SandboxViolation(
+                f"heap exhausted: {self._heap_used}+{aligned} "
+                f"> {len(self._heap.data)}"
+            )
+        address = self._heap.base + self._heap_used
+        self._heap_used += aligned
+        return address
+
+    def alloc_bytes(self, payload: bytes) -> int:
+        """Allocate and fill a heap block; return its VM address."""
+        address = self.alloc(len(payload))
+        self.write_bytes(address, payload)
+        return address
+
+    def reset_heap(self) -> None:
+        """Free all ephemeral allocations (end of extension execution)."""
+        self._heap.data[: self._heap_used] = bytes(self._heap_used)
+        self._heap_used = 0
+
+    @property
+    def heap_used(self) -> int:
+        return self._heap_used
+
+    # -- access -----------------------------------------------------------
+
+    def _translate(self, address: int, size: int, write: bool) -> Tuple[MemoryRegion, int]:
+        for region in self._regions:
+            if region.contains(address, size):
+                if write and not region.writable:
+                    raise SandboxViolation(
+                        f"write to read-only {region.label} at {address:#x}"
+                    )
+                return region, address - region.base
+        raise SandboxViolation(
+            f"{'write' if write else 'read'} of {size} bytes at {address:#x} "
+            "outside sandbox"
+        )
+
+    def read(self, address: int, size: int) -> int:
+        """Load ``size`` bytes little-endian (eBPF is little-endian)."""
+        region, offset = self._translate(address, size, write=False)
+        return int.from_bytes(region.data[offset : offset + size], "little")
+
+    def write(self, address: int, size: int, value: int) -> None:
+        """Store the low ``size`` bytes of ``value`` little-endian."""
+        region, offset = self._translate(address, size, write=True)
+        region.data[offset : offset + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
+            size, "little"
+        )
+
+    def read_bytes(self, address: int, size: int) -> bytes:
+        region, offset = self._translate(address, size, write=False)
+        return bytes(region.data[offset : offset + size])
+
+    def write_bytes(self, address: int, payload: bytes) -> None:
+        region, offset = self._translate(address, len(payload), write=True)
+        region.data[offset : offset + len(payload)] = payload
+
+    def read_cstring(self, address: int, limit: int = 4096) -> bytes:
+        """Read a NUL-terminated string (for debug-print helpers)."""
+        out = bytearray()
+        for index in range(limit):
+            byte = self.read(address + index, 1)
+            if byte == 0:
+                return bytes(out)
+            out.append(byte)
+        raise SandboxViolation(f"unterminated string at {address:#x}")

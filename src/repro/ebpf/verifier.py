@@ -1,0 +1,304 @@
+"""Static verifier for extension bytecode.
+
+The VMM refuses to attach bytecode that does not pass verification,
+mirroring the kernel-eBPF contract the paper relies on for safety.
+Checks performed:
+
+* structural: non-empty, ≤ ``max_instructions``, intact ``lddw`` pairs,
+  every opcode known;
+* register discipline: writes only to r0-r9, reads only from r0-r10,
+  no reads of registers never written on some path (conservative
+  forward data-flow over the CFG, r1-r5 live on entry as arguments);
+* control flow: every jump lands on a real instruction boundary inside
+  the program, execution cannot fall off the end, an ``exit`` is
+  reachable;
+* termination: back-edges (loops) are rejected unless ``allow_loops``
+  — in that case the interpreter's instruction budget bounds runtime;
+* calls: helper ids must belong to the allowed set (the manifest lists
+  the helpers each bytecode may use — §2.1);
+* arithmetic: division/modulo by a zero *constant* is rejected
+  (runtime zero divisors yield zero, as in the kernel).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set
+
+from .isa import (
+    ALU_OPS,
+    BPF_ALU,
+    BPF_ALU64,
+    BPF_JMP,
+    BPF_JMP32,
+    BPF_K,
+    BPF_LDX,
+    BPF_ST,
+    BPF_STX,
+    BPF_X,
+    JMP_OPS,
+    OP_CALL,
+    OP_EXIT,
+    OP_JA,
+    OP_LDDW,
+    Instruction,
+    class_of,
+    is_load_store,
+)
+
+__all__ = ["VerifierError", "verify", "VerifierConfig"]
+
+_ALU_CODES = set(ALU_OPS.values())
+_JMP_CODES = set(JMP_OPS.values())
+_COND_JUMPS = {
+    code
+    for name, code in JMP_OPS.items()
+    if name not in ("ja", "call", "exit")
+}
+
+
+class VerifierError(Exception):
+    """Verification failed; ``index`` points at the offending slot."""
+
+    def __init__(self, index: int, message: str):
+        super().__init__(f"instruction {index}: {message}")
+        self.index = index
+
+
+class VerifierConfig:
+    """Verification policy knobs."""
+
+    __slots__ = ("max_instructions", "allow_loops", "allowed_helpers")
+
+    def __init__(
+        self,
+        max_instructions: int = 4096,
+        allow_loops: bool = False,
+        allowed_helpers: Optional[Iterable[int]] = None,
+    ):
+        self.max_instructions = max_instructions
+        self.allow_loops = allow_loops
+        self.allowed_helpers: Optional[Set[int]] = (
+            set(allowed_helpers) if allowed_helpers is not None else None
+        )
+
+
+def verify(
+    program: Sequence[Instruction], config: Optional[VerifierConfig] = None
+) -> None:
+    """Raise :class:`VerifierError` unless ``program`` is acceptable."""
+    config = config or VerifierConfig()
+    count = len(program)
+    if count == 0:
+        raise VerifierError(0, "empty program")
+    if count > config.max_instructions:
+        raise VerifierError(0, f"program too long: {count}")
+
+    lddw_seconds = _find_lddw_seconds(program)
+    _check_opcodes(program, lddw_seconds, config)
+    _check_control_flow(program, lddw_seconds, config)
+    _check_register_flow(program, lddw_seconds)
+
+
+def _find_lddw_seconds(program: Sequence[Instruction]) -> Set[int]:
+    seconds: Set[int] = set()
+    index = 0
+    while index < len(program):
+        if program[index].opcode == OP_LDDW:
+            if index + 1 >= len(program):
+                raise VerifierError(index, "lddw missing second slot")
+            second = program[index + 1]
+            if second.opcode != 0 or second.dst or second.src or second.offset:
+                raise VerifierError(index + 1, "malformed lddw second slot")
+            seconds.add(index + 1)
+            index += 2
+            continue
+        index += 1
+    return seconds
+
+
+def _check_opcodes(program, lddw_seconds, config) -> None:
+    for index, instruction in enumerate(program):
+        if index in lddw_seconds:
+            continue
+        opcode = instruction.opcode
+        klass = class_of(opcode)
+        if opcode == OP_LDDW:
+            if instruction.dst > 9:
+                raise VerifierError(index, "lddw writes to bad register")
+            continue
+        if is_load_store(opcode):
+            if (opcode & 0xE0) != 0x60:  # only BPF_MEM mode supported
+                raise VerifierError(index, f"unsupported load/store mode {opcode:#x}")
+            if klass == BPF_LDX and instruction.dst > 9:
+                raise VerifierError(index, "load writes to bad register")
+            if instruction.src > 10 or instruction.dst > 10:
+                raise VerifierError(index, "register out of range")
+            continue
+        if klass in (BPF_ALU, BPF_ALU64):
+            operation = opcode & 0xF0
+            if operation not in _ALU_CODES:
+                raise VerifierError(index, f"unknown ALU opcode {opcode:#x}")
+            if instruction.dst > 9:
+                raise VerifierError(index, "ALU writes to bad register (r10 is read-only)")
+            if (opcode & BPF_X) and instruction.src > 10:
+                raise VerifierError(index, "register out of range")
+            if (
+                operation in (ALU_OPS["div"], ALU_OPS["mod"])
+                and not (opcode & BPF_X)
+                and instruction.imm == 0
+            ):
+                raise VerifierError(index, "division by zero constant")
+            if operation == ALU_OPS["end"] and instruction.imm not in (16, 32, 64):
+                raise VerifierError(index, f"bad byteswap width {instruction.imm}")
+            continue
+        if klass in (BPF_JMP, BPF_JMP32):
+            operation = opcode & 0xF0
+            if operation not in _JMP_CODES:
+                raise VerifierError(index, f"unknown JMP opcode {opcode:#x}")
+            if opcode == OP_CALL:
+                if (
+                    config.allowed_helpers is not None
+                    and instruction.imm not in config.allowed_helpers
+                ):
+                    raise VerifierError(
+                        index,
+                        f"helper {instruction.imm} not in the manifest's allowed set",
+                    )
+                continue
+            if operation in _COND_JUMPS and instruction.dst > 10:
+                raise VerifierError(index, "register out of range")
+            continue
+        raise VerifierError(index, f"unknown opcode {opcode:#x}")
+
+
+def _successors(program, index) -> List[int]:
+    instruction = program[index]
+    opcode = instruction.opcode
+    if opcode == OP_EXIT:
+        return []
+    if opcode == OP_LDDW:
+        return [index + 2]
+    klass = class_of(opcode)
+    if klass in (BPF_JMP, BPF_JMP32):
+        operation = opcode & 0xF0
+        if opcode == OP_JA:
+            return [index + 1 + instruction.offset]
+        if operation in _COND_JUMPS:
+            return [index + 1, index + 1 + instruction.offset]
+    return [index + 1]
+
+
+def _check_control_flow(program, lddw_seconds, config) -> None:
+    count = len(program)
+    reachable: Set[int] = set()
+    stack = [0]
+    saw_exit = False
+    back_edge = None
+    while stack:
+        index = stack.pop()
+        if index in reachable:
+            continue
+        if not 0 <= index < count:
+            raise VerifierError(index, "control flow leaves the program")
+        if index in lddw_seconds:
+            raise VerifierError(index, "jump into the middle of lddw")
+        reachable.add(index)
+        instruction = program[index]
+        if instruction.opcode == OP_EXIT:
+            saw_exit = True
+        for successor in _successors(program, index):
+            if not 0 <= successor < count:
+                raise VerifierError(index, "jump target out of range")
+            if successor <= index:
+                back_edge = (index, successor)
+            stack.append(successor)
+    if not saw_exit:
+        raise VerifierError(count - 1, "no reachable exit")
+    if back_edge is not None and not config.allow_loops:
+        source, target = back_edge
+        raise VerifierError(
+            source,
+            f"back-edge to {target} (loops need VerifierConfig.allow_loops)",
+        )
+    # Falling off the end: the last reachable straight-line instruction
+    # must not flow past the program.  _successors bounds-check above
+    # already catches this because index+1 == count raises.
+
+
+def _check_register_flow(program, lddw_seconds) -> None:
+    """Conservative may-be-uninitialised analysis over the CFG.
+
+    On entry r1 (context) and r10 (frame pointer) are initialised; the
+    xBGP ABI passes a single argument pointer in r1.  r2-r5 are treated
+    as initialised too (the kernel is stricter; helper glue in the VMM
+    zeroes them), but r6-r9 must be written before read.
+    """
+    count = len(program)
+    entry_state = frozenset({0, 1, 2, 3, 4, 5, 10})
+    states: dict = {0: entry_state}
+    worklist = [0]
+    while worklist:
+        index = worklist.pop()
+        state = states[index]
+        if index in lddw_seconds:
+            continue
+        instruction = program[index]
+        reads, writes = _reads_writes(instruction)
+        for register in reads:
+            if register not in state:
+                raise VerifierError(
+                    index, f"r{register} may be read before initialisation"
+                )
+        new_state = frozenset(state | writes)
+        for successor in _successors(program, index):
+            if successor >= count:
+                continue
+            previous = states.get(successor)
+            if previous is None:
+                states[successor] = new_state
+                worklist.append(successor)
+            else:
+                merged = previous & new_state
+                if merged != previous:
+                    states[successor] = merged
+                    worklist.append(successor)
+
+
+def _reads_writes(instruction: Instruction):
+    opcode = instruction.opcode
+    klass = class_of(opcode)
+    reads: Set[int] = set()
+    writes: Set[int] = set()
+    if opcode == OP_LDDW:
+        writes.add(instruction.dst)
+    elif opcode == OP_EXIT:
+        reads.add(0)
+    elif opcode == OP_CALL:
+        # Helper arguments r1-r5 are considered consumed; r0 is the result
+        # and r1-r5 become scratch (clobbered).
+        writes.update({0})
+    elif is_load_store(opcode):
+        if klass == BPF_LDX:
+            reads.add(instruction.src)
+            writes.add(instruction.dst)
+        elif klass == BPF_STX:
+            reads.add(instruction.dst)
+            reads.add(instruction.src)
+        elif klass == BPF_ST:
+            reads.add(instruction.dst)
+    elif klass in (BPF_ALU, BPF_ALU64):
+        operation = opcode & 0xF0
+        if operation == ALU_OPS["mov"]:
+            writes.add(instruction.dst)
+        else:
+            reads.add(instruction.dst)
+            writes.add(instruction.dst)
+        if opcode & BPF_X:
+            reads.add(instruction.src)
+    elif klass in (BPF_JMP, BPF_JMP32):
+        operation = opcode & 0xF0
+        if operation in _COND_JUMPS:
+            reads.add(instruction.dst)
+            if opcode & BPF_X:
+                reads.add(instruction.src)
+    return reads, writes

@@ -1,0 +1,282 @@
+"""The eBPF interpreter.
+
+Registers are Python integers masked to 64 bits; memory access goes
+through :class:`repro.ebpf.memory.VmMemory`, so a program can only
+touch its stack, its argument block, the helper-managed heap and any
+shared regions the VMM attached.  Runtime protections on top of the
+static verifier: an instruction budget (bounds even ``allow_loops``
+programs) and kernel-style division semantics (x/0 == 0, x%0 == x).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .helpers import HelperError, HelperTable
+from .isa import (
+    ALU_OPS,
+    BPF_ALU,
+    BPF_ALU64,
+    BPF_JMP,
+    BPF_JMP32,
+    BPF_LDX,
+    BPF_ST,
+    BPF_STX,
+    BPF_X,
+    JMP_OPS,
+    OP_CALL,
+    OP_EXIT,
+    OP_JA,
+    OP_LDDW,
+    SIZE_BYTES,
+    Instruction,
+    class_of,
+)
+from .memory import SandboxViolation, VmMemory
+
+__all__ = ["VirtualMachine", "ExecutionError", "DEFAULT_STEP_BUDGET"]
+
+_U64 = 0xFFFFFFFFFFFFFFFF
+_U32 = 0xFFFFFFFF
+
+DEFAULT_STEP_BUDGET = 1_000_000
+
+
+class ExecutionError(Exception):
+    """Raised when a program faults at runtime (budget, bad call…)."""
+
+    def __init__(self, pc: int, message: str):
+        super().__init__(f"pc={pc}: {message}")
+        self.pc = pc
+
+
+def _signed(value: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def _bswap(value: int, bits: int) -> int:
+    return int.from_bytes(
+        (value & ((1 << bits) - 1)).to_bytes(bits // 8, "little"), "big"
+    )
+
+
+class VirtualMachine:
+    """One loaded program plus its sandbox, runnable many times."""
+
+    def __init__(
+        self,
+        program: Sequence[Instruction],
+        helpers: Optional[HelperTable] = None,
+        memory: Optional[VmMemory] = None,
+        step_budget: int = DEFAULT_STEP_BUDGET,
+        jit: bool = False,
+        trusted_layout: bool = False,
+    ):
+        self.program = list(program)
+        self.helpers = helpers or HelperTable()
+        self.memory = memory or VmMemory()
+        self.step_budget = step_budget
+        self.steps_executed = 0
+        self.jit = jit
+        self.trusted_layout = trusted_layout
+        self._jit_run = None
+
+    def prepare(self) -> None:
+        """Eagerly translate (jit mode) so first run pays no compile cost."""
+        if self.jit and self._jit_run is None:
+            from .jit import _BudgetError, translate
+
+            self._jit_run = translate(
+                self.program,
+                self.helpers,
+                self.memory,
+                self.step_budget,
+                self,
+                trusted_layout=self.trusted_layout,
+            )
+            self._budget_error = _BudgetError
+
+    def run(self, r1: int = 0, r2: int = 0, r3: int = 0, r4: int = 0, r5: int = 0) -> int:
+        """Execute until ``exit``; return r0.
+
+        May raise :class:`ExecutionError`, :class:`SandboxViolation` or
+        :class:`HelperError` — the VMM treats all three as "extension
+        code failed, fall back to native".
+
+        With ``jit=True`` the program runs as translated Python (same
+        semantics, ~20-50x faster dispatch); see :mod:`repro.ebpf.jit`.
+        """
+        if self.jit:
+            if self._jit_run is None:
+                self.prepare()
+            try:
+                return self._jit_run(r1, r2, r3, r4, r5)
+            except self._budget_error as exc:
+                raise ExecutionError(
+                    exc.pc, f"instruction budget ({self.step_budget}) exceeded"
+                ) from exc
+        regs = [0] * 11
+        regs[1], regs[2], regs[3], regs[4], regs[5] = (
+            r1 & _U64,
+            r2 & _U64,
+            r3 & _U64,
+            r4 & _U64,
+            r5 & _U64,
+        )
+        regs[10] = self.memory.frame_pointer()
+        program = self.program
+        count = len(program)
+        memory = self.memory
+        budget = self.step_budget
+        steps = 0
+        pc = 0
+
+        while True:
+            if pc >= count or pc < 0:
+                raise ExecutionError(pc, "program counter out of range")
+            steps += 1
+            if steps > budget:
+                raise ExecutionError(pc, f"instruction budget ({budget}) exceeded")
+            insn = program[pc]
+            opcode = insn.opcode
+
+            if opcode == OP_EXIT:
+                self.steps_executed = steps
+                return regs[0]
+
+            klass = class_of(opcode)
+
+            # -- lddw ----------------------------------------------------
+            if opcode == OP_LDDW:
+                high = program[pc + 1].imm & _U32
+                regs[insn.dst] = (insn.imm & _U32) | (high << 32)
+                pc += 2
+                continue
+
+            # -- ALU ----------------------------------------------------
+            if klass == BPF_ALU64 or klass == BPF_ALU:
+                is64 = klass == BPF_ALU64
+                op = opcode & 0xF0
+                if op == ALU_OPS["end"]:
+                    width = insn.imm
+                    if opcode & BPF_X:  # be
+                        regs[insn.dst] = _bswap(regs[insn.dst], width)
+                    else:  # le: truncate
+                        regs[insn.dst] = regs[insn.dst] & ((1 << width) - 1)
+                    pc += 1
+                    continue
+                if opcode & BPF_X:
+                    operand = regs[insn.src]
+                else:
+                    operand = insn.imm & _U64  # sign-extended imm
+                if not is64:
+                    operand &= _U32
+                value = regs[insn.dst] if is64 else regs[insn.dst] & _U32
+                mask = _U64 if is64 else _U32
+                bits = 64 if is64 else 32
+                if op == ALU_OPS["add"]:
+                    value = (value + operand) & mask
+                elif op == ALU_OPS["sub"]:
+                    value = (value - operand) & mask
+                elif op == ALU_OPS["mul"]:
+                    value = (value * operand) & mask
+                elif op == ALU_OPS["div"]:
+                    divisor = operand & mask
+                    value = (value // divisor) & mask if divisor else 0
+                elif op == ALU_OPS["mod"]:
+                    divisor = operand & mask
+                    value = (value % divisor) & mask if divisor else value
+                elif op == ALU_OPS["or"]:
+                    value = (value | operand) & mask
+                elif op == ALU_OPS["and"]:
+                    value = (value & operand) & mask
+                elif op == ALU_OPS["lsh"]:
+                    value = (value << (operand % bits)) & mask
+                elif op == ALU_OPS["rsh"]:
+                    value = (value & mask) >> (operand % bits)
+                elif op == ALU_OPS["neg"]:
+                    value = (-value) & mask
+                elif op == ALU_OPS["xor"]:
+                    value = (value ^ operand) & mask
+                elif op == ALU_OPS["mov"]:
+                    value = operand & mask
+                elif op == ALU_OPS["arsh"]:
+                    value = (_signed(value, bits) >> (operand % bits)) & mask
+                else:
+                    raise ExecutionError(pc, f"bad ALU opcode {opcode:#x}")
+                regs[insn.dst] = value  # 32-bit ops zero-extend
+                pc += 1
+                continue
+
+            # -- jumps ----------------------------------------------------
+            if klass == BPF_JMP or klass == BPF_JMP32:
+                if opcode == OP_JA:
+                    pc += 1 + insn.offset
+                    continue
+                if opcode == OP_CALL:
+                    helper = self.helpers.get(insn.imm)
+                    if helper is None:
+                        raise ExecutionError(pc, f"unknown helper {insn.imm}")
+                    try:
+                        result = helper.fn(self, regs[1], regs[2], regs[3], regs[4], regs[5])
+                    except (SandboxViolation, HelperError):
+                        self.steps_executed = steps
+                        raise
+                    regs[0] = int(result) & _U64
+                    regs[1] = regs[2] = regs[3] = regs[4] = regs[5] = 0
+                    pc += 1
+                    continue
+                op = opcode & 0xF0
+                wide = klass == BPF_JMP
+                mask = _U64 if wide else _U32
+                bits = 64 if wide else 32
+                left = regs[insn.dst] & mask
+                if opcode & BPF_X:
+                    right = regs[insn.src] & mask
+                else:
+                    right = insn.imm & mask
+                taken = False
+                if op == JMP_OPS["jeq"]:
+                    taken = left == right
+                elif op == JMP_OPS["jne"]:
+                    taken = left != right
+                elif op == JMP_OPS["jgt"]:
+                    taken = left > right
+                elif op == JMP_OPS["jge"]:
+                    taken = left >= right
+                elif op == JMP_OPS["jlt"]:
+                    taken = left < right
+                elif op == JMP_OPS["jle"]:
+                    taken = left <= right
+                elif op == JMP_OPS["jset"]:
+                    taken = bool(left & right)
+                elif op == JMP_OPS["jsgt"]:
+                    taken = _signed(left, bits) > _signed(right, bits)
+                elif op == JMP_OPS["jsge"]:
+                    taken = _signed(left, bits) >= _signed(right, bits)
+                elif op == JMP_OPS["jslt"]:
+                    taken = _signed(left, bits) < _signed(right, bits)
+                elif op == JMP_OPS["jsle"]:
+                    taken = _signed(left, bits) <= _signed(right, bits)
+                else:
+                    raise ExecutionError(pc, f"bad JMP opcode {opcode:#x}")
+                pc += 1 + (insn.offset if taken else 0)
+                continue
+
+            # -- loads / stores ------------------------------------------
+            size = SIZE_BYTES.get(opcode & 0x18)
+            if size is None:
+                raise ExecutionError(pc, f"bad size in opcode {opcode:#x}")
+            if klass == BPF_LDX:
+                address = (regs[insn.src] + insn.offset) & _U64
+                regs[insn.dst] = memory.read(address, size)
+            elif klass == BPF_STX:
+                address = (regs[insn.dst] + insn.offset) & _U64
+                memory.write(address, size, regs[insn.src])
+            elif klass == BPF_ST:
+                address = (regs[insn.dst] + insn.offset) & _U64
+                memory.write(address, size, insn.imm & _U64)
+            else:
+                raise ExecutionError(pc, f"unknown opcode {opcode:#x}")
+            pc += 1

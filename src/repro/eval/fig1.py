@@ -1,0 +1,65 @@
+"""Fig. 1: CDF of BGP standardization delay.
+
+Recomputes the paper's figure from the embedded dataset: the empirical
+CDF of draft-to-RFC delay for the last 40 BGP RFCs.  The paper's
+reading: "the median delay before RFC publication is 3.5 years, and
+some features required up to ten years".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..data.bgp_rfcs import BGP_RFCS, delay_years
+
+__all__ = ["delays", "cdf_points", "summary", "render_table"]
+
+
+def delays() -> List[float]:
+    """Sorted draft-to-RFC delays (years) for the 40 RFCs."""
+    return sorted(delay_years(rfc) for rfc in BGP_RFCS)
+
+
+def cdf_points() -> List[Tuple[float, float]]:
+    """(delay, cumulative fraction) points of the empirical CDF."""
+    values = delays()
+    count = len(values)
+    return [(value, (index + 1) / count) for index, value in enumerate(values)]
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    if not values:
+        raise ValueError("empty sample")
+    position = fraction * (len(values) - 1)
+    low = int(position)
+    high = min(low + 1, len(values) - 1)
+    weight = position - low
+    return values[low] * (1 - weight) + values[high] * weight
+
+
+def summary() -> Dict[str, float]:
+    """Headline statistics of the distribution."""
+    values = delays()
+    return {
+        "count": float(len(values)),
+        "min_years": values[0],
+        "p25_years": _percentile(values, 0.25),
+        "median_years": _percentile(values, 0.50),
+        "p75_years": _percentile(values, 0.75),
+        "max_years": values[-1],
+    }
+
+
+def render_table() -> str:
+    """The figure as text: CDF rows plus the headline numbers."""
+    lines = ["Fig. 1 — Standardization delay of the last 40 BGP RFCs", ""]
+    lines.append(f"{'delay (years)':>14s}  {'CDF':>5s}")
+    for delay, fraction in cdf_points():
+        lines.append(f"{delay:14.2f}  {fraction:5.3f}")
+    stats = summary()
+    lines.append("")
+    lines.append(
+        "median = {median_years:.2f} y   p25 = {p25_years:.2f} y   "
+        "p75 = {p75_years:.2f} y   max = {max_years:.2f} y".format(**stats)
+    )
+    return "\n".join(lines)

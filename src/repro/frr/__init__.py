@@ -1,0 +1,14 @@
+"""PyFRR: the FRRouting-flavoured host implementation.
+
+FRR-like internals: host-byte-order parsed attribute structs interned
+through an attrhash pool, a browseable ROA trie, no native dynamic
+attribute API.  Thick xBGP glue with per-call representation
+conversion.
+"""
+
+from .attrs_intern import AttrPool, FrrAttrs
+from .daemon import FrrDaemon
+from .rib import FrrRoute
+from .xbgp_glue import FrrHost
+
+__all__ = ["AttrPool", "FrrAttrs", "FrrDaemon", "FrrRoute", "FrrHost"]

@@ -1,0 +1,542 @@
+"""PyFRR: an FRRouting-flavoured BGP daemon.
+
+Distinctive internals (mirroring what the paper ran into in FRRouting):
+
+* attributes parsed into host-byte-order :class:`FrrAttrs` structs,
+  hash-consed through an :class:`AttrPool` (FRR's ``attrhash``);
+* validated ROAs stored in a **prefix trie** that native origin
+  validation *browses* on every check — the behaviour §3.4 found
+  slower than the extension's hash table;
+* no flexible attribute API: the xBGP glue supplies one, converting
+  to/from the neutral representation on every call.
+
+The message-processing pipeline intentionally parallels
+:class:`repro.bird.daemon.BirdDaemon` — both implement RFC 4271 — but
+every route touch goes through the FRR-style structures.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import Counter
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..bgp.attributes import PathAttribute
+from ..bgp.constants import (
+    AttrTypeCode,
+    MessageType,
+    Origin,
+    RouteOriginValidity,
+    WellKnownCommunity,
+)
+from ..bgp.decision import DecisionConfig, best_route, compare_routes
+from ..bgp.messages import (
+    BgpMessage,
+    RouteRefreshMessage,
+    UpdateMessage,
+    encode_header,
+    split_stream,
+)
+from ..bgp.peer import Neighbor
+from ..bgp.policy import FilterChain
+from ..bgp.prefix import Prefix, parse_ipv4
+from ..bgp.rib import AdjRibIn, AdjRibOut, LocRib
+from ..bgp.roa import RoaTable, TrieRoaTable
+from ..core.abi import FILTER_ACCEPT, FILTER_REJECT
+from ..core.context import ExecutionContext
+from ..core.insertion_points import InsertionPoint
+from ..core.manifest import Manifest
+from ..core.vmm import VirtualMachineManager, VmmConfig
+from ..igp.spf import IgpView
+from .attrs_intern import AttrPool, FrrAttrs
+from .rib import FrrRoute
+from .xbgp_glue import FrrHost, _AttrsBox
+
+__all__ = ["FrrDaemon"]
+
+#: Attribute codes PyFRR encodes natively; everything else needs a
+#: BGP_ENCODE_MESSAGE extension (GeoLoc pattern).
+NATIVE_ENCODABLE = frozenset(
+    {
+        AttrTypeCode.ORIGIN,
+        AttrTypeCode.AS_PATH,
+        AttrTypeCode.NEXT_HOP,
+        AttrTypeCode.MULTI_EXIT_DISC,
+        AttrTypeCode.LOCAL_PREF,
+        AttrTypeCode.ATOMIC_AGGREGATE,
+        AttrTypeCode.AGGREGATOR,
+        AttrTypeCode.COMMUNITIES,
+        AttrTypeCode.ORIGINATOR_ID,
+        AttrTypeCode.CLUSTER_LIST,
+    }
+)
+
+
+class FrrDaemon:
+    """One PyFRR router instance."""
+
+    implementation = "frr"
+
+    def __init__(
+        self,
+        asn: int,
+        router_id: str,
+        local_address: Optional[str] = None,
+        route_reflector: Optional[str] = None,
+        cluster_id: Optional[str] = None,
+        always_compare_med: bool = False,
+        nexthop_self: bool = True,
+        roa_table: Optional[RoaTable] = None,
+        igp: Optional[IgpView] = None,
+        xtra: Optional[Dict[str, bytes]] = None,
+        vmm_config: Optional[VmmConfig] = None,
+    ):
+        if route_reflector not in (None, "native", "extension"):
+            raise ValueError(f"bad route_reflector mode {route_reflector!r}")
+        self.asn = asn
+        self.router_id = parse_ipv4(router_id)
+        self.local_address = parse_ipv4(local_address or router_id)
+        self.route_reflector = route_reflector
+        self.cluster_id = parse_ipv4(cluster_id) if cluster_id else self.router_id
+        self.always_compare_med = always_compare_med
+        self.nexthop_self = nexthop_self
+        #: FRR-style: validated ROAs in a browseable trie.
+        self.roa_table = roa_table
+        self.igp = igp
+        self.xtra: Dict[str, bytes] = dict(xtra or {})
+
+        self.attr_pool = AttrPool()
+        self.neighbors: Dict[int, Neighbor] = {}
+        self._send_fns: Dict[int, Callable[[bytes], None]] = {}
+        self._established: Dict[int, bool] = {}
+        self._rx_buffers: Dict[int, bytearray] = {}
+
+        self.adj_rib_in: AdjRibIn[FrrRoute] = AdjRibIn()
+        self.loc_rib: LocRib[FrrRoute] = LocRib()
+        self.adj_rib_out: AdjRibOut[FrrRoute] = AdjRibOut()
+        self._local_routes: Dict[Prefix, FrrRoute] = {}
+
+        self.import_chain = FilterChain()
+        self.export_chain = FilterChain()
+
+        self.validity_counters: Counter = Counter()
+        self.stats: Counter = Counter()
+        self._log: List[str] = []
+
+        self.host = FrrHost(self)
+        self.vmm = VirtualMachineManager(self.host, vmm_config)
+
+    # -- wiring ----------------------------------------------------------
+
+    def add_neighbor(
+        self,
+        peer_address: str,
+        peer_asn: int,
+        send_fn: Callable[[bytes], None],
+        rr_client: bool = False,
+    ) -> Neighbor:
+        neighbor = Neighbor.build(
+            peer_address,
+            peer_asn,
+            local_address="0.0.0.0",
+            local_asn=self.asn,
+            rr_client=rr_client,
+        )
+        neighbor.local_address = self.local_address
+        neighbor.local_router_id = self.router_id
+        neighbor.cluster_id = self.cluster_id
+        self.neighbors[neighbor.peer_address] = neighbor
+        self._send_fns[neighbor.peer_address] = send_fn
+        self._established[neighbor.peer_address] = False
+        self._rx_buffers[neighbor.peer_address] = bytearray()
+        return neighbor
+
+    def session_up(self, peer_address: str) -> None:
+        address = parse_ipv4(peer_address)
+        neighbor = self.neighbors[address]
+        neighbor.established = True
+        self._established[address] = True
+        for prefix in list(self.loc_rib.prefixes()):
+            self._export_prefix(prefix, only_peers=[address])
+        self._send_update(address, UpdateMessage.end_of_rib())
+
+    def session_down(self, peer_address: str) -> None:
+        address = parse_ipv4(peer_address)
+        self._established[address] = False
+        self.neighbors[address].established = False
+        dropped = self.adj_rib_in.drop_peer(address)
+        self.adj_rib_out.drop_peer(address)
+        for route in dropped:
+            self._run_decision(route.prefix)
+
+    def attach_program(self, program) -> None:
+        self.vmm.attach_program(program)
+
+    def attach_manifest(self, manifest: Manifest) -> None:
+        self.vmm.attach_program(manifest.load())
+
+    def log(self, message: str) -> None:
+        self._log.append(message)
+        if len(self._log) > 10_000:
+            del self._log[:5_000]
+
+    @property
+    def log_messages(self) -> List[str]:
+        return list(self._log)
+
+    def igp_metric(self, address: int) -> int:
+        if self.igp is None:
+            return 0
+        return self.igp.metric_to(address)
+
+    # -- local origination ------------------------------------------------
+
+    def originate(
+        self,
+        prefix: Prefix,
+        next_hop: Optional[int] = None,
+        attributes: Optional[Sequence[PathAttribute]] = None,
+    ) -> None:
+        if attributes is not None:
+            attrs = FrrAttrs.from_wire(attributes)
+        else:
+            attrs = FrrAttrs(
+                origin=int(Origin.IGP),
+                as_path=(),
+                next_hop=next_hop if next_hop else self.local_address,
+            )
+        route = FrrRoute(prefix, None, self.attr_pool.intern(attrs))
+        self._local_routes[prefix] = route
+        self._run_decision(prefix)
+
+    def withdraw_local(self, prefix: Prefix) -> None:
+        if self._local_routes.pop(prefix, None) is not None:
+            self._run_decision(prefix)
+
+    # -- receive path ---------------------------------------------------------
+
+    def receive_raw(self, peer_address: str, data: bytes) -> None:
+        address = parse_ipv4(peer_address)
+        buffer = self._rx_buffers[address]
+        buffer.extend(data)
+        for message in split_stream(buffer):
+            self.receive_message(peer_address, message)
+
+    def receive_message(self, peer_address: str, message: BgpMessage) -> None:
+        address = parse_ipv4(peer_address)
+        neighbor = self.neighbors.get(address)
+        if neighbor is None:
+            self.stats["unknown_peer"] += 1
+            return
+        self.stats["messages_received"] += 1
+        if isinstance(message, UpdateMessage):
+            self._process_update(neighbor, message)
+        elif isinstance(message, RouteRefreshMessage):
+            self._process_route_refresh(neighbor)
+
+    def _process_update(self, neighbor: Neighbor, update: UpdateMessage) -> None:
+        if update.is_end_of_rib():
+            self.stats["eor_received"] += 1
+            return
+
+        # FRR parses the whole attribute block into struct attr first.
+        box = _AttrsBox(self.attr_pool.intern(FrrAttrs.from_wire(update.attributes)))
+
+        # Insertion point 1: BGP_RECEIVE_MESSAGE.
+        ctx = ExecutionContext(
+            self.host,
+            InsertionPoint.BGP_RECEIVE_MESSAGE,
+            neighbor=neighbor,
+            route=box,
+            message=update.encode(),
+        )
+        self.vmm.run(ctx, lambda: 0)
+
+        dirty: List[Prefix] = []
+        for prefix in update.withdrawn:
+            if self.adj_rib_in.withdraw(neighbor.peer_address, prefix) is not None:
+                dirty.append(prefix)
+
+        for prefix in update.nlri:
+            if self._import_route(neighbor, prefix, box.attrs):
+                dirty.append(prefix)
+
+        for prefix in dirty:
+            self._run_decision(prefix)
+
+    def _import_route(self, neighbor: Neighbor, prefix: Prefix, attrs: FrrAttrs) -> bool:
+        route = FrrRoute(prefix, neighbor, attrs)
+
+        if neighbor.is_ebgp() and route.path_contains(self.asn):
+            self.stats["loop_rejected"] += 1
+            return self._treat_as_withdraw(neighbor, prefix)
+
+        # Insertion point 2: BGP_INBOUND_FILTER.
+        ctx = ExecutionContext(
+            self.host,
+            InsertionPoint.BGP_INBOUND_FILTER,
+            neighbor=neighbor,
+            route=route,
+            prefix=prefix,
+        )
+        verdict = self.vmm.run(ctx, lambda: self._native_import(ctx))
+        route = ctx.route
+
+        if verdict == FILTER_REJECT:
+            self.stats["import_rejected"] += 1
+            return self._treat_as_withdraw(neighbor, prefix)
+
+        # Native origin validation, FRR style: browse the ROA trie on
+        # every check.  Validity recorded, never used to discard.
+        if self.roa_table is not None and neighbor.is_ebgp():
+            validity = self._validate_browsing_trie(prefix, route.origin_asn())
+            route.validity = validity
+            self.validity_counters[RouteOriginValidity(validity).name] += 1
+
+        self.adj_rib_in.update(neighbor.peer_address, route)
+        return True
+
+    def _validate_browsing_trie(self, prefix: Prefix, origin_asn: int) -> RouteOriginValidity:
+        """FRRouting's historical pattern: walk the validated-ROA trie
+        collecting every covering record, then test each (no early
+        exit, no hashing) — the code path §3.4's extension beat."""
+        table = self.roa_table
+        if not isinstance(table, TrieRoaTable):
+            return table.validate(prefix, origin_asn)
+        covering = table.covering(prefix)  # full browse, allocates
+        if not covering:
+            return RouteOriginValidity.NOT_FOUND
+        valid = False
+        for roa in covering:
+            if roa.authorizes(prefix, origin_asn):
+                valid = True  # keep browsing: FRR checks all records
+        return RouteOriginValidity.VALID if valid else RouteOriginValidity.INVALID
+
+    def _native_import(self, ctx: ExecutionContext) -> int:
+        route: FrrRoute = ctx.route
+        neighbor = ctx.neighbor
+
+        if self.route_reflector == "native" and neighbor.is_ibgp():
+            if route.attrs.originator_id == self.router_id:
+                return FILTER_REJECT
+            if route.attrs.cluster_list and self.cluster_id in route.attrs.cluster_list:
+                return FILTER_REJECT
+
+        filtered = self.import_chain.evaluate(route, neighbor)
+        if filtered is None:
+            return FILTER_REJECT
+        ctx.route = filtered
+        return FILTER_ACCEPT
+
+    def _treat_as_withdraw(self, neighbor: Neighbor, prefix: Prefix) -> bool:
+        return self.adj_rib_in.withdraw(neighbor.peer_address, prefix) is not None
+
+    def _process_route_refresh(self, neighbor: Neighbor) -> None:
+        """RFC 2918: resend our full Adj-RIB-Out for this peer."""
+        self.stats["route_refresh_received"] += 1
+        for prefix in list(self.loc_rib.prefixes()):
+            self._export_prefix(prefix, only_peers=[neighbor.peer_address])
+        self._send_update(neighbor.peer_address, UpdateMessage.end_of_rib())
+
+    # -- decision process --------------------------------------------------------
+
+    def _decision_config(self) -> DecisionConfig:
+        metric = self.igp.metric_to if self.igp is not None else None
+        return DecisionConfig(
+            always_compare_med=self.always_compare_med, igp_metric=metric
+        )
+
+    def _select_best(self, candidates: List[FrrRoute]) -> Optional[FrrRoute]:
+        if not candidates:
+            return None
+        config = self._decision_config()
+        if self.vmm.attached_codes(InsertionPoint.BGP_DECISION):
+            best = candidates[0]
+            for candidate in candidates[1:]:
+                ctx = ExecutionContext(
+                    self.host,
+                    InsertionPoint.BGP_DECISION,
+                    route=candidate,
+                    best_route=best,
+                    prefix=candidate.prefix,
+                )
+                native = (
+                    lambda c=candidate, b=best: 1
+                    if compare_routes(c, b, config) < 0
+                    else 2
+                )
+                if self.vmm.run(ctx, native) == 1:
+                    best = candidate
+            return best
+        return best_route(candidates, config)
+
+    def _run_decision(self, prefix: Prefix) -> None:
+        candidates = self.adj_rib_in.candidates(prefix)
+        local = self._local_routes.get(prefix)
+        if local is not None:
+            candidates.append(local)
+        best = self._select_best(candidates)
+        previous = self.loc_rib.lookup(prefix)
+        if best is previous:
+            return
+        if best is None:
+            self.loc_rib.remove(prefix)
+        else:
+            self.loc_rib.install(best)
+        self._export_prefix(prefix)
+
+    # -- export path ----------------------------------------------------------------
+
+    def _export_prefix(self, prefix: Prefix, only_peers: Optional[List[int]] = None) -> None:
+        best = self.loc_rib.lookup(prefix)
+        peers = only_peers if only_peers is not None else list(self.neighbors)
+        for address in peers:
+            if not self._established.get(address):
+                continue
+            neighbor = self.neighbors[address]
+            if best is None:
+                self._withdraw_from(neighbor, prefix)
+                continue
+            if best.source is not None and best.source.peer_address == address:
+                self._withdraw_from(neighbor, prefix)
+                continue
+            export_route = self._export_filter(best, neighbor)
+            if export_route is None:
+                self._withdraw_from(neighbor, prefix)
+                continue
+            export_route = self._apply_export_mechanics(export_route, neighbor)
+            self.adj_rib_out.advertise(address, export_route)
+            self._send_route(neighbor, export_route)
+
+    def _export_filter(self, route: FrrRoute, neighbor: Neighbor) -> Optional[FrrRoute]:
+        ctx = ExecutionContext(
+            self.host,
+            InsertionPoint.BGP_OUTBOUND_FILTER,
+            neighbor=neighbor,
+            route=route,
+            prefix=route.prefix,
+        )
+        verdict = self.vmm.run(ctx, lambda: self._native_export(ctx))
+        if verdict == FILTER_REJECT:
+            self.stats["export_rejected"] += 1
+            return None
+        return ctx.route
+
+    def _native_export(self, ctx: ExecutionContext) -> int:
+        route: FrrRoute = ctx.route
+        neighbor = ctx.neighbor
+        source = route.source
+
+        if source is not None and source.is_ibgp() and neighbor.is_ibgp():
+            if self.route_reflector == "native":
+                if not (source.rr_client or neighbor.rr_client):
+                    return FILTER_REJECT
+                reflected = self._stamp_reflection(route)
+                ctx.route = reflected
+                route = reflected
+            elif self.route_reflector == "extension":
+                pass  # relaxed split horizon; extension code decides
+            else:
+                return FILTER_REJECT
+
+        if route.attrs.communities is not None:
+            if WellKnownCommunity.NO_ADVERTISE in route.attrs.communities:
+                return FILTER_REJECT
+            if (
+                WellKnownCommunity.NO_EXPORT in route.attrs.communities
+                and neighbor.is_ebgp()
+            ):
+                return FILTER_REJECT
+
+        filtered = self.export_chain.evaluate(route, neighbor)
+        if filtered is None:
+            return FILTER_REJECT
+        ctx.route = filtered
+        return FILTER_ACCEPT
+
+    def _stamp_reflection(self, route: FrrRoute) -> FrrRoute:
+        attrs = route.attrs
+        changes: Dict[str, object] = {}
+        if attrs.originator_id is None:
+            originator = (
+                route.source.peer_router_id if route.source else self.router_id
+            )
+            changes["originator_id"] = originator
+        changes["cluster_list"] = (self.cluster_id,) + (attrs.cluster_list or ())
+        return route.with_frr_attrs(self.attr_pool.intern(attrs.replaced(**changes)))
+
+    def _apply_export_mechanics(self, route: FrrRoute, neighbor: Neighbor) -> FrrRoute:
+        attrs = route.attrs
+        changes: Dict[str, object] = {}
+        if neighbor.is_ebgp():
+            path = attrs.as_path
+            if path and path[0][0] == 2:  # AS_SEQUENCE
+                head = (path[0][0], (self.asn,) + path[0][1])
+                changes["as_path"] = (head,) + path[1:]
+            else:
+                changes["as_path"] = ((2, (self.asn,)),) + path
+            changes["next_hop"] = self.local_address
+            changes["local_pref"] = None
+            changes["med"] = None
+        else:
+            if attrs.local_pref is None:
+                changes["local_pref"] = 100
+            if self.nexthop_self and route.source is not None and route.source.is_ebgp():
+                changes["next_hop"] = self.local_address
+        if not changes:
+            return route
+        return route.with_frr_attrs(self.attr_pool.intern(attrs.replaced(**changes)))
+
+    # -- encoding --------------------------------------------------------------------
+
+    def _encode_attributes(self, route: FrrRoute, neighbor: Neighbor) -> bytes:
+        # Host -> wire conversion from the parsed struct, known codes only.
+        native = b"".join(
+            attribute.encode()
+            for attribute in route.attrs.to_wire()
+            if attribute.type_code in NATIVE_ENCODABLE
+        )
+        out_buffer = bytearray()
+        ctx = ExecutionContext(
+            self.host,
+            InsertionPoint.BGP_ENCODE_MESSAGE,
+            neighbor=neighbor,
+            route=route,
+            prefix=route.prefix,
+            out_buffer=out_buffer,
+        )
+        self.vmm.run(ctx, lambda: 0)
+        return native + bytes(out_buffer)
+
+    def _send_route(self, neighbor: Neighbor, route: FrrRoute) -> None:
+        attrs_blob = self._encode_attributes(route, neighbor)
+        body = (
+            struct.pack("!H", 0)
+            + struct.pack("!H", len(attrs_blob))
+            + attrs_blob
+            + route.prefix.encode()
+        )
+        self._send_raw(neighbor.peer_address, encode_header(MessageType.UPDATE, body))
+        self.stats["updates_sent"] += 1
+
+    def _withdraw_from(self, neighbor: Neighbor, prefix: Prefix) -> None:
+        if self.adj_rib_out.withdraw(neighbor.peer_address, prefix) is None:
+            return
+        self._send_update(neighbor.peer_address, UpdateMessage(withdrawn=[prefix]))
+
+    def _send_update(self, peer_address: int, update: UpdateMessage) -> None:
+        self._send_raw(peer_address, update.encode())
+        self.stats["updates_sent"] += 1
+
+    def _send_raw(self, peer_address: int, data: bytes) -> None:
+        send_fn = self._send_fns.get(peer_address)
+        if send_fn is not None:
+            send_fn(data)
+
+    # -- introspection ------------------------------------------------------------------
+
+    def loc_rib_snapshot(self) -> Dict[Prefix, List[PathAttribute]]:
+        return {
+            route.prefix: sorted(route.attribute_list(), key=lambda a: a.type_code)
+            for route in self.loc_rib.routes()
+        }

@@ -1,0 +1,11 @@
+"""IGP substrate: weighted topology plus SPF (Dijkstra) views.
+
+Provides the ``igp_metric`` the BGP decision process and the xBGP
+``get_nexthop`` helper consult, and the knob §3.1's use case turns
+(transatlantic links configured with cost 1000).
+"""
+
+from .graph import IgpTopology
+from .spf import UNREACHABLE, IgpView, Spf
+
+__all__ = ["IgpTopology", "IgpView", "Spf", "UNREACHABLE"]

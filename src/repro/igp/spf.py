@@ -1,0 +1,88 @@
+"""Shortest-path-first computation and per-router IGP views.
+
+Plain Dijkstra over :class:`IgpTopology` with an invalidating cache:
+recomputation happens lazily after topology edits, mimicking the SPF
+runs of a link-state IGP.  :class:`IgpView` is the per-router object a
+BGP daemon holds; its :meth:`metric_to` answers both the native
+decision process (IGP metric tie-break) and the xBGP ``get_nexthop``
+helper.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Optional, Tuple
+
+from .graph import IgpTopology
+
+__all__ = ["Spf", "IgpView", "UNREACHABLE"]
+
+#: Metric reported for unreachable next hops.
+UNREACHABLE = 0xFFFFFFFF
+
+
+class Spf:
+    """Dijkstra engine with a per-source cache over one topology."""
+
+    def __init__(self, topology: IgpTopology):
+        self._topology = topology
+        self._cache: Dict[str, Dict[str, Tuple[int, Optional[str]]]] = {}
+        self._generation = 0
+
+    def invalidate(self) -> None:
+        """Drop cached trees (call after any topology change)."""
+        self._cache.clear()
+        self._generation += 1
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def tree(self, source: str) -> Dict[str, Tuple[int, Optional[str]]]:
+        """Map node -> (distance, first-hop) from ``source``."""
+        cached = self._cache.get(source)
+        if cached is not None:
+            return cached
+        distances: Dict[str, Tuple[int, Optional[str]]] = {}
+        heap: list = [(0, source, None)]
+        while heap:
+            distance, node, first_hop = heapq.heappop(heap)
+            if node in distances:
+                continue  # lazy deletion: already settled with a shorter path
+            distances[node] = (distance, first_hop)
+            for neighbor, cost in self._topology.neighbors(node).items():
+                if neighbor in distances:
+                    continue
+                hop = neighbor if first_hop is None else first_hop
+                heapq.heappush(heap, (distance + cost, neighbor, hop))
+        return self._cache.setdefault(source, distances)
+
+    def distance(self, source: str, target: str) -> int:
+        entry = self.tree(source).get(target)
+        return UNREACHABLE if entry is None else entry[0]
+
+
+class IgpView:
+    """One router's view of the IGP: metric to any loopback address."""
+
+    def __init__(self, spf: Spf, topology: IgpTopology, node: str):
+        if node not in topology:
+            raise KeyError(f"unknown node {node!r}")
+        self._spf = spf
+        self._topology = topology
+        self.node = node
+
+    def metric_to(self, address: int) -> int:
+        """IGP metric to the router owning loopback ``address``.
+
+        Returns :data:`UNREACHABLE` for unknown or disconnected
+        addresses (never raises: the decision process treats huge
+        metrics as "worst").
+        """
+        target = self._topology.node_by_address(address)
+        if target is None:
+            return UNREACHABLE
+        return self._spf.distance(self.node, target)
+
+    def reachable(self, address: int) -> bool:
+        return self.metric_to(address) != UNREACHABLE

@@ -1,0 +1,11 @@
+"""MRT (RFC 6396) TABLE_DUMP_V2 support for BGP table snapshots."""
+
+from .format import (
+    MrtError,
+    MrtPeer,
+    RibEntry,
+    read_table,
+    write_table,
+)
+
+__all__ = ["MrtError", "MrtPeer", "RibEntry", "read_table", "write_table"]

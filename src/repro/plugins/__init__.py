@@ -1,0 +1,41 @@
+"""The paper's use cases as xBGP programs (xc sources + manifests).
+
+* :mod:`repro.plugins.geoloc` — §2, GeoLoc attribute, 4 bytecodes;
+* :mod:`repro.plugins.igp_filter` — §3.1, IGP-cost export filter
+  (Listing 1);
+* :mod:`repro.plugins.route_reflector` — §3.2, RFC 4456 as extension
+  code;
+* :mod:`repro.plugins.valley_free` — §3.3, data-center valley
+  filtering;
+* :mod:`repro.plugins.origin_validation` — §3.4, RPKI origin
+  validation with a hash map;
+* :mod:`repro.plugins.closest_exit` — our extension: GeoLoc-based
+  tie-breaking on the BGP_DECISION insertion point;
+* :mod:`repro.plugins.pynative` — host-speed twins of the RR and OV
+  programs (the benchmarks' ``pyext`` arm).
+
+Every program is plain eBPF once compiled; the *same* manifest loads
+into PyFRR and PyBIRD.
+"""
+
+from . import (
+    closest_exit,
+    conditional_default,
+    geoloc,
+    igp_filter,
+    origin_validation,
+    pynative,
+    route_reflector,
+    valley_free,
+)
+
+__all__ = [
+    "closest_exit",
+    "conditional_default",
+    "geoloc",
+    "igp_filter",
+    "origin_validation",
+    "pynative",
+    "route_reflector",
+    "valley_free",
+]

@@ -1,0 +1,101 @@
+"""Extension use case: geographic tie-breaking at BGP_DECISION.
+
+The paper's GeoLoc section suggests the attribute "can be used to
+adapt router decisions".  This program does exactly that, on the
+*decision* insertion point: when two candidate routes both carry a
+GeoLoc attribute, prefer the one learned closer to this router —
+overriding the RFC 4271 ranking.  Candidates without GeoLoc fall
+through (``next()``) to the native decision process.
+
+Demonstrates the BGP_DECISION call convention: ``get_arg`` with
+``ARG_ROUTE_NEW`` / ``ARG_ROUTE_BEST`` returns each route's attribute
+block in wire form; the bytecode parses the blocks itself (the same
+skill the paper's BGP_ENCODE/RECEIVE codes need).  Return value 1
+selects the candidate, 2 keeps the current best.
+"""
+
+from __future__ import annotations
+
+from ..core.manifest import Manifest
+
+__all__ = ["SOURCE", "build_manifest"]
+
+SOURCE = """
+u64 s32ext(u64 v) {
+    return (v ^ 2147483648) - 2147483648;
+}
+
+// Locate the GeoLoc attribute inside a wire-form attribute block
+// (arg block: u32 length, then flags/type/len/value attributes).
+u64 find_geoloc(u64 arg) {
+    u64 len = *(u32 *)(arg);
+    u64 p = arg + 4;
+    u64 end = p + len;
+    while (p + 3 <= end) {
+        u64 flags = *(u8 *)(p);
+        u64 t = *(u8 *)(p + 1);
+        u64 alen = 0;
+        u64 hdr = 3;
+        if (flags & 16) {
+            alen = htons(*(u16 *)(p + 2));
+            hdr = 4;
+        } else {
+            alen = *(u8 *)(p + 2);
+        }
+        if (t == ATTR_GEOLOC && alen == 8) {
+            return p + hdr;
+        }
+        p = p + hdr + alen;
+    }
+    return 0;
+}
+
+// Squared planar distance between two GeoLoc values (1e-4 deg units).
+u64 dist2(u64 p, u64 q) {
+    u64 lat1 = s32ext(htonl(*(u32 *)(p)));
+    u64 lon1 = s32ext(htonl(*(u32 *)(p + 4)));
+    u64 lat2 = s32ext(htonl(*(u32 *)(q)));
+    u64 lon2 = s32ext(htonl(*(u32 *)(q + 4)));
+    u64 dlat = lat1 - lat2;
+    if (slt(dlat, 0)) { dlat = 0 - dlat; }
+    u64 dlon = lon1 - lon2;
+    if (slt(dlon, 0)) { dlon = 0 - dlon; }
+    dlat = dlat / 1000;
+    dlon = dlon / 1000;
+    return dlat * dlat + dlon * dlon;
+}
+
+u64 prefer_closest(u64 args) {
+    u64 candidate = get_arg(ARG_ROUTE_NEW);
+    u64 best = get_arg(ARG_ROUTE_BEST);
+    if (candidate == 0 || best == 0) { next(); }
+    u64 geo_candidate = find_geoloc(candidate);
+    u64 geo_best = find_geoloc(best);
+    if (geo_candidate == 0 || geo_best == 0) {
+        next(); // no location on one side: native ranking decides
+    }
+    u64 coord = get_xtra("coord");
+    if (coord == 0) { next(); }
+    u64 d_candidate = dist2(geo_candidate, coord + 4);
+    u64 d_best = dist2(geo_best, coord + 4);
+    if (d_candidate < d_best) { return 1; }
+    if (d_best < d_candidate) { return 2; }
+    next(); // equidistant: native tie-break
+}
+"""
+
+
+def build_manifest() -> Manifest:
+    """The closest-exit program on BGP_DECISION."""
+    return Manifest(
+        name="closest_exit",
+        codes=[
+            {
+                "name": "prefer_closest",
+                "insertion_point": "BGP_DECISION",
+                "seq": 0,
+                "helpers": ["next", "get_arg", "get_xtra"],
+                "source": SOURCE,
+            }
+        ],
+    )

@@ -1,0 +1,76 @@
+"""Extension use case: conditional default-route origination.
+
+Exercises the RIB-injection helper the paper's "technical challenges"
+section describes: "a dedicated helper function enables an extension to
+add a new route to the RIB", using hidden context arguments.
+
+Policy: while a *trigger* prefix (e.g. an upstream's anchor route) is
+present in received updates, originate a default route into the RIB;
+operators use this pattern so a default is only advertised while real
+upstream connectivity exists.  The bytecode tracks the trigger in its
+shared memory and calls ``rib_announce`` the first time it sees it.
+"""
+
+from __future__ import annotations
+
+from ..bgp.prefix import Prefix
+from ..core.manifest import Manifest
+
+__all__ = ["SOURCE", "build_manifest"]
+
+SOURCE = """
+u64 watch_trigger(u64 args) {
+    u64 pfx = get_arg(ARG_PREFIX);
+    if (pfx == 0) { next(); }
+    u64 plen = *(u8 *)(pfx + 4);
+    if (plen != TRIGGER_LEN) { next(); }
+    u64 nbytes = (plen + 7) / 8;
+    u64 net = 0;
+    u64 i = 0;
+    while (i < nbytes) {
+        net = (net << 8) | *(u8 *)(pfx + 5 + i);
+        i += 1;
+    }
+    net = net << ((4 - nbytes) * 8);
+    if (net != TRIGGER_NET) { next(); }
+
+    // Trigger seen: originate the default once (flag in shared memory).
+    u64 flag = ctx_shmget(1);
+    if (flag == 0) {
+        flag = ctx_shmnew(1, 8);
+    }
+    if (*(u64 *)(flag) == 0) {
+        *(u64 *)(flag) = 1;
+        u8 dflt[2];
+        dflt[0] = 0;     // wire prefix 0.0.0.0/0: one length octet
+        rib_announce(dflt, 0);
+    }
+    next();
+}
+"""
+
+
+def build_manifest(trigger: Prefix) -> Manifest:
+    """Watch for ``trigger`` on import; originate 0.0.0.0/0 when seen."""
+    return Manifest(
+        name="conditional_default",
+        codes=[
+            {
+                "name": "watch_trigger",
+                "insertion_point": "BGP_INBOUND_FILTER",
+                "seq": 0,
+                "helpers": [
+                    "next",
+                    "get_arg",
+                    "ctx_shmget",
+                    "ctx_shmnew",
+                    "rib_announce",
+                ],
+                "source": SOURCE,
+            }
+        ],
+        constants={
+            "TRIGGER_NET": trigger.network,
+            "TRIGGER_LEN": trigger.length,
+        },
+    )

@@ -1,0 +1,194 @@
+"""Use case §2: the GeoLoc attribute, four bytecodes on four points.
+
+Mirrors Fig. 2 exactly:
+
+1. ``geoloc_receive`` @ BGP_RECEIVE_MESSAGE — tag routes learned over
+   eBGP with this router's coordinates (``get_xtra("coord")``);
+2. ``geoloc_import`` @ BGP_INBOUND_FILTER — drop routes learned more
+   than a configured distance away;
+3. ``geoloc_export`` @ BGP_OUTBOUND_FILTER — strip the attribute
+   before it leaks to eBGP neighbors;
+4. ``geoloc_encode`` @ BGP_ENCODE_MESSAGE — put the attribute on the
+   wire over iBGP with ``write_buf`` (neither host encodes unknown
+   attribute codes natively, exactly like the paper's hosts).
+
+Coordinates are fixed-point degrees scaled by 1e7 (latitude then
+longitude, signed 32-bit, network byte order) — the GeoLoc wire format
+of :func:`repro.bgp.attributes.make_geoloc`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..core.manifest import Manifest
+
+__all__ = [
+    "RECEIVE_SOURCE",
+    "IMPORT_SOURCE",
+    "EXPORT_SOURCE",
+    "ENCODE_SOURCE",
+    "coord_bytes",
+    "distance_threshold",
+    "build_manifest",
+]
+
+
+def coord_bytes(latitude: float, longitude: float) -> bytes:
+    """The ``xtra["coord"]`` blob: the GeoLoc attribute value for this
+    router's location."""
+    return struct.pack(
+        "!ii", round(latitude * 10_000_000), round(longitude * 10_000_000)
+    )
+
+
+def distance_threshold(kilometers: float) -> int:
+    """``MAX_DIST_SQ`` for a planar distance threshold in kilometres.
+
+    The bytecode works in 1e-4-degree units (coordinates divided by
+    1000); one degree is ~111 km, so the threshold in those units is
+    ``km / 111 * 1e4``, squared.  A planar approximation — fine for the
+    "is this continent" granularity the use case needs.
+    """
+    units = kilometers / 111.0 * 10_000.0
+    return int(units * units)
+
+
+RECEIVE_SOURCE = """
+u64 geoloc_receive(u64 args) {
+    u64 peer = get_peer_info();
+    if (peer == 0) { next(); }
+    if (*(u32 *)(peer) != EBGP_SESSION) {
+        next(); // only tag externally learned routes
+    }
+    u64 existing = get_attr(ATTR_GEOLOC);
+    if (existing != 0) { next(); }
+    u64 coord = get_xtra("coord");
+    if (coord == 0) { next(); }
+    u64 len = *(u32 *)(coord);
+    if (len != 8) { next(); }
+    add_attr(ATTR_GEOLOC, FLAG_OPTIONAL | FLAG_TRANSITIVE, coord + 4, 8);
+    next();
+}
+"""
+
+IMPORT_SOURCE = """
+u64 s32ext(u64 v) {
+    return (v ^ 2147483648) - 2147483648;
+}
+
+u64 absdiff(u64 a, u64 b) {
+    u64 d = a - b;
+    if (slt(d, 0)) { return 0 - d; }
+    return d;
+}
+
+u64 geoloc_import(u64 args) {
+    u64 attr = get_attr(ATTR_GEOLOC);
+    if (attr == 0) { next(); }
+    u64 coord = get_xtra("coord");
+    if (coord == 0) { next(); }
+    // Route's stamped location (network byte order, signed fixed point).
+    u64 rlat = s32ext(htonl(*(u32 *)(attr + 4)));
+    u64 rlon = s32ext(htonl(*(u32 *)(attr + 8)));
+    // This router's location.
+    u64 mlat = s32ext(htonl(*(u32 *)(coord + 4)));
+    u64 mlon = s32ext(htonl(*(u32 *)(coord + 8)));
+    // Work in 1e-4 degree units so squares fit comfortably in u64.
+    u64 dlat = absdiff(rlat, mlat) / 1000;
+    u64 dlon = absdiff(rlon, mlon) / 1000;
+    u64 dist2 = dlat * dlat + dlon * dlon;
+    if (dist2 > MAX_DIST_SQ) {
+        return FILTER_REJECT; // learned too far away
+    }
+    next();
+}
+"""
+
+EXPORT_SOURCE = """
+u64 geoloc_export(u64 args) {
+    u64 peer = get_peer_info();
+    if (peer == 0) { next(); }
+    if (*(u32 *)(peer) == EBGP_SESSION) {
+        u64 attr = get_attr(ATTR_GEOLOC);
+        if (attr != 0) {
+            remove_attr(ATTR_GEOLOC); // do not leak locations externally
+        }
+    }
+    next();
+}
+"""
+
+ENCODE_SOURCE = """
+u64 geoloc_encode(u64 args) {
+    u64 peer = get_peer_info();
+    if (peer == 0) { next(); }
+    if (*(u32 *)(peer) != IBGP_SESSION) {
+        next(); // GeoLoc only travels on iBGP sessions
+    }
+    u64 attr = get_attr(ATTR_GEOLOC);
+    if (attr == 0) { next(); }
+    u64 len = *(u16 *)(attr + 2);
+    if (len > 255) { next(); }
+    u8 hdr[4];
+    *(u8 *)(hdr) = *(u8 *)(attr + 1);     // flags
+    *(u8 *)(hdr + 1) = *(u8 *)(attr);     // type code
+    *(u8 *)(hdr + 2) = len;               // one-byte length
+    write_buf(hdr, 3);
+    write_buf(attr + 4, len);             // value, already network order
+    next();
+}
+"""
+
+
+def build_manifest(
+    latitude: float = 0.0,
+    longitude: float = 0.0,
+    max_distance_km: float = 5000.0,
+    with_import_filter: bool = True,
+) -> Manifest:
+    """The four-bytecode GeoLoc program of Fig. 2.
+
+    ``latitude``/``longitude`` are only used to derive documentation
+    defaults; the router's own position comes from its ``xtra["coord"]``
+    configuration (set it with :func:`coord_bytes`).
+    """
+    codes = [
+        {
+            "name": "geoloc_receive",
+            "insertion_point": "BGP_RECEIVE_MESSAGE",
+            "seq": 0,
+            "helpers": ["next", "get_peer_info", "get_attr", "get_xtra", "add_attr"],
+            "source": RECEIVE_SOURCE,
+        },
+        {
+            "name": "geoloc_export",
+            "insertion_point": "BGP_OUTBOUND_FILTER",
+            "seq": 0,
+            "helpers": ["next", "get_peer_info", "get_attr", "remove_attr"],
+            "source": EXPORT_SOURCE,
+        },
+        {
+            "name": "geoloc_encode",
+            "insertion_point": "BGP_ENCODE_MESSAGE",
+            "seq": 0,
+            "helpers": ["next", "get_peer_info", "get_attr", "write_buf"],
+            "source": ENCODE_SOURCE,
+        },
+    ]
+    if with_import_filter:
+        codes.insert(
+            1,
+            {
+                "name": "geoloc_import",
+                "insertion_point": "BGP_INBOUND_FILTER",
+                "seq": 0,
+                "helpers": ["next", "get_attr", "get_xtra"],
+                "source": IMPORT_SOURCE,
+            },
+        )
+    return Manifest(
+        name="geoloc",
+        codes=codes,
+        constants={"MAX_DIST_SQ": distance_threshold(max_distance_km)},
+    )

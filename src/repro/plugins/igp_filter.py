@@ -1,0 +1,54 @@
+"""Use case §3.1: export filter on IGP nexthop cost (Listing 1).
+
+The operator sets transatlantic link costs to 1000; this outbound
+filter then stops advertising routes whose nexthop sits across the
+ocean (IGP metric above ``MAX_METRIC``) to eBGP peers — something BGP
+communities cannot express because they are assigned at ingress and
+never change when the IGP distance does.
+"""
+
+from __future__ import annotations
+
+from ..core.manifest import Manifest
+
+__all__ = ["SOURCE", "build_manifest", "DEFAULT_MAX_METRIC"]
+
+DEFAULT_MAX_METRIC = 500
+
+#: A line-for-line transcription of the paper's Listing 1 into xc.
+SOURCE = """
+uint64_t export_igp(uint64_t args) {
+    u64 nexthop = get_nexthop(0);
+    u64 peer = get_peer_info();
+    if (peer == 0) {
+        next(); // no peer in scope: not our business
+    }
+    if (*(u32 *)(peer) != EBGP_SESSION) {
+        next(); // Do not filter on iBGP sessions
+    }
+    if (nexthop == 0) {
+        return FILTER_REJECT; // unresolvable nexthop
+    }
+    if (*(u32 *)(nexthop + 4) <= MAX_METRIC) {
+        next(); // the route is accepted by this filter;
+    }         // next filter will decide to export route
+    return FILTER_REJECT;
+}
+"""
+
+
+def build_manifest(max_metric: int = DEFAULT_MAX_METRIC) -> Manifest:
+    """Manifest attaching the filter to BGP_OUTBOUND_FILTER."""
+    return Manifest(
+        name="igp_export_filter",
+        codes=[
+            {
+                "name": "export_igp",
+                "insertion_point": "BGP_OUTBOUND_FILTER",
+                "seq": 0,
+                "helpers": ["next", "get_nexthop", "get_peer_info"],
+                "source": SOURCE,
+            }
+        ],
+        constants={"MAX_METRIC": max_metric},
+    )

@@ -1,0 +1,163 @@
+"""Use case §3.4: RPKI route-origin validation as extension code.
+
+Like the paper's DUT, the ROA set is loaded from a file/offline source
+(no RPKI-Rtr session) into a program **map** — the hash table "as in
+BIRD" that made the extension faster than FRRouting's native per-check
+trie browse.  The bytecode checks each eBGP route's origin but never
+discards invalid ones (§3.4: "checks the validity of the origin of
+each prefix but does not discard the invalid ones"); results accumulate
+in shared memory counters readable by the harness.
+
+Map encoding: key ``(network << 8) | length`` (network in host int,
+upper bits of the /length prefix), value ``(max_length << 32) | asn``.
+Multiple ROAs per prefix chain behind ``map_lookup_idx``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterable, List, Tuple
+
+from ..bgp.roa import Roa
+from ..core.extension import ProgramState, SHARED_BASE
+from ..core.manifest import Manifest
+
+__all__ = [
+    "SOURCE",
+    "roa_map_entries",
+    "build_manifest",
+    "read_validity_counters",
+    "SHM_COUNTERS_KEY",
+    "MIN_ROA_LENGTH",
+]
+
+#: Shared-memory key under which the bytecode keeps its counters.
+SHM_COUNTERS_KEY = 1
+
+#: Shortest ROA prefix length the probe loop considers (RFC-realistic:
+#: RIRs do not register shorter IPv4 ROAs).
+MIN_ROA_LENGTH = 8
+
+SOURCE = """
+u64 rov_import(u64 args) {
+    u64 peer = get_peer_info();
+    if (peer == 0) { next(); }
+    if (*(u32 *)(peer) != EBGP_SESSION) {
+        next(); // validate externally learned routes only
+    }
+    u64 pfx = get_arg(ARG_PREFIX);
+    if (pfx == 0) { next(); }
+    u64 plen = *(u8 *)(pfx + 4);
+    u64 nbytes = (plen + 7) / 8;
+    u64 net = 0;
+    u64 i = 0;
+    while (i < nbytes) {
+        net = (net << 8) | *(u8 *)(pfx + 5 + i);
+        i = i + 1;
+    }
+    net = net << ((4 - nbytes) * 8);
+
+    // Origin AS: last ASN of the last AS_SEQUENCE segment.
+    u64 ap = get_attr(ATTR_AS_PATH);
+    if (ap == 0) { next(); }
+    u64 alen = *(u16 *)(ap + 2);
+    u64 off = 0;
+    u64 origin = 0;
+    while (off + 2 <= alen) {
+        u64 t = *(u8 *)(ap + 4 + off);
+        u64 cnt = *(u8 *)(ap + 4 + off + 1);
+        u64 seg = cnt * 4;
+        if (t == 2 && cnt > 0) {
+            origin = htonl(*(u32 *)(ap + 4 + off + 2 + seg - 4));
+        }
+        off = off + 2 + seg;
+    }
+
+    // RFC 6811: probe every covering length, hash lookup per length.
+    u64 validity = ROV_NOT_FOUND;
+    u64 l = plen;
+    u64 done = 0;
+    while (l >= MIN_ROA_LEN && done == 0) {
+        u64 mask = 4294967295 << (32 - l);
+        u64 key = ((net & mask) << 8) | l;
+        u64 idx = 0;
+        u64 v = map_lookup_idx(MAP_ROA, key, idx);
+        while (v + 1 != 0) {
+            validity = ROV_INVALID; // some ROA covers the prefix
+            u64 vasn = v & 4294967295;
+            u64 vmax = v >> 32;
+            if (vasn == origin && plen <= vmax && origin != 0) {
+                validity = ROV_VALID;
+                done = 1;
+            }
+            if (done == 1) { break; }
+            idx = idx + 1;
+            v = map_lookup_idx(MAP_ROA, key, idx);
+        }
+        l = l - 1;
+    }
+
+    // Record the outcome in shared, persistent counters.
+    u64 ctrs = ctx_shmget(SHM_COUNTERS);
+    if (ctrs == 0) {
+        ctrs = ctx_shmnew(SHM_COUNTERS, 24);
+    }
+    u64 slot = ctrs + validity * 8;
+    *(u64 *)(slot) = *(u64 *)(slot) + 1;
+
+    next(); // never discard: measurement-only, like the paper's run
+}
+"""
+
+
+def roa_map_entries(roas: Iterable[Roa]) -> List[Tuple[int, int]]:
+    """Encode ROAs as (key, value) pairs for the program map."""
+    entries: List[Tuple[int, int]] = []
+    for roa in roas:
+        key = (roa.prefix.network << 8) | roa.prefix.length
+        value = (roa.max_length << 32) | (roa.asn & 0xFFFFFFFF)
+        entries.append((key, value))
+    return entries
+
+
+def build_manifest(roas: Iterable[Roa]) -> Manifest:
+    """The origin-validation program with its preloaded ROA map."""
+    return Manifest(
+        name="origin_validation",
+        codes=[
+            {
+                "name": "rov_import",
+                "insertion_point": "BGP_INBOUND_FILTER",
+                "seq": 0,
+                "helpers": [
+                    "next",
+                    "get_peer_info",
+                    "get_arg",
+                    "get_attr",
+                    "map_lookup_idx",
+                    "ctx_shmget",
+                    "ctx_shmnew",
+                ],
+                "source": SOURCE,
+            }
+        ],
+        maps={"roa": [list(entry) for entry in roa_map_entries(roas)]},
+        constants={
+            "SHM_COUNTERS": SHM_COUNTERS_KEY,
+            "MIN_ROA_LEN": MIN_ROA_LENGTH,
+        },
+    )
+
+
+def read_validity_counters(state: ProgramState) -> Dict[str, int]:
+    """Decode the bytecode's shared-memory counters.
+
+    Returns ``{"VALID": n, "NOT_FOUND": n, "INVALID": n}`` (zeroes if
+    the program never ran).
+    """
+    address = state.shm_get(SHM_COUNTERS_KEY)
+    if address == 0:
+        return {"VALID": 0, "NOT_FOUND": 0, "INVALID": 0}
+    offset = address - state.shared.base
+    valid, not_found, invalid = struct.unpack_from("<QQQ", state.shared.data, offset)
+    return {"VALID": valid, "NOT_FOUND": not_found, "INVALID": invalid}

@@ -1,0 +1,172 @@
+"""Host-speed plugin variants (NativeExtensionCode).
+
+These implement the *same logic* as the eBPF use-case bytecodes, as
+Python callables routed through the same VMM chains and the same
+vendor-neutral :class:`HostImplementation` glue.  They model what the
+paper's extensions cost once eBPF runs at native speed (C interpreter /
+JIT): on a Python substrate, doubly-interpreted eBPF carries a large
+constant factor that the C artifact does not have, so Fig. 4's
+benchmarks report both arms — ``jit`` (real bytecode) and ``pyext``
+(these) — and EXPERIMENTS.md explains which paper claim each one
+carries.
+
+Portability note: like the bytecode they mirror, these touch the host
+only through ``ctx``/``HostImplementation``, so the same object loads
+into PyFRR and PyBIRD.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterable, List, Tuple
+
+from ..bgp.constants import AttrTypeCode, SessionType
+from ..bgp.prefix import mask_for
+from ..bgp.roa import Roa
+from ..core.abi import FILTER_ACCEPT, FILTER_REJECT
+from ..core.context import ExecutionContext, NextRequested
+from ..core.extension import NativeExtensionCode, XbgpProgram
+from ..core.insertion_points import InsertionPoint
+from .origin_validation import MIN_ROA_LENGTH
+
+__all__ = [
+    "route_reflector_program",
+    "origin_validation_program",
+    "OriginValidationState",
+]
+
+
+# -- route reflection ---------------------------------------------------
+
+
+def _rr_import(ctx: ExecutionContext, host) -> int:
+    neighbor = ctx.neighbor
+    if neighbor is None or not neighbor.is_ibgp():
+        raise NextRequested()
+    originator = host.get_attr(ctx, AttrTypeCode.ORIGINATOR_ID)
+    if originator is not None and originator.as_u32() == neighbor.local_router_id:
+        return FILTER_REJECT
+    cluster_list = host.get_attr(ctx, AttrTypeCode.CLUSTER_LIST)
+    if cluster_list is not None and neighbor.cluster_id in cluster_list.as_cluster_list():
+        return FILTER_REJECT
+    raise NextRequested()
+
+
+def _rr_export(ctx: ExecutionContext, host) -> int:
+    neighbor = ctx.neighbor
+    if neighbor is None or not neighbor.is_ibgp():
+        raise NextRequested()
+    source = getattr(ctx.route, "source", None)
+    if source is None or not source.is_ibgp():
+        raise NextRequested()
+    if not (source.rr_client or neighbor.rr_client):
+        return FILTER_REJECT
+    originator = host.get_attr(ctx, AttrTypeCode.ORIGINATOR_ID)
+    if originator is None:
+        host.set_attr(
+            ctx,
+            AttrTypeCode.ORIGINATOR_ID,
+            0x80,
+            struct.pack("!I", source.peer_router_id),
+        )
+    cluster_list = host.get_attr(ctx, AttrTypeCode.CLUSTER_LIST)
+    previous = cluster_list.value if cluster_list is not None else b""
+    host.set_attr(
+        ctx,
+        AttrTypeCode.CLUSTER_LIST,
+        0x80,
+        struct.pack("!I", neighbor.cluster_id) + previous,
+    )
+    return FILTER_ACCEPT
+
+
+def route_reflector_program() -> XbgpProgram:
+    """RFC 4456 as host-speed extension code (same chain positions as
+    the bytecode variant)."""
+    return XbgpProgram(
+        "route_reflector_py",
+        [
+            NativeExtensionCode(
+                "rr_import_py", _rr_import, InsertionPoint.BGP_INBOUND_FILTER
+            ),
+            NativeExtensionCode(
+                "rr_export_py", _rr_export, InsertionPoint.BGP_OUTBOUND_FILTER
+            ),
+        ],
+    )
+
+
+# -- origin validation ----------------------------------------------------
+
+
+class OriginValidationState:
+    """The extension's private hash table plus its outcome counters.
+
+    Mirrors the bytecode variant's program map + shared-memory
+    counters, at host speed: key is ``(network, length)``, value a list
+    of ``(max_length, asn)``.
+    """
+
+    def __init__(self, roas: Iterable[Roa]):
+        self.table: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        self.min_length = 33
+        for roa in roas:
+            key = (roa.prefix.network, roa.prefix.length)
+            self.table.setdefault(key, []).append((roa.max_length, roa.asn))
+            self.min_length = min(self.min_length, roa.prefix.length)
+        if self.min_length > 32:
+            self.min_length = MIN_ROA_LENGTH
+        self.counters = {"VALID": 0, "NOT_FOUND": 0, "INVALID": 0}
+
+
+def origin_validation_program(roas: Iterable[Roa]) -> XbgpProgram:
+    """§3.4's validation via a hash table, at host speed."""
+    state = OriginValidationState(roas)
+
+    def rov_import(ctx: ExecutionContext, host) -> int:
+        neighbor = ctx.neighbor
+        if neighbor is None or neighbor.session_type != SessionType.EBGP_SESSION:
+            raise NextRequested()
+        prefix = ctx.prefix
+        if prefix is None:
+            raise NextRequested()
+        attribute = host.get_attr(ctx, AttrTypeCode.AS_PATH)
+        if attribute is None:
+            raise NextRequested()
+        # Last ASN of the last AS_SEQUENCE segment, parsed straight off
+        # the neutral bytes (mirrors the bytecode's loop).
+        value = attribute.value
+        offset = 0
+        origin = 0
+        while offset + 2 <= len(value):
+            kind = value[offset]
+            seg = value[offset + 1] * 4
+            if kind == 2 and seg:
+                origin = int.from_bytes(value[offset + 2 + seg - 4 : offset + 2 + seg], "big")
+            offset += 2 + seg
+        table = state.table
+        outcome = "NOT_FOUND"
+        for length in range(prefix.length, state.min_length - 1, -1):
+            bucket = table.get((prefix.network & mask_for(length), length))
+            if not bucket:
+                continue
+            outcome = "INVALID"
+            for max_length, asn in bucket:
+                if asn == origin and prefix.length <= max_length and origin != 0:
+                    outcome = "VALID"
+                    break
+            if outcome == "VALID":
+                break
+        state.counters[outcome] += 1
+        raise NextRequested()  # measurement only, never discard
+
+    program = XbgpProgram(
+        "origin_validation_py",
+        [
+            NativeExtensionCode(
+                "rov_import_py", rov_import, InsertionPoint.BGP_INBOUND_FILTER
+            )
+        ],
+    )
+    program.py_state = state  # type: ignore[attr-defined]
+    return program

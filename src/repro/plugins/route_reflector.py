@@ -1,0 +1,129 @@
+"""Use case §3.2: BGP route reflection entirely as extension code.
+
+RFC 4456 support — the ORIGINATOR_ID and CLUSTER_LIST attributes —
+implemented in two bytecodes:
+
+* ``rr_import`` @ BGP_INBOUND_FILTER — loop prevention: reject routes
+  whose ORIGINATOR_ID is this router or whose CLUSTER_LIST contains
+  this cluster;
+* ``rr_export`` @ BGP_OUTBOUND_FILTER — the reflection decision
+  (client routes to everyone, non-client routes to clients only) plus
+  attribute stamping: set ORIGINATOR_ID when absent, prepend the local
+  CLUSTER_ID to CLUSTER_LIST.
+
+The host daemon runs with ``route_reflector="extension"``: it is
+RR-unaware apart from relaxing classic iBGP split horizon so the
+extension gets to decide.
+
+Peer-info struct offsets (``repro.core.abi``): peer_type @0,
+peer_router_id @8, local_router_id @16, rr_client @28, cluster_id @32.
+Attribute payload bytes are network order, hence the ``htonl`` calls.
+"""
+
+from __future__ import annotations
+
+from ..core.manifest import Manifest
+
+__all__ = ["IMPORT_SOURCE", "EXPORT_SOURCE", "build_manifest"]
+
+IMPORT_SOURCE = """
+u64 rr_import(u64 args) {
+    u64 peer = get_peer_info();
+    if (peer == 0) { next(); }
+    if (*(u32 *)(peer) != IBGP_SESSION) {
+        next(); // reflection concerns iBGP only
+    }
+    u64 local_id = *(u32 *)(peer + 16);
+    u64 orig = get_attr(ATTR_ORIGINATOR_ID);
+    if (orig != 0) {
+        if (htonl(*(u32 *)(orig + 4)) == local_id) {
+            return FILTER_REJECT; // our own reflected route came back
+        }
+    }
+    u64 cl = get_attr(ATTR_CLUSTER_LIST);
+    if (cl != 0) {
+        u64 cluster_id = *(u32 *)(peer + 32);
+        u64 len = *(u16 *)(cl + 2);
+        u64 i = 0;
+        while (i < len) {
+            if (htonl(*(u32 *)(cl + 4 + i)) == cluster_id) {
+                return FILTER_REJECT; // cluster loop
+            }
+            i = i + 4;
+        }
+    }
+    next();
+}
+"""
+
+EXPORT_SOURCE = """
+u64 rr_export(u64 args) {
+    u64 peer = get_peer_info();
+    if (peer == 0) { next(); }
+    if (*(u32 *)(peer) != IBGP_SESSION) {
+        next(); // eBGP export: native rules apply
+    }
+    u64 src = get_src_peer_info();
+    if (src == 0) { next(); }              // locally originated
+    if (*(u32 *)(src) != IBGP_SESSION) {
+        next(); // eBGP-learned: plain iBGP advertisement
+    }
+    // iBGP-learned towards iBGP peer: the reflection decision.
+    u64 src_client = *(u32 *)(src + 28);
+    u64 dst_client = *(u32 *)(peer + 28);
+    if (src_client == 0 && dst_client == 0) {
+        return FILTER_REJECT; // non-client to non-client: never reflect
+    }
+    // Stamp ORIGINATOR_ID if the originator did not set one.
+    u64 orig = get_attr(ATTR_ORIGINATOR_ID);
+    if (orig == 0) {
+        u8 buf[4];
+        *(u32 *)(buf) = htonl(*(u32 *)(src + 8)); // source router id
+        set_attr(ATTR_ORIGINATOR_ID, FLAG_OPTIONAL, buf, 4);
+    }
+    // Prepend our CLUSTER_ID to the CLUSTER_LIST.
+    u64 cluster_id = *(u32 *)(peer + 32);
+    u8 out[104];
+    *(u32 *)(out) = htonl(cluster_id);
+    u64 total = 4;
+    u64 cl = get_attr(ATTR_CLUSTER_LIST);
+    if (cl != 0) {
+        u64 len = *(u16 *)(cl + 2);
+        if (len > 100) { len = 100; } // bound the copy for the verifier
+        ebpf_memcpy(out + 4, cl + 4, len);
+        total = total + len;
+    }
+    set_attr(ATTR_CLUSTER_LIST, FLAG_OPTIONAL, out, total);
+    return FILTER_ACCEPT;
+}
+"""
+
+
+def build_manifest() -> Manifest:
+    """The two-bytecode route-reflection program."""
+    return Manifest(
+        name="route_reflector",
+        codes=[
+            {
+                "name": "rr_import",
+                "insertion_point": "BGP_INBOUND_FILTER",
+                "seq": 0,
+                "helpers": ["next", "get_peer_info", "get_attr"],
+                "source": IMPORT_SOURCE,
+            },
+            {
+                "name": "rr_export",
+                "insertion_point": "BGP_OUTBOUND_FILTER",
+                "seq": 0,
+                "helpers": [
+                    "next",
+                    "get_peer_info",
+                    "get_src_peer_info",
+                    "get_attr",
+                    "set_attr",
+                    "ebpf_memcpy",
+                ],
+                "source": EXPORT_SOURCE,
+            },
+        ],
+    )

@@ -1,0 +1,115 @@
+"""Use case §3.3: valley-free enforcement for BGP-in-the-datacenter.
+
+Instead of the same-AS-number trick (which hides topology from
+troubleshooting and partitions the fabric under double failures), each
+router keeps its own AS number and this import filter rejects
+non-valley-free paths.
+
+Per the paper, the manifest carries "every eBGP session from a router
+of level *i* to a router of level *i+1* in a pair (AS_li, AS_l(i+1))".
+The filter walks the AS path in traffic order (local AS, then leftmost
+ASN onward), classifying each hop against the pair map: a hop
+``(lower, upper)`` is an *up* move, its reverse a *down* move.  A route
+whose path makes an up move after a down move traversed a valley and
+is rejected.  (The paper sketches the check as "a manifest pair is
+included in the AS-Path"; applied verbatim at every router that also
+flags legitimate up-up paths seen below the valley, so we implement
+the full down-then-up test the sketch abbreviates.)
+
+Our refinement (the flexibility argument of §3.3): valleys are
+*allowed* when the destination prefix originates inside the fabric
+(origin AS in the ``dc_ases`` map), so the L10→S2→L12→S1→L13 rescue
+path of the double-failure scenario stays usable while transit valleys
+stay blocked.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..core.manifest import Manifest
+
+__all__ = ["SOURCE", "pair_entries", "build_manifest"]
+
+SOURCE = """
+u64 vf_import(u64 args) {
+    u64 peer = get_peer_info();
+    if (peer == 0) { next(); }
+    u64 ap = get_attr(ATTR_AS_PATH);
+    if (ap == 0) { next(); }
+    u64 alen = *(u16 *)(ap + 2);
+    u64 off = 0;
+    u64 prev = *(u32 *)(peer + 12);  // local AS: traffic starts here
+    u64 seen_down = 0;
+    u64 reject = 0;
+    u64 origin = 0;
+    while (off + 2 <= alen) {
+        u64 t = *(u8 *)(ap + 4 + off);
+        u64 cnt = *(u8 *)(ap + 4 + off + 1);
+        u64 i = 0;
+        while (i < cnt) {
+            u64 asn = htonl(*(u32 *)(ap + 4 + off + 2 + i * 4));
+            if (t == 2) {
+                if (map_lookup(MAP_PAIRS, (prev << 32) | asn) + 1 != 0) {
+                    if (seen_down == 1) {
+                        reject = 1; // up move after a down move: valley
+                    }
+                }
+                if (map_lookup(MAP_PAIRS, (asn << 32) | prev) + 1 != 0) {
+                    seen_down = 1; // down move
+                }
+                prev = asn;
+                origin = asn;
+            }
+            i = i + 1;
+        }
+        off = off + 2 + cnt * 4;
+    }
+    if (reject == 1) {
+        if (map_lookup(MAP_DC_ASES, origin) + 1 != 0) {
+            next(); // fabric-internal destination: allow the detour
+        }
+        return FILTER_REJECT;
+    }
+    next();
+}
+"""
+
+
+def pair_entries(
+    up_edges: Iterable[Tuple[int, int]],
+) -> List[List[int]]:
+    """Encode (AS_level_i, AS_level_i+1) pairs as map entries.
+
+    Key ``(lower << 32) | upper``: a traffic hop matching the key moves
+    *up* the fabric; a hop matching the reversed key moves *down*.
+    """
+    return [[(low << 32) | high, 1] for low, high in up_edges]
+
+
+def build_manifest(
+    up_edges: Sequence[Tuple[int, int]],
+    dc_ases: Iterable[int],
+) -> Manifest:
+    """The valley-free program.
+
+    ``up_edges`` lists every (lower-level AS, upper-level AS) eBGP
+    adjacency of the fabric; ``dc_ases`` lists every AS inside the
+    fabric (valley exemption for internal destinations).
+    """
+    return Manifest(
+        name="valley_free",
+        codes=[
+            {
+                "name": "vf_import",
+                "insertion_point": "BGP_INBOUND_FILTER",
+                "seq": 0,
+                "helpers": ["next", "get_peer_info", "get_attr", "map_lookup"],
+                "source": SOURCE,
+            }
+        ],
+        maps={
+            "pairs": pair_entries(up_edges),
+            "dc_ases": [[asn, 1] for asn in sorted(set(dc_ases))],
+        },
+    )

@@ -1,0 +1,6 @@
+"""Discrete-event network simulation: scheduler, links, experiment harness."""
+
+from .engine import EventScheduler
+from .network import Link, Network
+
+__all__ = ["EventScheduler", "Link", "Network"]

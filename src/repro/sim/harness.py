@@ -1,0 +1,188 @@
+"""Experiment harnesses.
+
+:class:`ConvergenceHarness` reproduces the Fig. 3 testbed: an upstream
+router feeds a full BGP table to the Device Under Test, which processes
+it and re-advertises to a downstream router.  The measurement is the
+wall-clock delay between the announcement of the first prefix and the
+reception of the last prefix downstream (§3.2) — compared between the
+DUT's native feature and the xBGP extension implementing the same
+feature.
+
+The upstream feed is replayed from pre-encoded UPDATE bytes and the
+downstream side is a lightweight collector, so both ends cost the same
+in every arm and the native-vs-extension difference observed is the
+DUT's.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..bgp.messages import UpdateMessage, split_stream
+from ..bgp.prefix import Prefix, format_ipv4, parse_ipv4
+from ..bird.daemon import BirdDaemon
+from ..frr.daemon import FrrDaemon
+from ..bgp.roa import HashRoaTable, Roa, TrieRoaTable
+from ..plugins import origin_validation, route_reflector
+from ..workload.rib_gen import RouteSpec, build_updates
+
+__all__ = ["Collector", "ConvergenceHarness", "DAEMONS"]
+
+DAEMONS = {"frr": FrrDaemon, "bird": BirdDaemon}
+
+_UPSTREAM = "10.0.1.2"
+_DUT = "10.0.0.1"
+_DOWNSTREAM = "10.0.2.2"
+
+
+class Collector:
+    """The downstream router's receive side: counts prefixes."""
+
+    def __init__(self) -> None:
+        self.prefixes: set = set()
+        self.withdrawn: set = set()
+        self.updates = 0
+        self._buffer = bytearray()
+
+    def receive(self, data: bytes) -> None:
+        self._buffer.extend(data)
+        for message in split_stream(self._buffer):
+            if isinstance(message, UpdateMessage):
+                self.updates += 1
+                for prefix in message.nlri:
+                    self.prefixes.add(prefix)
+                for prefix in message.withdrawn:
+                    self.prefixes.discard(prefix)
+                    self.withdrawn.add(prefix)
+
+    def __len__(self) -> int:
+        return len(self.prefixes)
+
+
+class ConvergenceHarness:
+    """One Fig. 3 run: upstream → DUT → downstream, timed.
+
+    ``implementation`` picks the DUT ("frr"/"bird"); ``feature`` picks
+    the experiment ("route_reflection" or "origin_validation");
+    ``mode`` picks the arm ("native" or "extension").
+    """
+
+    def __init__(
+        self,
+        implementation: str,
+        feature: str,
+        mode: str,
+        routes: List[RouteSpec],
+        roas: Optional[List[Roa]] = None,
+        max_prefixes_per_update: int = 64,
+        engine: str = "jit",
+    ):
+        if implementation not in DAEMONS:
+            raise ValueError(f"unknown implementation {implementation!r}")
+        if feature not in ("route_reflection", "origin_validation", "plain"):
+            raise ValueError(f"unknown feature {feature!r}")
+        if mode not in ("native", "extension"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if engine not in ("jit", "interp", "pyext"):
+            raise ValueError(f"unknown engine {engine!r}")
+        self.implementation = implementation
+        self.feature = feature
+        self.mode = mode
+        self.engine = engine
+        self.routes = routes
+        self.roas = roas or []
+        self.collector = Collector()
+        self.dut = self._build_dut()
+        self._wire()
+        self.feed = self._build_feed(max_prefixes_per_update)
+
+    # -- construction -------------------------------------------------
+
+    def _build_dut(self):
+        from ..core.vmm import VmmConfig
+        from . import harness as _self  # noqa: F401 (keep import graph simple)
+        from ..plugins import pynative
+
+        daemon_cls = DAEMONS[self.implementation]
+        kwargs: Dict[str, object] = {
+            "asn": 65001,
+            "router_id": _DUT,
+            "local_address": _DUT,
+        }
+        if self.engine in ("jit", "interp"):
+            kwargs["vmm_config"] = VmmConfig(engine=self.engine)
+        if self.feature == "route_reflection":
+            kwargs["route_reflector"] = self.mode
+        if self.feature == "origin_validation" and self.mode == "native":
+            # FRR natively browses a trie; BIRD natively probes a hash.
+            table = TrieRoaTable() if self.implementation == "frr" else HashRoaTable()
+            table.extend(self.roas)
+            kwargs["roa_table"] = table
+        dut = daemon_cls(**kwargs)
+        if self.feature == "route_reflection" and self.mode == "extension":
+            if self.engine == "pyext":
+                dut.attach_program(pynative.route_reflector_program())
+            else:
+                dut.attach_manifest(route_reflector.build_manifest())
+        if self.feature == "origin_validation" and self.mode == "extension":
+            if self.engine == "pyext":
+                dut.attach_program(pynative.origin_validation_program(self.roas))
+            else:
+                dut.attach_manifest(origin_validation.build_manifest(self.roas))
+        return dut
+
+    def _wire(self) -> None:
+        session_asn = 65001 if self.feature == "route_reflection" else 65100
+        downstream_asn = 65001 if self.feature == "route_reflection" else 65200
+        upstream = self.dut.add_neighbor(_UPSTREAM, session_asn, lambda data: None)
+        downstream = self.dut.add_neighbor(
+            _DOWNSTREAM, downstream_asn, self.collector.receive
+        )
+        if self.feature == "route_reflection":
+            upstream.rr_client = True
+            downstream.rr_client = True
+        for address in (_UPSTREAM, _DOWNSTREAM):
+            self.dut._established[parse_ipv4(address)] = True
+            self.dut.neighbors[parse_ipv4(address)].established = True
+
+    def _build_feed(self, max_prefixes_per_update: int) -> List[bytes]:
+        """Pre-encode the upstream's UPDATE stream (constant cost)."""
+        session = "ibgp" if self.feature == "route_reflection" else "ebgp"
+        updates = build_updates(
+            self.routes,
+            next_hop=parse_ipv4(_UPSTREAM),
+            session=session,
+            sender_asn=65100 if session == "ebgp" else None,
+            max_prefixes_per_update=max_prefixes_per_update,
+        )
+        feed = [update.encode() for update in updates]
+        feed.append(UpdateMessage.end_of_rib().encode())
+        return feed
+
+    # -- measurement -----------------------------------------------------
+
+    def run(self) -> float:
+        """Replay the feed through the DUT; return elapsed seconds.
+
+        Timed span: first byte announced upstream → last prefix seen by
+        the downstream collector (checked after the deterministic replay
+        drains, mirroring the paper's first-announce-to-last-receive
+        delay).
+        """
+        expected = len(self.routes)
+        receive = self.dut.receive_raw
+        start = time.perf_counter()
+        for payload in self.feed:
+            receive(_UPSTREAM, payload)
+        elapsed = time.perf_counter() - start
+        if len(self.collector) != expected:
+            raise RuntimeError(
+                f"convergence incomplete: downstream holds "
+                f"{len(self.collector)}/{expected} prefixes "
+                f"(vmm fallbacks={self.dut.vmm.fallbacks})"
+            )
+        return elapsed
+
+    def extension_stats(self) -> Dict[str, Dict[str, int]]:
+        return self.dut.vmm.stats()

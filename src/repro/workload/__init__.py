@@ -1,0 +1,14 @@
+"""Synthetic RIS-like workloads: AS topology and table generation."""
+
+from .mrt_io import routes_from_mrt
+from .rib_gen import RibGenerator, RouteSpec, build_updates, origins_of
+from .topology import AsTopology
+
+__all__ = [
+    "RibGenerator",
+    "RouteSpec",
+    "build_updates",
+    "origins_of",
+    "AsTopology",
+    "routes_from_mrt",
+]

@@ -1,0 +1,225 @@
+"""Synthetic RIS-like BGP table generation.
+
+The paper feeds its DUT "IPv4 BGP routes from a recent RIPE RIS
+snapshot of June 2020" (724k routes).  Offline, we synthesize a table
+with the statistical shape that matters to the measured code paths:
+
+* realistic prefix-length mix (≈60 % /24, heavy 16-24 body);
+* short heavy-tailed AS paths from a provider hierarchy, with
+  occasional prepending;
+* attribute variety (ORIGIN mix, MED, communities) with heavy sharing
+  of identical attribute sets across prefixes — which is what makes
+  update packing and attribute interning do real work.
+
+Route counts are scaled down from 724k (a Python substrate is orders
+of magnitude slower per route than C); EXPERIMENTS.md reports the
+scale used for each run.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+
+from ..bgp.attributes import (
+    PathAttribute,
+    make_as_path,
+    make_communities,
+    make_local_pref,
+    make_med,
+    make_next_hop,
+    make_origin,
+)
+from ..bgp.aspath import AsPath
+from ..bgp.constants import Origin
+from ..bgp.messages import UpdateMessage
+from ..bgp.prefix import Prefix
+from .topology import AsTopology
+
+__all__ = ["RouteSpec", "RibGenerator", "build_updates", "origins_of"]
+
+#: (prefix length, weight) — rough RIS IPv4 mix.
+_LENGTH_MIX: Sequence[Tuple[int, float]] = (
+    (24, 0.59),
+    (23, 0.07),
+    (22, 0.09),
+    (21, 0.05),
+    (20, 0.05),
+    (19, 0.04),
+    (18, 0.03),
+    (17, 0.02),
+    (16, 0.04),
+    (15, 0.005),
+    (14, 0.005),
+    (13, 0.004),
+    (12, 0.003),
+    (11, 0.002),
+    (10, 0.002),
+    (9, 0.002),
+    (8, 0.002),
+)
+
+
+class RouteSpec(NamedTuple):
+    """One synthetic route before attribute encoding."""
+
+    prefix: Prefix
+    as_path: Tuple[int, ...]
+    origin: int
+    med: Optional[int]
+    communities: Tuple[int, ...]
+
+    @property
+    def origin_asn(self) -> int:
+        return self.as_path[-1] if self.as_path else 0
+
+
+class RibGenerator:
+    """Deterministic synthetic table generator."""
+
+    def __init__(
+        self,
+        n_routes: int = 10_000,
+        n_ases: int = 600,
+        seed: int = 20200604,
+        prepend_probability: float = 0.12,
+        med_probability: float = 0.25,
+        community_probability: float = 0.4,
+    ):
+        self.n_routes = n_routes
+        self.seed = seed
+        self.prepend_probability = prepend_probability
+        self.med_probability = med_probability
+        self.community_probability = community_probability
+        self.topology = AsTopology.generate(n_ases=n_ases, seed=seed)
+
+    def _draw_length(self, rng: random.Random) -> int:
+        lengths, weights = zip(*_LENGTH_MIX)
+        return rng.choices(lengths, weights)[0]
+
+    def _draw_prefix(self, rng: random.Random, used: set) -> Prefix:
+        while True:
+            length = self._draw_length(rng)
+            # Public-looking space: 1.0.0.0 .. 223.255.255.255.
+            network = rng.randrange(0x01000000, 0xDF000000)
+            prefix = Prefix(network, length)
+            if prefix not in used:
+                used.add(prefix)
+                return prefix
+
+    def generate(self) -> List[RouteSpec]:
+        """Generate the table: ``n_routes`` unique-prefix routes.
+
+        Consecutive routes share origin (and therefore path and
+        attribute set) in bursts, like real tables where one AS
+        originates many prefixes.
+        """
+        rng = random.Random(self.seed)
+        stubs = self.topology.stubs
+        routes: List[RouteSpec] = []
+        used: set = set()
+        while len(routes) < self.n_routes:
+            origin = rng.choice(stubs)
+            base_path = tuple(self.topology.path_to_tier1(origin, rng))
+            if rng.random() < self.prepend_probability:
+                base_path = (base_path[0],) + base_path  # sender prepend
+            origin_code = rng.choices(
+                (int(Origin.IGP), int(Origin.INCOMPLETE), int(Origin.EGP)),
+                (0.62, 0.33, 0.05),
+            )[0]
+            med = rng.randrange(0, 200) if rng.random() < self.med_probability else None
+            if rng.random() < self.community_probability:
+                count = rng.randrange(1, 5)
+                communities = tuple(
+                    sorted(
+                        (rng.choice(base_path) << 16) | rng.randrange(0, 1000)
+                        for _ in range(count)
+                    )
+                )
+            else:
+                communities = ()
+            burst = min(rng.randrange(1, 9), self.n_routes - len(routes))
+            for _ in range(burst):
+                routes.append(
+                    RouteSpec(
+                        self._draw_prefix(rng, used),
+                        base_path,
+                        origin_code,
+                        med,
+                        communities,
+                    )
+                )
+        return routes
+
+
+def _attributes_for(
+    spec: RouteSpec,
+    next_hop: int,
+    local_pref: Optional[int],
+    first_asn: Optional[int],
+) -> Tuple[PathAttribute, ...]:
+    path = spec.as_path
+    if first_asn is not None:
+        path = (first_asn,) + path
+    attributes: List[PathAttribute] = [
+        make_origin(Origin(spec.origin)),
+        make_as_path(AsPath.from_sequence(path)),
+        make_next_hop(next_hop),
+    ]
+    if spec.med is not None:
+        attributes.append(make_med(spec.med))
+    if local_pref is not None:
+        attributes.append(make_local_pref(local_pref))
+    if spec.communities:
+        attributes.append(make_communities(spec.communities))
+    return tuple(attributes)
+
+
+def build_updates(
+    routes: Iterable[RouteSpec],
+    next_hop: int,
+    session: str = "ibgp",
+    local_pref: Optional[int] = 100,
+    sender_asn: Optional[int] = None,
+    max_prefixes_per_update: int = 64,
+) -> List[UpdateMessage]:
+    """Pack routes into UPDATE messages the way a feeding router would.
+
+    ``session`` selects iBGP (LOCAL_PREF present) or eBGP (no
+    LOCAL_PREF; ``sender_asn`` prepended as the neighbor's AS) shaping.
+    Routes with identical attribute sets share UPDATEs, up to
+    ``max_prefixes_per_update`` NLRI each.
+    """
+    if session not in ("ibgp", "ebgp"):
+        raise ValueError(f"bad session kind {session!r}")
+    effective_local_pref = local_pref if session == "ibgp" else None
+    first_asn = sender_asn if session == "ebgp" else None
+
+    groups: Dict[Tuple[PathAttribute, ...], List[Prefix]] = {}
+    order: List[Tuple[PathAttribute, ...]] = []
+    for spec in routes:
+        attributes = _attributes_for(spec, next_hop, effective_local_pref, first_asn)
+        bucket = groups.get(attributes)
+        if bucket is None:
+            groups[attributes] = [spec.prefix]
+            order.append(attributes)
+        else:
+            bucket.append(spec.prefix)
+
+    updates: List[UpdateMessage] = []
+    for attributes in order:
+        prefixes = groups[attributes]
+        for start in range(0, len(prefixes), max_prefixes_per_update):
+            updates.append(
+                UpdateMessage(
+                    attributes=attributes,
+                    nlri=prefixes[start : start + max_prefixes_per_update],
+                )
+            )
+    return updates
+
+
+def origins_of(routes: Iterable[RouteSpec]) -> List[Tuple[Prefix, int]]:
+    """(prefix, origin AS) pairs — input for ROA-set construction."""
+    return [(spec.prefix, spec.origin_asn) for spec in routes]

@@ -1,0 +1,99 @@
+"""Synthetic AS-level topology for workload generation.
+
+A three-tier provider hierarchy built with preferential attachment:
+a small clique of tier-1 ASes, mid-tier transit ASes homing into them,
+and a long tail of stub ASes (the prefix originators).  AS paths seen
+from a vantage point are provider chains down to the origin, which
+gives the short, heavy-tailed path-length mix of a real RIS table.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["AsTopology"]
+
+
+class AsTopology:
+    """Provider/customer AS graph with vantage-point path synthesis."""
+
+    def __init__(
+        self,
+        providers: Dict[int, List[int]],
+        tier1: List[int],
+        stubs: List[int],
+    ):
+        self._providers = providers
+        self.tier1 = list(tier1)
+        self.stubs = list(stubs)
+
+    @classmethod
+    def generate(
+        cls,
+        n_ases: int = 600,
+        n_tier1: int = 8,
+        transit_fraction: float = 0.15,
+        seed: int = 20200604,
+    ) -> "AsTopology":
+        """Build a topology of ``n_ases`` ASes.
+
+        AS numbers start at 3 (1 and 2 stay free for harness routers).
+        Preferential attachment makes early transit ASes heavy, giving
+        the usual skewed degree distribution.
+        """
+        if n_ases < n_tier1 + 2:
+            raise ValueError("need more ASes than tier-1s")
+        rng = random.Random(seed)
+        asns = list(range(3, 3 + n_ases))
+        tier1 = asns[:n_tier1]
+        n_transit = max(1, int(n_ases * transit_fraction))
+        transit = asns[n_tier1 : n_tier1 + n_transit]
+        stubs = asns[n_tier1 + n_transit :]
+
+        providers: Dict[int, List[int]] = {asn: [] for asn in asns}
+        attach_pool: List[int] = list(tier1)  # weighted by repetition
+        for asn in transit:
+            count = rng.choice((1, 1, 2, 2, 3))
+            chosen = set()
+            for _ in range(count):
+                provider = rng.choice(attach_pool)
+                if provider != asn:
+                    chosen.add(provider)
+            providers[asn] = sorted(chosen)
+            attach_pool.extend([asn] * 3)  # transits attract customers
+        for asn in stubs:
+            count = rng.choice((1, 1, 1, 2, 2, 3))
+            chosen = set()
+            for _ in range(count):
+                provider = rng.choice(attach_pool)
+                if provider != asn:
+                    chosen.add(provider)
+            providers[asn] = sorted(chosen)
+        return cls(providers, tier1, stubs)
+
+    def providers_of(self, asn: int) -> List[int]:
+        return list(self._providers.get(asn, []))
+
+    def all_ases(self) -> List[int]:
+        return sorted(self._providers)
+
+    def path_to_tier1(self, origin: int, rng: random.Random) -> List[int]:
+        """Random provider chain from ``origin`` up to a tier-1 AS.
+
+        Returned leftmost-first like a received AS_PATH at a tier-1
+        vantage: ``[..., provider, origin]``.
+        """
+        chain = [origin]
+        current = origin
+        seen = {origin}
+        for _ in range(16):
+            if current in self.tier1:
+                break
+            choices = [p for p in self._providers.get(current, []) if p not in seen]
+            if not choices:
+                break
+            current = rng.choice(choices)
+            seen.add(current)
+            chain.append(current)
+        return list(reversed(chain))

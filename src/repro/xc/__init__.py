@@ -1,0 +1,22 @@
+"""xc: a small C-subset compiler targeting eBPF.
+
+The paper's operators write xBGP programs in C and compile them with
+clang to eBPF bytecode.  This package provides the offline equivalent:
+``compile_source`` turns a C-subset program (64-bit unsigned scalars,
+typed pointer dereferences, ``if``/``while``/``return``, helper calls,
+``#define``) into eBPF instructions runnable by :mod:`repro.ebpf`.
+"""
+
+from .codegen import CompileError, compile_program, compile_source
+from .lexer import LexerError, tokenize
+from .parser import ParseError, parse
+
+__all__ = [
+    "CompileError",
+    "compile_program",
+    "compile_source",
+    "LexerError",
+    "tokenize",
+    "ParseError",
+    "parse",
+]

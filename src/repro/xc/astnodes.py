@@ -1,0 +1,208 @@
+"""AST node definitions for xc."""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Tuple, Union
+
+__all__ = [
+    "Number",
+    "Name",
+    "Unary",
+    "Binary",
+    "Logical",
+    "Call",
+    "Load",
+    "Str",
+    "Expr",
+    "VarDecl",
+    "ArrayDecl",
+    "Assign",
+    "Store",
+    "IndexAssign",
+    "Index",
+    "If",
+    "While",
+    "For",
+    "Return",
+    "Break",
+    "Continue",
+    "ExprStatement",
+    "Statement",
+    "Block",
+    "Function",
+    "Program",
+]
+
+
+class Number(NamedTuple):
+    value: int
+    line: int
+
+
+class Name(NamedTuple):
+    name: str
+    line: int
+
+
+class Unary(NamedTuple):
+    op: str  # '-', '~', '!'
+    operand: "Expr"
+    line: int
+
+
+class Binary(NamedTuple):
+    op: str  # + - * / % & | ^ << >> == != < <= > >=
+    left: "Expr"
+    right: "Expr"
+    line: int
+
+
+class Logical(NamedTuple):
+    op: str  # '&&' or '||'
+    left: "Expr"
+    right: "Expr"
+    line: int
+
+
+class Call(NamedTuple):
+    name: str
+    args: Tuple["Expr", ...]
+    line: int
+
+
+class Load(NamedTuple):
+    size: int  # 1, 2, 4 or 8 bytes
+    address: "Expr"
+    line: int
+
+
+class Str(NamedTuple):
+    value: bytes  # unescaped, without the trailing NUL
+    line: int
+
+
+class Index(NamedTuple):
+    """Array element read: ``name[index]`` (element size from the
+    array's declaration)."""
+
+    name: str
+    index: "Expr"
+    line: int
+
+
+Expr = Union[Number, Name, Unary, Binary, Logical, Call, Load, Str, Index]
+
+
+class VarDecl(NamedTuple):
+    name: str
+    init: Optional[Expr]
+    line: int
+
+
+class ArrayDecl(NamedTuple):
+    name: str
+    element_size: int  # bytes per element
+    count: int
+    line: int
+
+
+class Assign(NamedTuple):
+    name: str
+    value: Expr
+    line: int
+
+
+class Store(NamedTuple):
+    size: int
+    address: Expr
+    value: Expr
+    line: int
+
+
+class IndexAssign(NamedTuple):
+    """Array element write: ``name[index] = value``."""
+
+    name: str
+    index: Expr
+    value: Expr
+    line: int
+
+
+class If(NamedTuple):
+    condition: Expr
+    then_body: "Block"
+    else_body: Optional["Block"]
+    line: int
+
+
+class While(NamedTuple):
+    condition: Expr
+    body: "Block"
+    line: int
+
+
+class For(NamedTuple):
+    """C-style for: init and step are optional statements, condition an
+    optional expression (absent means true)."""
+
+    init: Optional["Statement"]
+    condition: Optional[Expr]
+    step: Optional["Statement"]
+    body: "Block"
+    line: int
+
+
+class Return(NamedTuple):
+    value: Optional[Expr]
+    line: int
+
+
+class Break(NamedTuple):
+    line: int
+
+
+class Continue(NamedTuple):
+    line: int
+
+
+class ExprStatement(NamedTuple):
+    expr: Expr
+    line: int
+
+
+Statement = Union[
+    "For",
+    VarDecl,
+    ArrayDecl,
+    Assign,
+    Store,
+    IndexAssign,
+    If,
+    While,
+    Return,
+    Break,
+    Continue,
+    ExprStatement,
+]
+
+
+class Block(NamedTuple):
+    statements: Tuple[Statement, ...]
+
+
+class Function(NamedTuple):
+    name: str
+    params: Tuple[str, ...]
+    body: Block
+    line: int
+
+
+class Program(NamedTuple):
+    functions: Tuple[Function, ...]
+
+    @property
+    def entry(self) -> Function:
+        """The entry point: the last function defined (C convention —
+        callees appear before their callers, so the program's public
+        function comes last)."""
+        return self.functions[-1]

@@ -1,0 +1,813 @@
+"""eBPF code generation for xc.
+
+The generated code is simple and regular rather than optimal: every
+local variable and every expression temporary lives in a stack slot, so
+values never sit in a caller-saved register across a helper call.  User
+functions other than the entry point are inlined at their call sites
+(our VM, like classic ubpf, dispatches ``call`` only to helpers).
+
+Builtins compiled inline rather than called:
+
+* ``htons``/``htonl``/``htonll`` and the ``ntoh*`` twins — byte swaps
+  (the paper's plugins use ``bpf_htonl`` etc. to build wire bytes);
+* ``sgt``/``sge``/``slt``/``sle`` — signed comparisons (xc's operators
+  are unsigned like eBPF's default jumps).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..ebpf.isa import (
+    ALU_OPS,
+    BPF_ALU,
+    BPF_ALU64,
+    BPF_DW,
+    BPF_IMM,
+    BPF_JMP,
+    BPF_K,
+    BPF_LD,
+    BPF_LDX,
+    BPF_MEM,
+    BPF_STX,
+    BPF_X,
+    JMP_OPS,
+    Instruction,
+)
+from ..ebpf.memory import STACK_SIZE
+from .astnodes import (
+    ArrayDecl,
+    Assign,
+    For,
+    Index,
+    IndexAssign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    Continue,
+    Expr,
+    ExprStatement,
+    Function,
+    If,
+    Load,
+    Logical,
+    Name,
+    Number,
+    Program,
+    Return,
+    Statement,
+    Store,
+    Str,
+    Unary,
+    VarDecl,
+    While,
+)
+from .parser import parse
+
+__all__ = ["compile_source", "compile_program", "CompileError"]
+
+_SIZE_TO_FLAG = {1: 0x10, 2: 0x08, 4: 0x00, 8: 0x18}
+
+_CMP_TO_JMP = {
+    "==": "jeq",
+    "!=": "jne",
+    "<": "jlt",
+    "<=": "jle",
+    ">": "jgt",
+    ">=": "jge",
+}
+_SIGNED_CMP = {"sgt": "jsgt", "sge": "jsge", "slt": "jslt", "sle": "jsle"}
+_SWAPS = {
+    "htons": 16,
+    "ntohs": 16,
+    "htonl": 32,
+    "ntohl": 32,
+    "htonll": 64,
+    "ntohll": 64,
+    "bpf_htons": 16,
+    "bpf_ntohs": 16,
+    "bpf_htonl": 32,
+    "bpf_ntohl": 32,
+    "bpf_htonll": 64,
+    "bpf_ntohll": 64,
+}
+_ARITH = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "/": "div",
+    "%": "mod",
+    "&": "and",
+    "|": "or",
+    "^": "xor",
+    "<<": "lsh",
+    ">>": "rsh",
+}
+
+_MAX_INLINE_DEPTH = 16
+
+_M64 = (1 << 64) - 1
+
+_FOLDERS = {
+    "+": lambda a, b: (a + b) & _M64,
+    "-": lambda a, b: (a - b) & _M64,
+    "*": lambda a, b: (a * b) & _M64,
+    "/": lambda a, b: (a // b) & _M64 if b else 0,
+    "%": lambda a, b: (a % b) & _M64 if b else a,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: (a << (b % 64)) & _M64,
+    ">>": lambda a, b: (a & _M64) >> (b % 64),
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    ">": lambda a, b: int(a > b),
+    ">=": lambda a, b: int(a >= b),
+}
+
+
+def _fold(expr):
+    """Constant-fold a pure expression tree (64-bit unsigned semantics,
+    matching the VM).  Division by a constant zero is left unfolded so
+    the verifier still rejects it."""
+    if isinstance(expr, Binary):
+        left = _fold(expr.left)
+        right = _fold(expr.right)
+        if isinstance(left, Number) and isinstance(right, Number):
+            if expr.op in ("/", "%") and (right.value & _M64) == 0:
+                return Binary(expr.op, left, right, expr.line)
+            folder = _FOLDERS.get(expr.op)
+            if folder is not None:
+                return Number(folder(left.value & _M64, right.value & _M64), expr.line)
+        return Binary(expr.op, left, right, expr.line)
+    if isinstance(expr, Unary):
+        operand = _fold(expr.operand)
+        if isinstance(operand, Number):
+            value = operand.value & _M64
+            if expr.op == "-":
+                return Number((-value) & _M64, expr.line)
+            if expr.op == "~":
+                return Number(value ^ _M64, expr.line)
+            if expr.op == "!":
+                return Number(int(value == 0), expr.line)
+        return Unary(expr.op, operand, expr.line)
+    if isinstance(expr, Logical):
+        left = _fold(expr.left)
+        if isinstance(left, Number):
+            truthy = (left.value & _M64) != 0
+            if expr.op == "&&" and not truthy:
+                return Number(0, expr.line)
+            if expr.op == "||" and truthy:
+                return Number(1, expr.line)
+            # Constant non-deciding left: result is right's truthiness.
+            right = _fold(expr.right)
+            if isinstance(right, Number):
+                return Number(int((right.value & _M64) != 0), expr.line)
+            return Logical(expr.op, left, right, expr.line)
+        return Logical(expr.op, left, _fold(expr.right), expr.line)
+    if isinstance(expr, Load):
+        return Load(expr.size, _fold(expr.address), expr.line)
+    if isinstance(expr, Call):
+        return Call(expr.name, tuple(_fold(arg) for arg in expr.args), expr.line)
+    if isinstance(expr, Index):
+        return Index(expr.name, _fold(expr.index), expr.line)
+    return expr
+
+
+class CompileError(ValueError):
+    def __init__(self, line: int, message: str):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class _Emitter:
+    """Instruction buffer with label-based branch fixups."""
+
+    def __init__(self) -> None:
+        self.instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._fixups: List[Tuple[int, str]] = []  # (slot index, label)
+        self._label_counter = 0
+
+    def new_label(self, stem: str) -> str:
+        self._label_counter += 1
+        return f"{stem}_{self._label_counter}"
+
+    def bind(self, label: str) -> None:
+        if label in self._labels:
+            raise ValueError(f"label {label!r} bound twice")
+        self._labels[label] = len(self.instructions)
+
+    def raw(self, instruction: Instruction) -> None:
+        self.instructions.append(instruction)
+
+    # -- convenience constructors ------------------------------------
+
+    def alu_imm(self, op: str, dst: int, imm: int) -> None:
+        self.raw(Instruction(BPF_ALU64 | BPF_K | ALU_OPS[op], dst, 0, 0, imm))
+
+    def alu_reg(self, op: str, dst: int, src: int) -> None:
+        self.raw(Instruction(BPF_ALU64 | BPF_X | ALU_OPS[op], dst, src, 0, 0))
+
+    def mov_imm(self, dst: int, imm: int) -> None:
+        if -(2**31) <= imm < 2**31:
+            self.alu_imm("mov", dst, imm)
+        else:
+            self.lddw(dst, imm)
+
+    def mov_reg(self, dst: int, src: int) -> None:
+        self.alu_reg("mov", dst, src)
+
+    def lddw(self, dst: int, value: int) -> None:
+        value &= 0xFFFFFFFFFFFFFFFF
+        low = value & 0xFFFFFFFF
+        high = value >> 32
+        self.raw(Instruction(BPF_LD | BPF_IMM | BPF_DW, dst, 0, 0, _s32(low)))
+        self.raw(Instruction(0, 0, 0, 0, _s32(high)))
+
+    def load(self, size: int, dst: int, src: int, offset: int) -> None:
+        self.raw(
+            Instruction(BPF_LDX | BPF_MEM | _SIZE_TO_FLAG[size], dst, src, offset, 0)
+        )
+
+    def store_reg(self, size: int, dst: int, offset: int, src: int) -> None:
+        self.raw(
+            Instruction(BPF_STX | BPF_MEM | _SIZE_TO_FLAG[size], dst, src, offset, 0)
+        )
+
+    def jump(self, op: str, dst: int, label: str, imm: int = 0, src: int = -1) -> None:
+        if src >= 0:
+            opcode = BPF_JMP | BPF_X | JMP_OPS[op]
+            instruction = Instruction(opcode, dst, src, 0, 0)
+        else:
+            opcode = BPF_JMP | BPF_K | JMP_OPS[op]
+            instruction = Instruction(opcode, dst, 0, 0, _s32(imm))
+        self._fixups.append((len(self.instructions), label))
+        self.raw(instruction)
+
+    def ja(self, label: str) -> None:
+        self._fixups.append((len(self.instructions), label))
+        self.raw(Instruction(BPF_JMP | JMP_OPS["ja"], 0, 0, 0, 0))
+
+    def call(self, helper_id: int) -> None:
+        self.raw(Instruction(BPF_JMP | JMP_OPS["call"], 0, 0, 0, helper_id))
+
+    def exit(self) -> None:
+        self.raw(Instruction(BPF_JMP | JMP_OPS["exit"], 0, 0, 0, 0))
+
+    def endian_be(self, width: int, dst: int) -> None:
+        self.raw(Instruction(BPF_ALU | BPF_X | ALU_OPS["end"], dst, 0, 0, width))
+
+    def finish(self) -> List[Instruction]:
+        for index, label in self._fixups:
+            target = self._labels.get(label)
+            if target is None:
+                raise ValueError(f"unbound label {label!r}")
+            offset = target - index - 1
+            if not -32768 <= offset <= 32767:
+                raise ValueError(f"branch to {label!r} out of range")
+            instruction = self.instructions[index]
+            self.instructions[index] = instruction._replace(offset=offset)
+        return self.instructions
+
+
+def _s32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+#: Frame split: scalar slots (locals, temporaries, parameters) live in
+#: [-SCALAR_LIMIT, 0); address-taken blocks (arrays, string literals)
+#: live in [-STACK_SIZE, -SCALAR_LIMIT).  The JIT's trusted-layout mode
+#: relies on this segregation: pointers derived from r10 can only reach
+#: the block region, so scalar slots are safely promoted to Python
+#: locals even in programs that take stack addresses.
+SCALAR_LIMIT = 384
+
+
+class _Frame:
+    """Stack-slot allocator for one program (shared across inlines).
+
+    Scalars allocate downward from the frame top; address-taken blocks
+    allocate upward from the frame bottom.  The two must not meet.
+    """
+
+    def __init__(self) -> None:
+        self._scalar_offset = 0  # bytes below r10 handed to scalars
+        self._block_top = -STACK_SIZE  # next free block offset
+        self._free_slots: List[int] = []  # reusable 8-byte scalar slots
+
+    def alloc_scalar(self, line: int) -> int:
+        """Allocate one 8-byte scalar slot (local variable, parameter).
+
+        Recycled slots (dead temporaries, out-of-scope locals) are
+        reused before the frame grows.
+        """
+        if self._free_slots:
+            return self._free_slots.pop()
+        self._scalar_offset += 8
+        if self._scalar_offset > SCALAR_LIMIT:
+            raise CompileError(
+                line, f"more than {SCALAR_LIMIT // 8} live scalar slots"
+            )
+        return -self._scalar_offset
+
+    def alloc_block(self, size: int, line: int) -> int:
+        """Allocate an address-taken block (array or string literal)."""
+        aligned = (size + 7) & ~7
+        offset = self._block_top
+        self._block_top += aligned
+        if self._block_top > -SCALAR_LIMIT:
+            raise CompileError(
+                line,
+                f"arrays/strings exceed {STACK_SIZE - SCALAR_LIMIT} frame bytes",
+            )
+        return offset
+
+    def alloc_temp(self, line: int) -> int:
+        if self._free_slots:
+            return self._free_slots.pop()
+        return self.alloc_scalar(line)
+
+    def free_temp(self, offset: int) -> None:
+        self._free_slots.append(offset)
+
+
+class _Scope:
+    """Lexical scoping of variable names to frame offsets.
+
+    Scalar slots owned by a scope are recycled when the scope ends:
+    block locals and inlined callees\' frames reuse stack space instead
+    of growing the frame monotonically.
+    """
+
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self._parent = parent
+        self._vars: Dict[str, Tuple[str, int, int]] = {}  # name -> (kind, offset, elem)
+        self.scalar_slots: List[int] = []
+
+    def declare(
+        self, name: str, kind: str, offset: int, line: int, elem: int = 8
+    ) -> None:
+        if name in self._vars:
+            raise CompileError(line, f"redeclaration of {name!r}")
+        self._vars[name] = (kind, offset, elem)
+        if kind == "var":
+            self.scalar_slots.append(offset)
+
+    def lookup(self, name: str) -> Optional[Tuple[str, int]]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            entry = scope._vars.get(name)
+            if entry is not None:
+                return entry
+            scope = scope._parent
+        return None
+
+
+class _Compiler:
+    def __init__(
+        self,
+        program: Program,
+        helper_ids: Mapping[str, int],
+        constants: Mapping[str, int],
+    ):
+        self.program = program
+        self.helper_ids = dict(helper_ids)
+        self.constants = dict(constants)
+        self.functions = {fn.name: fn for fn in program.functions}
+        self.emitter = _Emitter()
+        self.frame = _Frame()
+        self._loop_stack: List[Tuple[str, str]] = []  # (continue, break) labels
+        self._inline_stack: List[str] = []
+        # (result slot, end label) for the innermost inlined call.
+        self._inline_returns: List[Tuple[int, str]] = []
+
+    # -- entry -----------------------------------------------------------
+
+    def compile(self) -> List[Instruction]:
+        entry = self.program.entry
+        scope = _Scope()
+        for index, param in enumerate(entry.params):
+            offset = self.frame.alloc_scalar(entry.line)
+            scope.declare(param, "var", offset, entry.line)
+            self.emitter.store_reg(8, 10, offset, index + 1)
+        self._block(entry.body, scope)
+        # Implicit ``return 0`` guard for paths that fall off the end.
+        self.emitter.mov_imm(0, 0)
+        self.emitter.exit()
+        return self.emitter.finish()
+
+    # -- statements ---------------------------------------------------------
+
+    def _block(self, block: Block, parent: _Scope) -> None:
+        scope = _Scope(parent)
+        for statement in block.statements:
+            self._statement(statement, scope)
+        # Block locals die with the scope: recycle their slots.
+        for offset in scope.scalar_slots:
+            self.frame.free_temp(offset)
+
+    def _statement(self, statement: Statement, scope: _Scope) -> None:
+        emit = self.emitter
+        if isinstance(statement, VarDecl):
+            offset = self.frame.alloc_scalar(statement.line)
+            if statement.init is not None:
+                slot = self._expr(statement.init, scope)
+                emit.load(8, 1, 10, slot)
+                emit.store_reg(8, 10, offset, 1)
+                self.frame.free_temp(slot)
+            else:
+                emit.mov_imm(1, 0)
+                emit.store_reg(8, 10, offset, 1)
+            scope.declare(statement.name, "var", offset, statement.line)
+            return
+        if isinstance(statement, ArrayDecl):
+            size = statement.element_size * statement.count
+            if size <= 0:
+                raise CompileError(statement.line, "zero-sized array")
+            offset = self.frame.alloc_block(size, statement.line)
+            scope.declare(
+                statement.name, "array", offset, statement.line,
+                elem=statement.element_size,
+            )
+            return
+        if isinstance(statement, Assign):
+            entry = scope.lookup(statement.name)
+            if entry is None or entry[0] != "var":
+                raise CompileError(
+                    statement.line, f"assignment to undeclared {statement.name!r}"
+                )
+            slot = self._expr(statement.value, scope)
+            emit.load(8, 1, 10, slot)
+            emit.store_reg(8, 10, entry[1], 1)
+            self.frame.free_temp(slot)
+            return
+        if isinstance(statement, IndexAssign):
+            entry = scope.lookup(statement.name)
+            if entry is None or entry[0] != "array":
+                raise CompileError(
+                    statement.line, f"{statement.name!r} is not an array"
+                )
+            _, offset, elem = entry
+            value_slot = self._expr(statement.value, scope)
+            index_slot = self._expr(statement.index, scope)
+            emit.load(8, 1, 10, index_slot)
+            if elem != 1:
+                emit.alu_imm("mul", 1, elem)
+            emit.alu_reg("add", 1, 10)
+            emit.alu_imm("add", 1, offset)
+            emit.load(8, 2, 10, value_slot)
+            emit.store_reg(elem, 1, 0, 2)
+            self.frame.free_temp(index_slot)
+            self.frame.free_temp(value_slot)
+            return
+        if isinstance(statement, Store):
+            addr_slot = self._expr(statement.address, scope)
+            value_slot = self._expr(statement.value, scope)
+            emit.load(8, 1, 10, addr_slot)
+            emit.load(8, 2, 10, value_slot)
+            emit.store_reg(statement.size, 1, 0, 2)
+            self.frame.free_temp(value_slot)
+            self.frame.free_temp(addr_slot)
+            return
+        if isinstance(statement, If):
+            else_label = emit.new_label("else")
+            end_label = emit.new_label("endif")
+            self._branch_if_false(statement.condition, scope, else_label)
+            self._block(statement.then_body, scope)
+            if statement.else_body is not None:
+                emit.ja(end_label)
+                emit.bind(else_label)
+                self._block(statement.else_body, scope)
+                emit.bind(end_label)
+            else:
+                emit.bind(else_label)
+            return
+        if isinstance(statement, For):
+            for_scope = _Scope(scope)
+            if statement.init is not None:
+                self._statement(statement.init, for_scope)
+            top_label = emit.new_label("for")
+            step_label = emit.new_label("forstep")
+            end_label = emit.new_label("endfor")
+            emit.bind(top_label)
+            if statement.condition is not None:
+                self._branch_if_false(statement.condition, for_scope, end_label)
+            # `continue` jumps to the step clause, not the condition.
+            self._loop_stack.append((step_label, end_label))
+            self._block(statement.body, for_scope)
+            self._loop_stack.pop()
+            emit.bind(step_label)
+            if statement.step is not None:
+                self._statement(statement.step, for_scope)
+            emit.ja(top_label)
+            emit.bind(end_label)
+            for offset in for_scope.scalar_slots:
+                self.frame.free_temp(offset)
+            return
+        if isinstance(statement, While):
+            top_label = emit.new_label("loop")
+            end_label = emit.new_label("endloop")
+            emit.bind(top_label)
+            self._branch_if_false(statement.condition, scope, end_label)
+            self._loop_stack.append((top_label, end_label))
+            self._block(statement.body, scope)
+            self._loop_stack.pop()
+            emit.ja(top_label)
+            emit.bind(end_label)
+            return
+        if isinstance(statement, Return):
+            if statement.value is not None:
+                slot = self._expr(statement.value, scope)
+                emit.load(8, 0, 10, slot)
+                self.frame.free_temp(slot)
+            else:
+                emit.mov_imm(0, 0)
+            if self._inline_returns:
+                result_slot, end_label = self._inline_returns[-1]
+                emit.store_reg(8, 10, result_slot, 0)
+                emit.ja(end_label)
+            else:
+                emit.exit()
+            return
+        if isinstance(statement, Break):
+            if not self._loop_stack:
+                raise CompileError(statement.line, "break outside loop")
+            emit.ja(self._loop_stack[-1][1])
+            return
+        if isinstance(statement, Continue):
+            if not self._loop_stack:
+                raise CompileError(statement.line, "continue outside loop")
+            emit.ja(self._loop_stack[-1][0])
+            return
+        if isinstance(statement, ExprStatement):
+            slot = self._expr(statement.expr, scope)
+            self.frame.free_temp(slot)
+            return
+        raise CompileError(getattr(statement, "line", 0), f"bad statement {statement}")
+
+    def _branch_if_false(self, condition: Expr, scope: _Scope, label: str) -> None:
+        slot = self._expr(condition, scope)
+        self.emitter.load(8, 1, 10, slot)
+        self.frame.free_temp(slot)
+        self.emitter.jump("jeq", 1, label, imm=0)
+
+    # -- expressions -----------------------------------------------------------
+
+    def _expr(self, expr: Expr, scope: _Scope) -> int:
+        """Compile ``expr``; return the frame offset of its result slot."""
+        expr = _fold(expr)
+        emit = self.emitter
+        frame = self.frame
+
+        if isinstance(expr, Number):
+            slot = frame.alloc_temp(expr.line)
+            emit.mov_imm(1, expr.value)
+            emit.store_reg(8, 10, slot, 1)
+            return slot
+
+        if isinstance(expr, Str):
+            # NUL-terminated string on the stack; value is its address.
+            data = expr.value + b"\x00"
+            block = frame.alloc_block(len(data), expr.line)
+            for index in range(0, len(data), 8):
+                chunk = data[index : index + 8]
+                emit.mov_imm(1, int.from_bytes(chunk.ljust(8, b"\x00"), "little"))
+                emit.store_reg(8, 10, block + index, 1)
+            slot = frame.alloc_temp(expr.line)
+            emit.mov_reg(1, 10)
+            emit.alu_imm("add", 1, block)
+            emit.store_reg(8, 10, slot, 1)
+            return slot
+
+        if isinstance(expr, Name):
+            entry = scope.lookup(expr.name)
+            if entry is not None:
+                kind, offset = entry[0], entry[1]
+                slot = frame.alloc_temp(expr.line)
+                if kind == "var":
+                    emit.load(8, 1, 10, offset)
+                else:  # array name decays to its address
+                    emit.mov_reg(1, 10)
+                    emit.alu_imm("add", 1, offset)
+                emit.store_reg(8, 10, slot, 1)
+                return slot
+            if expr.name in self.constants:
+                slot = frame.alloc_temp(expr.line)
+                emit.mov_imm(1, self.constants[expr.name])
+                emit.store_reg(8, 10, slot, 1)
+                return slot
+            raise CompileError(expr.line, f"undefined name {expr.name!r}")
+
+        if isinstance(expr, Unary):
+            slot = self._expr(expr.operand, scope)
+            emit.load(8, 1, 10, slot)
+            if expr.op == "-":
+                emit.raw(
+                    Instruction(BPF_ALU64 | BPF_K | ALU_OPS["neg"], 1, 0, 0, 0)
+                )
+            elif expr.op == "~":
+                emit.alu_imm("xor", 1, -1)
+            elif expr.op == "!":
+                done = emit.new_label("notz")
+                emit.mov_imm(2, 1)
+                emit.jump("jeq", 1, done, imm=0)
+                emit.mov_imm(2, 0)
+                emit.bind(done)
+                emit.mov_reg(1, 2)
+            else:
+                raise CompileError(expr.line, f"bad unary {expr.op!r}")
+            emit.store_reg(8, 10, slot, 1)
+            return slot
+
+        if isinstance(expr, Binary):
+            left_slot = self._expr(expr.left, scope)
+            right_slot = self._expr(expr.right, scope)
+            emit.load(8, 1, 10, left_slot)
+            emit.load(8, 2, 10, right_slot)
+            if expr.op in _ARITH:
+                emit.alu_reg(_ARITH[expr.op], 1, 2)
+            elif expr.op in _CMP_TO_JMP:
+                true_label = emit.new_label("cmpt")
+                emit.mov_imm(3, 1)
+                emit.jump(_CMP_TO_JMP[expr.op], 1, true_label, src=2)
+                emit.mov_imm(3, 0)
+                emit.bind(true_label)
+                emit.mov_reg(1, 3)
+            else:
+                raise CompileError(expr.line, f"bad operator {expr.op!r}")
+            emit.store_reg(8, 10, left_slot, 1)
+            frame.free_temp(right_slot)
+            return left_slot
+
+        if isinstance(expr, Logical):
+            slot = frame.alloc_temp(expr.line)
+            short_label = emit.new_label("sc")
+            end_label = emit.new_label("scend")
+            left_slot = self._expr(expr.left, scope)
+            emit.load(8, 1, 10, left_slot)
+            frame.free_temp(left_slot)
+            if expr.op == "&&":
+                emit.jump("jeq", 1, short_label, imm=0)
+            else:  # '||'
+                emit.jump("jne", 1, short_label, imm=0)
+            right_slot = self._expr(expr.right, scope)
+            emit.load(8, 1, 10, right_slot)
+            frame.free_temp(right_slot)
+            norm_label = emit.new_label("norm")
+            emit.mov_imm(2, 1)
+            emit.jump("jne", 1, norm_label, imm=0)
+            emit.mov_imm(2, 0)
+            emit.bind(norm_label)
+            emit.store_reg(8, 10, slot, 2)
+            emit.ja(end_label)
+            emit.bind(short_label)
+            emit.mov_imm(2, 0 if expr.op == "&&" else 1)
+            emit.store_reg(8, 10, slot, 2)
+            emit.bind(end_label)
+            return slot
+
+        if isinstance(expr, Load):
+            addr_slot = self._expr(expr.address, scope)
+            emit.load(8, 1, 10, addr_slot)
+            emit.load(expr.size, 1, 1, 0)
+            emit.store_reg(8, 10, addr_slot, 1)
+            return addr_slot
+
+        if isinstance(expr, Index):
+            entry = scope.lookup(expr.name)
+            if entry is None or entry[0] != "array":
+                raise CompileError(expr.line, f"{expr.name!r} is not an array")
+            _, offset, elem = entry
+            slot = self._expr(expr.index, scope)
+            emit.load(8, 1, 10, slot)
+            if elem != 1:
+                emit.alu_imm("mul", 1, elem)
+            emit.alu_reg("add", 1, 10)
+            emit.alu_imm("add", 1, offset)
+            emit.load(elem, 1, 1, 0)
+            emit.store_reg(8, 10, slot, 1)
+            return slot
+
+        if isinstance(expr, Call):
+            return self._call(expr, scope)
+
+        raise CompileError(getattr(expr, "line", 0), f"bad expression {expr}")
+
+    def _call(self, expr: Call, scope: _Scope) -> int:
+        emit = self.emitter
+        frame = self.frame
+
+        # -- inline byte swaps -----------------------------------------
+        if expr.name in _SWAPS:
+            if len(expr.args) != 1:
+                raise CompileError(expr.line, f"{expr.name} takes one argument")
+            slot = self._expr(expr.args[0], scope)
+            emit.load(8, 1, 10, slot)
+            emit.endian_be(_SWAPS[expr.name], 1)
+            emit.store_reg(8, 10, slot, 1)
+            return slot
+
+        # -- inline signed comparisons ----------------------------------
+        if expr.name in _SIGNED_CMP:
+            if len(expr.args) != 2:
+                raise CompileError(expr.line, f"{expr.name} takes two arguments")
+            left_slot = self._expr(expr.args[0], scope)
+            right_slot = self._expr(expr.args[1], scope)
+            emit.load(8, 1, 10, left_slot)
+            emit.load(8, 2, 10, right_slot)
+            true_label = emit.new_label("scmp")
+            emit.mov_imm(3, 1)
+            emit.jump(_SIGNED_CMP[expr.name], 1, true_label, src=2)
+            emit.mov_imm(3, 0)
+            emit.bind(true_label)
+            emit.store_reg(8, 10, left_slot, 3)
+            frame.free_temp(right_slot)
+            return left_slot
+
+        # -- user-function inlining ---------------------------------------
+        if expr.name in self.functions and expr.name != self.program.entry.name:
+            return self._inline(expr, scope)
+
+        # -- helper call ------------------------------------------------------
+        helper_id = self.helper_ids.get(expr.name)
+        if helper_id is None:
+            raise CompileError(expr.line, f"unknown function {expr.name!r}")
+        arg_slots = [self._expr(arg, scope) for arg in expr.args]
+        for index, slot in enumerate(arg_slots):
+            emit.load(8, index + 1, 10, slot)
+        emit.call(helper_id)
+        for slot in arg_slots:
+            frame.free_temp(slot)
+        result_slot = frame.alloc_temp(expr.line)
+        emit.store_reg(8, 10, result_slot, 0)
+        return result_slot
+
+    def _inline(self, expr: Call, scope: _Scope) -> int:
+        if expr.name in self._inline_stack:
+            raise CompileError(expr.line, f"recursive call to {expr.name!r}")
+        if len(self._inline_stack) >= _MAX_INLINE_DEPTH:
+            raise CompileError(expr.line, "inline depth exceeded")
+        function = self.functions[expr.name]
+        if len(expr.args) != len(function.params):
+            raise CompileError(
+                expr.line,
+                f"{expr.name} expects {len(function.params)} arguments, "
+                f"got {len(expr.args)}",
+            )
+        emit = self.emitter
+        frame = self.frame
+        callee_scope = _Scope()  # no access to caller locals
+        for param, arg in zip(function.params, expr.args):
+            arg_slot = self._expr(arg, scope)
+            param_offset = frame.alloc_scalar(expr.line)
+            emit.load(8, 1, 10, arg_slot)
+            emit.store_reg(8, 10, param_offset, 1)
+            frame.free_temp(arg_slot)
+            callee_scope.declare(param, "var", param_offset, expr.line)
+        result_slot = frame.alloc_temp(expr.line)
+        end_label = emit.new_label(f"ret_{expr.name}")
+        # Default return value 0 if the callee falls off the end.
+        emit.mov_imm(1, 0)
+        emit.store_reg(8, 10, result_slot, 1)
+        self._inline_stack.append(expr.name)
+        self._inline_returns.append((result_slot, end_label))
+        self._block(function.body, callee_scope)
+        self._inline_returns.pop()
+        self._inline_stack.pop()
+        emit.bind(end_label)
+        # The callee's parameter slots die with the call.
+        for offset in callee_scope.scalar_slots:
+            frame.free_temp(offset)
+        return result_slot
+
+
+def compile_program(
+    program: Program,
+    helper_ids: Optional[Mapping[str, int]] = None,
+    constants: Optional[Mapping[str, int]] = None,
+) -> List[Instruction]:
+    """Compile a parsed program to eBPF instructions."""
+    return _Compiler(program, helper_ids or {}, constants or {}).compile()
+
+
+def compile_source(
+    source: str,
+    helper_ids: Optional[Mapping[str, int]] = None,
+    constants: Optional[Mapping[str, int]] = None,
+) -> List[Instruction]:
+    """Compile xc ``source`` to eBPF instructions.
+
+    ``helper_ids`` maps callable helper names to call numbers;
+    ``constants`` predefines names (session types, filter verdicts…)
+    usable as integer literals.
+    """
+    numeric_constants = {
+        name: int(value) for name, value in (constants or {}).items()
+    }
+    program = parse(source, numeric_constants)
+    return compile_program(program, helper_ids or {}, numeric_constants)

@@ -1,0 +1,131 @@
+"""Lexer for xc, the C subset xBGP programs are written in.
+
+The language is deliberately the part of C the paper's plugins use
+(Listing 1): 64-bit unsigned arithmetic, pointers as integers, typed
+dereferences ``*(u16 *)(ptr + 2)``, ``if``/``while``/``return``, helper
+calls and ``#define`` constants.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, NamedTuple, Optional
+
+__all__ = ["Token", "LexerError", "tokenize", "KEYWORDS", "TYPE_NAMES"]
+
+KEYWORDS = {
+    "for",
+    "if",
+    "else",
+    "while",
+    "return",
+    "break",
+    "continue",
+}
+
+TYPE_NAMES = {"u8", "u16", "u32", "u64", "int", "uint64_t", "void"}
+
+
+class LexerError(ValueError):
+    def __init__(self, line: int, message: str):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class Token(NamedTuple):
+    kind: str  # 'num', 'name', 'kw', 'type', 'op', 'punct', 'str'
+    text: str
+    line: int
+
+    @property
+    def value(self) -> int:
+        if self.kind != "num":
+            raise ValueError(f"not a number token: {self}")
+        return int(self.text, 0)
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t]+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<newline>\n)
+  | (?P<num>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<name>[A-Za-z_]\w*)
+  | (?P<str>"(?:[^"\\]|\\.)*")
+  | (?P<op><<=?|>>=?|<=|>=|==|!=|&&|\|\||[-+*/%&|^]=|[-+*/%&|^~!<>=])
+  | (?P<punct>[()\[\]{},;])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def _expand_defines(source: str) -> str:
+    """Strip ``#define NAME value`` lines, substituting token-wise."""
+    defines: Dict[str, str] = {}
+    kept_lines: List[str] = []
+    for line in source.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("#define"):
+            parts = stripped.split(None, 2)
+            if len(parts) != 3:
+                raise LexerError(0, f"malformed define: {stripped!r}")
+            defines[parts[1]] = parts[2]
+            kept_lines.append("")  # keep line numbering stable
+        elif stripped.startswith("#"):
+            kept_lines.append("")  # ignore other preprocessor lines
+        else:
+            kept_lines.append(line)
+    text = "\n".join(kept_lines)
+    if defines:
+        # Repeated substitution supports chained defines, bounded to
+        # avoid cycles.
+        for _ in range(8):
+            changed = False
+            for name, value in defines.items():
+                new = re.sub(rf"\b{re.escape(name)}\b", value, text)
+                if new != text:
+                    text = new
+                    changed = True
+            if not changed:
+                break
+    return text
+
+
+def tokenize(source: str, constants: Optional[Dict[str, int]] = None) -> List[Token]:
+    """Tokenize ``source``; ``constants`` are extra predefined names."""
+    source = _expand_defines(source)
+    if constants:
+        replacements = {name: str(value) for name, value in constants.items()}
+    else:
+        replacements = {}
+    tokens: List[Token] = []
+    line = 1
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise LexerError(line, f"unexpected character {source[position]!r}")
+        position = match.end()
+        kind = match.lastgroup
+        text = match.group()
+        if kind == "newline":
+            line += 1
+            continue
+        if kind in ("ws",):
+            continue
+        if kind == "comment":
+            line += text.count("\n")
+            continue
+        if kind == "name":
+            if text in replacements:
+                tokens.append(Token("num", replacements[text], line))
+            elif text in KEYWORDS:
+                tokens.append(Token("kw", text, line))
+            elif text in TYPE_NAMES:
+                tokens.append(Token("type", text, line))
+            else:
+                tokens.append(Token("name", text, line))
+            continue
+        tokens.append(Token(kind, text, line))
+    tokens.append(Token("eof", "", line))
+    return tokens

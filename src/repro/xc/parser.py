@@ -1,0 +1,405 @@
+"""Recursive-descent parser for xc.
+
+Grammar (precedence climbing for expressions)::
+
+    program     := function+
+    function    := type name '(' params? ')' block
+    params      := type name (',' type name)*
+    block       := '{' statement* '}'
+    statement   := type name ('[' num ']')? ('=' expr)? ';'
+                 | name ('=' | '+=' | '-=' | '*=' | '/=' | '%=' |
+                         '&=' | '|=' | '^=' | '<<=' | '>>=') expr ';'
+                 | name '[' expr ']' (assign-op) expr ';'
+                 | '*' '(' type '*' ')' '(' expr ')' '=' expr ';'
+                 | 'if' '(' expr ')' block ('else' (block | if-stmt))?
+                 | 'while' '(' expr ')' block
+                 | 'for' '(' init? ';' expr? ';' step? ')' block
+                 | 'return' expr? ';'
+                 | 'break' ';' | 'continue' ';'
+                 | expr ';'
+    expr        := logical-or
+    unary       := ('-' | '~' | '!')? postfix | deref
+    deref       := '*' '(' type '*' ')' unary
+    primary     := num | string | name | name '(' args ')'
+                 | name '[' expr ']' | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .astnodes import (
+    ArrayDecl,
+    Assign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    Continue,
+    Expr,
+    ExprStatement,
+    For,
+    Function,
+    If,
+    Index,
+    IndexAssign,
+    Load,
+    Logical,
+    Name,
+    Number,
+    Program,
+    Return,
+    Statement,
+    Store,
+    Str,
+    Unary,
+    VarDecl,
+    While,
+)
+from .lexer import Token, tokenize
+
+__all__ = ["parse", "ParseError"]
+
+_TYPE_SIZES = {"u8": 1, "u16": 2, "u32": 4, "u64": 8, "int": 8, "uint64_t": 8}
+
+# Binary operator precedence (higher binds tighter).
+_PRECEDENCE: Dict[str, int] = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+
+class ParseError(ValueError):
+    def __init__(self, token: Token, message: str):
+        super().__init__(f"line {token.line}: {message} (near {token.text!r})")
+        self.token = token
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing ------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        index = min(self._index + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        self._index += 1
+        return token
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self._next()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self._accept(kind, text)
+        if token is None:
+            want = text or kind
+            raise ParseError(self._peek(), f"expected {want!r}")
+        return token
+
+    # -- grammar ---------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        functions: List[Function] = []
+        while self._peek().kind != "eof":
+            functions.append(self._function())
+        if not functions:
+            raise ParseError(self._peek(), "empty program")
+        return Program(tuple(functions))
+
+    def _function(self) -> Function:
+        self._expect("type")
+        name = self._expect("name")
+        self._expect("punct", "(")
+        params: List[str] = []
+        if not self._accept("punct", ")"):
+            while True:
+                self._expect("type")
+                # Tolerate pointer-style params: ``type *name``.
+                while self._accept("op", "*"):
+                    pass
+                param = self._expect("name")
+                # Tolerate (and ignore) attribute-ish trailing names,
+                # e.g. ``bpf_full_args_t *args UNUSED``.
+                while self._peek().kind == "name":
+                    self._next()
+                params.append(param.text)
+                if self._accept("punct", ")"):
+                    break
+                self._expect("punct", ",")
+        if len(params) > 5:
+            raise ParseError(name, "at most 5 parameters (eBPF ABI)")
+        body = self._block()
+        return Function(name.text, tuple(params), body, name.line)
+
+    def _block(self) -> Block:
+        self._expect("punct", "{")
+        statements: List[Statement] = []
+        while not self._accept("punct", "}"):
+            statements.append(self._statement())
+        return Block(tuple(statements))
+
+    def _statement(self) -> Statement:
+        token = self._peek()
+
+        if token.kind == "type":
+            return self._declaration()
+
+        if token.kind == "kw":
+            if token.text == "if":
+                return self._if_statement()
+            if token.text == "while":
+                return self._while_statement()
+            if token.text == "for":
+                return self._for_statement()
+            if token.text == "return":
+                self._next()
+                if self._accept("punct", ";"):
+                    return Return(None, token.line)
+                value = self._expression()
+                self._expect("punct", ";")
+                return Return(value, token.line)
+            if token.text == "break":
+                self._next()
+                self._expect("punct", ";")
+                return Break(token.line)
+            if token.text == "continue":
+                self._next()
+                self._expect("punct", ";")
+                return Continue(token.line)
+
+        # Typed store:  *(u16 *)(addr) = value;
+        if token.kind == "op" and token.text == "*" and self._peek(1).kind == "punct" \
+                and self._peek(1).text == "(" and self._peek(2).kind == "type":
+            size, address = self._deref_prefix()
+            self._expect("op", "=")
+            value = self._expression()
+            self._expect("punct", ";")
+            return Store(size, address, value, token.line)
+
+        # Assignment: name = expr;  compound: name += expr;
+        if token.kind == "name" and self._peek(1).kind == "op" and (
+            self._peek(1).text == "="
+            or (self._peek(1).text.endswith("=") and self._peek(1).text not in ("==", "!=", "<=", ">="))
+        ):
+            name = self._next()
+            operator = self._next().text  # '=' or 'op='
+            value = self._expression()
+            self._expect("punct", ";")
+            if operator != "=":
+                value = Binary(operator[:-1], Name(name.text, name.line), value, token.line)
+            return Assign(name.text, value, token.line)
+
+        # Array element write: name[index] = expr;  (also compound)
+        if token.kind == "name" and self._peek(1).kind == "punct" and self._peek(1).text == "[":
+            # Look ahead: only a statement if an '=' follows the ']'.
+            saved = self._index
+            name = self._next()
+            self._next()  # '['
+            index = self._expression()
+            self._expect("punct", "]")
+            nxt = self._peek()
+            if nxt.kind == "op" and (
+                nxt.text == "="
+                or (nxt.text.endswith("=") and nxt.text not in ("==", "!=", "<=", ">="))
+            ):
+                operator = self._next().text
+                value = self._expression()
+                self._expect("punct", ";")
+                if operator != "=":
+                    value = Binary(
+                        operator[:-1], Index(name.text, index, name.line), value, token.line
+                    )
+                return IndexAssign(name.text, index, value, token.line)
+            self._index = saved  # expression statement after all
+
+        expr = self._expression()
+        self._expect("punct", ";")
+        return ExprStatement(expr, token.line)
+
+    def _declaration(self) -> Statement:
+        type_token = self._expect("type")
+        is_pointer = False
+        while self._accept("op", "*"):
+            is_pointer = True
+        name = self._expect("name")
+        if self._accept("punct", "["):
+            count_token = self._expect("num")
+            self._expect("punct", "]")
+            self._expect("punct", ";")
+            element = 8 if is_pointer else _TYPE_SIZES[type_token.text]
+            return ArrayDecl(name.text, element, count_token.value, name.line)
+        init: Optional[Expr] = None
+        if self._accept("op", "="):
+            init = self._expression()
+        self._expect("punct", ";")
+        return VarDecl(name.text, init, name.line)
+
+    def _if_statement(self) -> If:
+        token = self._expect("kw", "if")
+        self._expect("punct", "(")
+        condition = self._expression()
+        self._expect("punct", ")")
+        then_body = self._block()
+        else_body: Optional[Block] = None
+        if self._accept("kw", "else"):
+            if self._peek().kind == "kw" and self._peek().text == "if":
+                else_body = Block((self._if_statement(),))
+            else:
+                else_body = self._block()
+        return If(condition, then_body, else_body, token.line)
+
+    def _for_statement(self) -> "For":
+        token = self._expect("kw", "for")
+        self._expect("punct", "(")
+        init = None
+        if not self._accept("punct", ";"):
+            init = self._statement()  # consumes its ';'
+        condition = None
+        if not self._accept("punct", ";"):
+            condition = self._expression()
+            self._expect("punct", ";")
+        step = None
+        if not self._accept("punct", ")"):
+            step = self._for_step()
+            self._expect("punct", ")")
+        body = self._block()
+        return For(init, condition, step, body, token.line)
+
+    def _for_step(self) -> Statement:
+        """The step clause: an assignment or expression, no semicolon."""
+        token = self._peek()
+        if token.kind == "name" and self._peek(1).kind == "op" and (
+            self._peek(1).text == "="
+            or (
+                self._peek(1).text.endswith("=")
+                and self._peek(1).text not in ("==", "!=", "<=", ">=")
+            )
+        ):
+            name = self._next()
+            operator = self._next().text
+            value = self._expression()
+            if operator != "=":
+                value = Binary(operator[:-1], Name(name.text, name.line), value, token.line)
+            return Assign(name.text, value, token.line)
+        return ExprStatement(self._expression(), token.line)
+
+    def _while_statement(self) -> While:
+        token = self._expect("kw", "while")
+        self._expect("punct", "(")
+        condition = self._expression()
+        self._expect("punct", ")")
+        body = self._block()
+        return While(condition, body, token.line)
+
+    # -- expressions --------------------------------------------------------
+
+    def _expression(self, min_precedence: int = 1) -> Expr:
+        left = self._unary()
+        while True:
+            token = self._peek()
+            if token.kind != "op" or token.text not in _PRECEDENCE:
+                break
+            precedence = _PRECEDENCE[token.text]
+            if precedence < min_precedence:
+                break
+            self._next()
+            right = self._expression(precedence + 1)
+            if token.text in ("&&", "||"):
+                left = Logical(token.text, left, right, token.line)
+            else:
+                left = Binary(token.text, left, right, token.line)
+        return left
+
+    def _deref_prefix(self) -> Tuple[int, Expr]:
+        """Consume ``*(type *)(...)`` and return (size, address expr)."""
+        star = self._expect("op", "*")
+        self._expect("punct", "(")
+        type_token = self._expect("type")
+        self._expect("op", "*")
+        self._expect("punct", ")")
+        address = self._unary()
+        size = _TYPE_SIZES.get(type_token.text)
+        if size is None:
+            raise ParseError(star, f"cannot dereference type {type_token.text!r}")
+        return size, address
+
+    def _unary(self) -> Expr:
+        token = self._peek()
+        if token.kind == "op" and token.text in ("-", "~", "!"):
+            self._next()
+            return Unary(token.text, self._unary(), token.line)
+        if token.kind == "op" and token.text == "*":
+            size, address = self._deref_prefix()
+            return Load(size, address, token.line)
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        token = self._next()
+        if token.kind == "num":
+            return Number(token.value, token.line)
+        if token.kind == "str":
+            raw = token.text[1:-1]
+            value = (
+                raw.encode("ascii")
+                .decode("unicode_escape")
+                .encode("latin-1")
+            )
+            return Str(value, token.line)
+        if token.kind == "punct" and token.text == "(":
+            # Either a parenthesised expression or a (type) cast to drop.
+            if self._peek().kind == "type":
+                self._next()
+                while self._accept("op", "*"):
+                    pass
+                self._expect("punct", ")")
+                return self._unary()
+            expr = self._expression()
+            self._expect("punct", ")")
+            return expr
+        if token.kind == "name":
+            if self._accept("punct", "("):
+                args: List[Expr] = []
+                if not self._accept("punct", ")"):
+                    while True:
+                        args.append(self._expression())
+                        if self._accept("punct", ")"):
+                            break
+                        self._expect("punct", ",")
+                if len(args) > 5:
+                    raise ParseError(token, "at most 5 call arguments (eBPF ABI)")
+                return Call(token.text, tuple(args), token.line)
+            if self._accept("punct", "["):
+                index = self._expression()
+                self._expect("punct", "]")
+                return Index(token.text, index, token.line)
+            return Name(token.text, token.line)
+        raise ParseError(token, "expected expression")
+
+
+def parse(source: str, constants: Optional[Dict[str, int]] = None) -> Program:
+    """Parse xc ``source`` into a :class:`Program`."""
+    return _Parser(tokenize(source, constants)).parse_program()

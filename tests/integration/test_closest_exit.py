@@ -1,0 +1,92 @@
+"""Integration: the BGP_DECISION use case (closest-exit selection)."""
+
+import pytest
+
+from repro.bgp import Prefix
+from repro.bgp.attributes import make_as_path, make_geoloc, make_next_hop, make_origin
+from repro.bgp.aspath import AsPath
+from repro.bgp.constants import Origin
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.prefix import parse_ipv4
+from repro.bird import BirdDaemon
+from repro.frr import FrrDaemon
+from repro.plugins import closest_exit, geoloc
+
+PREFIX = Prefix.parse("203.0.113.0/24")
+
+BRUSSELS = (50.85, 4.35)
+PARIS = (48.85, 2.35)
+SYDNEY = (-33.86, 151.21)
+
+
+def update(asn, next_hop, coord=None, path_extra=()):
+    attrs = [
+        make_origin(Origin.IGP),
+        make_as_path(AsPath.from_sequence((asn,) + tuple(path_extra))),
+        make_next_hop(parse_ipv4(next_hop)),
+    ]
+    if coord is not None:
+        attrs.append(make_geoloc(*coord))
+    return UpdateMessage(attributes=attrs, nlri=[PREFIX])
+
+
+def build(daemon_cls, with_plugin=True):
+    daemon = daemon_cls(
+        asn=65001,
+        router_id="1.1.1.1",
+        xtra={"coord": geoloc.coord_bytes(*BRUSSELS)},
+    )
+    if with_plugin:
+        daemon.attach_manifest(closest_exit.build_manifest())
+    for address, asn in (("10.0.0.8", 65100), ("10.0.0.9", 65200)):
+        daemon.add_neighbor(address, asn, lambda data: None)
+        daemon._established[parse_ipv4(address)] = True
+    return daemon
+
+
+@pytest.mark.parametrize("daemon_cls", [FrrDaemon, BirdDaemon], ids=["frr", "bird"])
+class TestClosestExit:
+    def test_overrides_as_path_length(self, daemon_cls):
+        daemon = build(daemon_cls)
+        # Sydney exit has the shorter path; Paris is closer to Brussels.
+        daemon.receive_message("10.0.0.8", update(65100, "10.0.0.8", SYDNEY))
+        daemon.receive_message(
+            "10.0.0.9", update(65200, "10.0.0.9", PARIS, path_extra=(65300,))
+        )
+        best = daemon.loc_rib.lookup(PREFIX)
+        assert best.source.peer_asn == 65200
+        assert daemon.vmm.fallbacks == 0
+
+    def test_without_plugin_native_ranking_wins(self, daemon_cls):
+        daemon = build(daemon_cls, with_plugin=False)
+        daemon.receive_message("10.0.0.8", update(65100, "10.0.0.8", SYDNEY))
+        daemon.receive_message(
+            "10.0.0.9", update(65200, "10.0.0.9", PARIS, path_extra=(65300,))
+        )
+        assert daemon.loc_rib.lookup(PREFIX).source.peer_asn == 65100
+
+    def test_falls_through_without_geoloc(self, daemon_cls):
+        daemon = build(daemon_cls)
+        daemon.receive_message("10.0.0.8", update(65100, "10.0.0.8"))
+        daemon.receive_message(
+            "10.0.0.9", update(65200, "10.0.0.9", path_extra=(65300,))
+        )
+        # No coordinates anywhere: native ranking (shorter path).
+        assert daemon.loc_rib.lookup(PREFIX).source.peer_asn == 65100
+
+    def test_mixed_presence_falls_through(self, daemon_cls):
+        daemon = build(daemon_cls)
+        daemon.receive_message("10.0.0.8", update(65100, "10.0.0.8", SYDNEY))
+        daemon.receive_message(
+            "10.0.0.9", update(65200, "10.0.0.9", path_extra=(65300,))
+        )
+        assert daemon.loc_rib.lookup(PREFIX).source.peer_asn == 65100
+
+    def test_same_choice_on_both_hosts(self, daemon_cls):
+        choices = set()
+        for cls in (FrrDaemon, BirdDaemon):
+            daemon = build(cls)
+            daemon.receive_message("10.0.0.8", update(65100, "10.0.0.8", SYDNEY))
+            daemon.receive_message("10.0.0.9", update(65200, "10.0.0.9", PARIS))
+            choices.add(daemon.loc_rib.lookup(PREFIX).source.peer_asn)
+        assert choices == {65200}

@@ -1,0 +1,54 @@
+"""Integration: the shipped examples must run clean.
+
+Each example is a deliverable; these tests execute them as scripts
+(the way a user would) and check they exit 0.  The two slowest are
+marked accordingly.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, timeout=120):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart.py",
+        "igp_cost_filter.py",
+        "origin_validation.py",
+        "closest_exit.py",
+        "mrt_workload.py",
+        "live_session.py",
+    ],
+)
+def test_fast_examples(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples should narrate what they show"
+
+
+@pytest.mark.slow
+def test_datacenter_example():
+    result = run_example("datacenter_valley_free.py", timeout=300)
+    assert result.returncode == 0, result.stderr
+    assert "partitions" in result.stdout
+
+
+@pytest.mark.slow
+def test_route_reflection_example():
+    result = run_example("route_reflection.py", timeout=600)
+    assert result.returncode == 0, result.stderr
+    assert "native and extension reflect the same" in result.stdout

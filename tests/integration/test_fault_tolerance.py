@@ -1,0 +1,157 @@
+"""Integration: VMM fault tolerance (§2.1).
+
+"While running extension codes, the VMM also monitors their execution
+and stops them in case of error.  In this case, it falls back to the
+default function and notifies the host implementation of the error."
+
+These tests inject faulty bytecode into live daemons and check that
+routing survives: the chain falls back to native behavior, errors are
+counted and logged, and well-behaved programs keep working.
+"""
+
+import pytest
+
+from repro.bgp import Prefix
+from repro.bgp.attributes import make_as_path, make_next_hop, make_origin
+from repro.bgp.aspath import AsPath
+from repro.bgp.constants import Origin
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.prefix import parse_ipv4
+from repro.bird import BirdDaemon
+from repro.core import Manifest, VmmConfig
+from repro.frr import FrrDaemon
+
+PREFIX = Prefix.parse("203.0.113.0/24")
+
+#: Dereferences NULL: faults in the sandbox at run time.
+CRASHING = """
+u64 crash(u64 args) {
+    return *(u64 *)(0);
+}
+"""
+
+#: Burns its entire instruction budget in a loop.
+SPINNING = """
+u64 spin(u64 args) {
+    u64 i = 0;
+    while (1) {
+        i += 1;
+    }
+    return i;
+}
+"""
+
+#: Well-behaved: rejects one specific prefix, delegates otherwise.
+SELECTIVE = """
+u64 selective(u64 args) {
+    u64 pfx = get_arg(ARG_PREFIX);
+    if (pfx == 0) { next(); }
+    u64 plen = *(u8 *)(pfx + 4);
+    if (plen == 32) { return FILTER_REJECT; }
+    next();
+}
+"""
+
+
+def manifest_for(name, source, helpers=("next", "get_arg"), seq=0):
+    return Manifest(
+        name=name,
+        codes=[
+            {
+                "name": name,
+                "insertion_point": "BGP_INBOUND_FILTER",
+                "seq": seq,
+                "helpers": list(helpers),
+                "source": source,
+            }
+        ],
+    )
+
+
+def feed(daemon, prefix=PREFIX):
+    update = UpdateMessage(
+        attributes=[
+            make_origin(Origin.IGP),
+            make_as_path(AsPath.from_sequence([65100])),
+            make_next_hop(parse_ipv4("10.0.0.9")),
+        ],
+        nlri=[prefix],
+    )
+    daemon.receive_message("10.0.0.9", update)
+
+
+def make_daemon(daemon_cls, vmm_config=None):
+    daemon = daemon_cls(asn=65001, router_id="1.1.1.1", vmm_config=vmm_config)
+    daemon.add_neighbor("10.0.0.9", 65100, lambda data: None)
+    daemon._established[parse_ipv4("10.0.0.9")] = True
+    return daemon
+
+
+@pytest.mark.parametrize("daemon_cls", [FrrDaemon, BirdDaemon], ids=["frr", "bird"])
+class TestFaultFallback:
+    def test_crashing_bytecode_falls_back_to_native(self, daemon_cls):
+        daemon = make_daemon(daemon_cls)
+        daemon.attach_manifest(manifest_for("crasher", CRASHING, helpers=()))
+        feed(daemon)
+        # The route survives: native import accepted it after the fault.
+        assert daemon.loc_rib.lookup(PREFIX) is not None
+        assert daemon.vmm.fallbacks == 1
+        assert daemon.vmm.stats()["crasher"]["errors"] == 1
+        assert any("falling back" in line for line in daemon.log_messages)
+
+    def test_spinning_bytecode_hits_budget_and_falls_back(self, daemon_cls):
+        daemon = make_daemon(daemon_cls, VmmConfig(step_budget=10_000))
+        daemon.attach_manifest(manifest_for("spinner", SPINNING, helpers=()))
+        feed(daemon)
+        assert daemon.loc_rib.lookup(PREFIX) is not None
+        assert daemon.vmm.stats()["spinner"]["errors"] == 1
+        assert any("budget" in line for line in daemon.log_messages)
+
+    def test_faults_counted_per_route_not_fatal(self, daemon_cls):
+        daemon = make_daemon(daemon_cls)
+        daemon.attach_manifest(manifest_for("crasher", CRASHING, helpers=()))
+        for index in range(5):
+            feed(daemon, Prefix(0x0A000000 + (index << 8), 24))
+        assert len(daemon.loc_rib) == 5
+        assert daemon.vmm.stats()["crasher"]["errors"] == 5
+
+    def test_healthy_code_after_faulty_code_still_runs(self, daemon_cls):
+        # Chain: crasher (seq 0) then selective (seq 1).  A fault aborts
+        # the whole chain to native — selective never runs on that
+        # route — but the daemon keeps functioning.
+        daemon = make_daemon(daemon_cls)
+        daemon.attach_manifest(manifest_for("crasher", CRASHING, helpers=()))
+        daemon.attach_manifest(
+            manifest_for("selective", SELECTIVE, seq=1)
+        )
+        feed(daemon)
+        assert daemon.loc_rib.lookup(PREFIX) is not None
+        assert daemon.vmm.stats()["selective"]["executions"] == 0
+
+    def test_selective_rejection_works_alone(self, daemon_cls):
+        daemon = make_daemon(daemon_cls)
+        daemon.attach_manifest(manifest_for("selective", SELECTIVE))
+        feed(daemon, Prefix.parse("192.0.2.1/32"))
+        feed(daemon, PREFIX)
+        assert daemon.loc_rib.lookup(Prefix.parse("192.0.2.1/32")) is None
+        assert daemon.loc_rib.lookup(PREFIX) is not None
+
+    def test_detach_restores_native_behavior(self, daemon_cls):
+        daemon = make_daemon(daemon_cls)
+        daemon.attach_manifest(manifest_for("selective", SELECTIVE))
+        feed(daemon, Prefix.parse("192.0.2.1/32"))
+        assert daemon.loc_rib.lookup(Prefix.parse("192.0.2.1/32")) is None
+        daemon.vmm.detach_program("selective")
+        feed(daemon, Prefix.parse("192.0.2.1/32"))
+        assert daemon.loc_rib.lookup(Prefix.parse("192.0.2.1/32")) is not None
+
+    def test_bad_verdict_values_treated_as_accept(self, daemon_cls):
+        # A bytecode returning garbage (neither ACCEPT nor REJECT):
+        # hosts compare against FILTER_REJECT only, so garbage routes
+        # fall through to acceptance — never a crash.
+        daemon = make_daemon(daemon_cls)
+        daemon.attach_manifest(
+            manifest_for("garbage", "u64 g(u64 args) { return 777; }", helpers=())
+        )
+        feed(daemon)
+        assert daemon.loc_rib.lookup(PREFIX) is not None

@@ -1,0 +1,127 @@
+"""Integration: the GeoLoc program (Fig. 2) end-to-end on both hosts."""
+
+import pytest
+
+from repro.bgp import Prefix
+from repro.bgp.attributes import decode_geoloc
+from repro.bgp.constants import AttrTypeCode
+from repro.bird import BirdDaemon
+from repro.frr import FrrDaemon
+from repro.plugins import geoloc
+from repro.sim import Network
+
+PREFIX = Prefix.parse("203.0.113.0/24")
+
+BRUSSELS = (50.8503, 4.3517)
+SYDNEY = (-33.8688, 151.2093)
+
+
+def build(dut_cls, dut_coord, feeder_coord=None, max_km=20000):
+    """eBGP feeder -> DUT (GeoLoc program) -> iBGP peer."""
+    network = Network()
+    feeder = BirdDaemon(asn=65100, router_id="9.9.9.9")
+    dut = dut_cls(
+        asn=65001,
+        router_id="1.1.1.1",
+        xtra={"coord": geoloc.coord_bytes(*dut_coord)},
+    )
+    peer = BirdDaemon(asn=65001, router_id="2.2.2.2")
+    dut.attach_manifest(geoloc.build_manifest(max_distance_km=max_km))
+    network.add_router("feeder", feeder)
+    network.add_router("dut", dut)
+    network.add_router("peer", peer)
+    network.connect("feeder", "10.0.0.9", "dut", "10.0.0.1")
+    network.connect("dut", "10.0.0.1", "peer", "10.0.0.2")
+    if feeder_coord:
+        # Feeder also runs GeoLoc (tags at its own location): the DUT
+        # then sees a remote GeoLoc rather than stamping its own.
+        feeder.attach_manifest(geoloc.build_manifest(max_distance_km=max_km))
+        feeder.xtra["coord"] = geoloc.coord_bytes(*feeder_coord)
+    network.establish_all()
+    return network, feeder, dut, peer
+
+
+@pytest.mark.parametrize("dut_cls", [FrrDaemon, BirdDaemon], ids=["frr", "bird"])
+class TestGeoLoc:
+    def test_attribute_stamped_and_propagated_over_ibgp(self, dut_cls):
+        network, feeder, dut, peer = build(dut_cls, BRUSSELS)
+        feeder.originate(PREFIX)
+        network.run()
+        route = peer.loc_rib.lookup(PREFIX)
+        assert route is not None
+        attribute = route.attribute(AttrTypeCode.GEOLOC)
+        assert attribute is not None
+        latitude, longitude = decode_geoloc(attribute)
+        assert latitude == pytest.approx(BRUSSELS[0], abs=1e-6)
+        assert longitude == pytest.approx(BRUSSELS[1], abs=1e-6)
+        assert dut.vmm.fallbacks == 0
+
+    def _edge_core(self, dut_cls, max_km):
+        """external (eBGP) -> Sydney edge -> Brussels core, one AS.
+
+        The edge tags routes with *its* location; GeoLoc then travels
+        over iBGP to the core, whose import filter measures distance.
+        """
+        network = Network()
+        external = BirdDaemon(asn=65300, router_id="8.8.8.8")
+        edge = BirdDaemon(
+            asn=65001,
+            router_id="3.3.3.3",
+            xtra={"coord": geoloc.coord_bytes(*SYDNEY)},
+        )
+        core = dut_cls(
+            asn=65001,
+            router_id="1.1.1.1",
+            xtra={"coord": geoloc.coord_bytes(*BRUSSELS)},
+        )
+        manifest = geoloc.build_manifest(max_distance_km=max_km)
+        edge.attach_manifest(manifest)
+        core.attach_manifest(geoloc.build_manifest(max_distance_km=max_km))
+        network.add_router("ext", external)
+        network.add_router("edge", edge)
+        network.add_router("core", core)
+        network.connect("ext", "10.0.3.1", "edge", "10.0.3.2")
+        network.connect("edge", "10.0.3.2", "core", "10.0.0.1")
+        network.establish_all()
+        external.originate(PREFIX)
+        network.run()
+        return network, external, edge, core
+
+    def test_existing_geoloc_not_overwritten(self, dut_cls):
+        # The Sydney edge tags the route; the Brussels core receives it
+        # via iBGP and must keep the Sydney coordinates.
+        _, _, _, core = self._edge_core(dut_cls, max_km=20000)
+        route = core.loc_rib.lookup(PREFIX)
+        assert route is not None
+        latitude, _ = decode_geoloc(route.attribute(AttrTypeCode.GEOLOC))
+        assert latitude == pytest.approx(SYDNEY[0], abs=1e-6)
+
+    def test_far_away_route_rejected(self, dut_cls):
+        # Brussels-Sydney is ~16700 km: a 5000 km threshold rejects.
+        _, _, _, core = self._edge_core(dut_cls, max_km=5000)
+        assert core.loc_rib.lookup(PREFIX) is None
+        assert core.stats["import_rejected"] >= 1
+
+    def test_geoloc_stripped_toward_ebgp(self, dut_cls):
+        network, feeder, dut, peer = build(dut_cls, BRUSSELS)
+        external = BirdDaemon(asn=65400, router_id="7.7.7.7")
+        network.add_router("ext", external)
+        network.connect("dut", "10.0.4.1", "ext", "10.0.4.2")
+        network.establish_all()
+        feeder.originate(PREFIX)
+        network.run()
+        route = external.loc_rib.lookup(PREFIX)
+        assert route is not None
+        assert route.attribute(AttrTypeCode.GEOLOC) is None
+
+    def test_same_bytecode_identical_across_hosts(self, dut_cls):
+        # The attribute bytes the iBGP peer receives must be identical
+        # regardless of which host ran the bytecode.
+        results = {}
+        for cls in (FrrDaemon, BirdDaemon):
+            network, feeder, dut, peer = build(cls, BRUSSELS)
+            feeder.originate(PREFIX)
+            network.run()
+            route = peer.loc_rib.lookup(PREFIX)
+            results[cls.__name__] = route.attribute(AttrTypeCode.GEOLOC).value
+        assert results["FrrDaemon"] == results["BirdDaemon"]

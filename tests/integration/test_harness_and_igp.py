@@ -1,0 +1,128 @@
+"""Integration: the Fig. 3 harness and the §3.1 IGP filter scenario."""
+
+import pytest
+
+from repro.bgp import Prefix
+from repro.bgp.roa import make_roas_for_prefixes
+from repro.bird import BirdDaemon
+from repro.igp import IgpTopology, IgpView, Spf
+from repro.plugins import igp_filter
+from repro.sim import Network
+from repro.sim.harness import Collector, ConvergenceHarness
+from repro.workload import RibGenerator, origins_of
+
+
+class TestCollector:
+    def test_counts_prefixes_and_withdrawals(self):
+        from repro.bgp.messages import UpdateMessage
+
+        collector = Collector()
+        announce = UpdateMessage(nlri=[Prefix.parse("10.0.0.0/8")])
+        collector.receive(announce.encode())
+        assert len(collector) == 1
+        withdraw = UpdateMessage(withdrawn=[Prefix.parse("10.0.0.0/8")])
+        collector.receive(withdraw.encode())
+        assert len(collector) == 0
+        assert Prefix.parse("10.0.0.0/8") in collector.withdrawn
+
+
+class TestHarness:
+    @pytest.mark.parametrize("implementation", ["frr", "bird"])
+    @pytest.mark.parametrize("feature", ["route_reflection", "origin_validation"])
+    @pytest.mark.parametrize("mode", ["native", "extension"])
+    def test_all_arms_converge(self, implementation, feature, mode):
+        routes = RibGenerator(n_routes=120, seed=41).generate()
+        roas = make_roas_for_prefixes(origins_of(routes), 0.75, seed=41)
+        harness = ConvergenceHarness(implementation, feature, mode, routes, roas)
+        elapsed = harness.run()
+        assert elapsed > 0
+        assert len(harness.collector) == 120
+
+    def test_incomplete_convergence_detected(self):
+        routes = RibGenerator(n_routes=30, seed=42).generate()
+        harness = ConvergenceHarness("frr", "plain", "native", routes)
+        harness.feed = harness.feed[:1]  # drop most of the feed
+        with pytest.raises(RuntimeError, match="incomplete"):
+            harness.run()
+
+    def test_bad_arguments_rejected(self):
+        routes = RibGenerator(n_routes=5, seed=43).generate()
+        with pytest.raises(ValueError):
+            ConvergenceHarness("quagga", "plain", "native", routes)
+        with pytest.raises(ValueError):
+            ConvergenceHarness("frr", "multicast", "native", routes)
+        with pytest.raises(ValueError):
+            ConvergenceHarness("frr", "plain", "hybrid", routes)
+        with pytest.raises(ValueError):
+            ConvergenceHarness("frr", "plain", "native", routes, engine="fpga")
+
+
+class TestIgpFilterScenario:
+    """§3.1: the transatlantic-failure scenario from the paper."""
+
+    def _build(self):
+        topology = IgpTopology()
+        topology.add_node("london", "10.1.0.1")
+        topology.add_node("frankfurt", "10.1.0.3")
+        topology.add_node("newyork", "10.1.0.4")
+        topology.add_link("london", "frankfurt", 10)
+        topology.add_link("london", "newyork", 1000)
+        topology.add_link("frankfurt", "newyork", 1000)
+        spf = Spf(topology)
+
+        network = Network()
+        frankfurt = BirdDaemon(
+            asn=65001,
+            router_id="10.1.0.3",
+            igp=IgpView(spf, topology, "frankfurt"),
+            nexthop_self=False,
+        )
+        frankfurt.attach_manifest(igp_filter.build_manifest(max_metric=500))
+        london = BirdDaemon(asn=65001, router_id="10.1.0.1")
+        peer = BirdDaemon(asn=65200, router_id="9.9.9.9")
+        network.add_router("london", london)
+        network.add_router("frankfurt", frankfurt)
+        network.add_router("peer", peer)
+        network.connect("london", "10.1.0.1", "frankfurt", "10.1.0.3")
+        network.connect("frankfurt", "10.1.0.30", "peer", "9.9.9.9")
+        network.establish_all()
+        return topology, spf, network, london, frankfurt, peer
+
+    def test_route_exported_while_igp_close(self):
+        topology, spf, network, london, frankfurt, peer = self._build()
+        prefix = Prefix.parse("198.18.0.0/16")
+        london.originate(prefix, next_hop=topology.loopback("london"))
+        network.run()
+        assert peer.loc_rib.lookup(prefix) is not None
+
+    def test_route_withdrawn_when_igp_distance_explodes(self):
+        topology, spf, network, london, frankfurt, peer = self._build()
+        prefix = Prefix.parse("198.18.0.0/16")
+        london.originate(prefix, next_hop=topology.loopback("london"))
+        network.run()
+        topology.remove_link("london", "frankfurt")
+        spf.invalidate()
+        frankfurt._export_prefix(prefix)
+        network.run()
+        assert peer.loc_rib.lookup(prefix) is None
+        assert frankfurt.stats["export_rejected"] >= 1
+
+    def test_ibgp_sessions_unfiltered(self):
+        # Listing 1 calls next() for iBGP sessions: a route whose
+        # nexthop the IGP cannot even resolve still flows to iBGP
+        # peers, while the same route is rejected toward eBGP peers.
+        topology, spf, network, london, frankfurt, peer = self._build()
+        ibgp2 = BirdDaemon(asn=65001, router_id="10.1.0.7")
+        ebgp2 = BirdDaemon(asn=65300, router_id="8.8.8.8")
+        network.add_router("ibgp2", ibgp2)
+        network.add_router("ebgp2", ebgp2)
+        network.connect("frankfurt", "10.1.0.31", "ibgp2", "10.1.0.7")
+        network.connect("frankfurt", "10.1.0.32", "ebgp2", "8.8.8.8")
+        network.establish_all()
+        # The eBGP peer announces a prefix; its nexthop (9.9.9.9) is
+        # not an IGP loopback, so the metric is unreachable.
+        prefix = Prefix.parse("198.19.0.0/16")
+        peer.originate(prefix)
+        network.run()
+        assert ibgp2.loc_rib.lookup(prefix) is not None  # iBGP untouched
+        assert ebgp2.loc_rib.lookup(prefix) is None  # eBGP filtered

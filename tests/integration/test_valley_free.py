@@ -1,0 +1,137 @@
+"""Integration: §3.3 — valley-free data-center filtering (Fig. 5)."""
+
+import pytest
+
+from repro.bgp import Prefix
+from repro.bird import BirdDaemon
+from repro.sim.fabrics import CLOS_LINKS, SAME_AS, UNIQUE_AS, build_clos, up_edges
+
+INTERNAL = Prefix.parse("192.168.13.0/24")  # attached below L13
+EXTERNAL = Prefix.parse("8.8.8.0/24")  # transit prefix
+
+
+def with_transit(config, implementation="mixed"):
+    network = build_clos(config, implementation=implementation)
+    transit = BirdDaemon(asn=65500, router_id="9.9.9.9")
+    network.add_router("EXT", transit)
+    network.connect("EXT", "10.30.0.1", "S1", "10.30.0.2")
+    network.connect("EXT", "10.30.1.1", "S2", "10.30.1.2")
+    network.establish_all()
+    network.router("L13").originate(INTERNAL)
+    transit.originate(EXTERNAL)
+    network.run()
+    return network
+
+
+def double_failure(network):
+    network.fail_link("L10", "S1")
+    network.fail_link("L13", "S2")
+    network.fail_link("EXT", "S2")
+
+
+def reaches(network, router, prefix):
+    return network.router(router).loc_rib.lookup(prefix) is not None
+
+
+class TestTopologyHelpers:
+    def test_clos_has_no_same_level_links(self):
+        levels = {"S": 2, "L": 1, "T": 0}
+        for a, b in CLOS_LINKS:
+            assert levels[a[0]] != levels[b[0]]
+
+    def test_up_edges_oriented_low_to_high(self):
+        for low, high in up_edges(UNIQUE_AS):
+            assert low != high
+
+    def test_same_as_shares_spine_asn(self):
+        assert SAME_AS["S1"] == SAME_AS["S2"]
+        assert SAME_AS["L10"] == SAME_AS["L11"]
+        assert len(set(UNIQUE_AS.values())) == len(UNIQUE_AS)
+
+
+class TestBaseline:
+    def test_full_fabric_reachability(self):
+        network = with_transit("xbgp")
+        for router in ("T20", "T21", "T22", "T23", "L10", "S1", "S2"):
+            assert reaches(network, router, INTERNAL), router
+            assert reaches(network, router, EXTERNAL), router
+
+    def test_no_valley_paths_for_transit_under_xbgp(self):
+        network = with_transit("xbgp")
+        # Every router's traffic path to the transit prefix must be
+        # valley-free: never an up move after a down move.
+        pairs = set(up_edges(UNIQUE_AS))
+        for name in UNIQUE_AS:
+            route = network.router(name).loc_rib.lookup(EXTERNAL)
+            assert route is not None
+            hops = [UNIQUE_AS[name]] + list(route.as_path().asn_iter())
+            seen_down = False
+            for left, right in zip(hops, hops[1:]):
+                if (right, left) in pairs:
+                    seen_down = True
+                assert not ((left, right) in pairs and seen_down), (name, hops)
+
+
+class TestDoubleFailure:
+    def test_same_as_partitions(self):
+        network = with_transit("same_as")
+        double_failure(network)
+        assert not reaches(network, "L10", INTERNAL)
+        assert not reaches(network, "S2", EXTERNAL)
+
+    def test_unique_as_survives_but_valleys_transit(self):
+        network = with_transit("unique_as")
+        double_failure(network)
+        assert reaches(network, "L10", INTERNAL)
+        # Without protection S2 reaches transit through a valley.
+        assert reaches(network, "S2", EXTERNAL)
+
+    def test_xbgp_rescues_internal_blocks_transit_valley(self):
+        network = with_transit("xbgp")
+        double_failure(network)
+        # The paper's rescue path exists for internal destinations...
+        route = network.router("L10").loc_rib.lookup(INTERNAL)
+        assert route is not None
+        path = list(route.as_path().asn_iter())
+        pairs = set(up_edges(UNIQUE_AS))
+        assert any((l, r) in pairs for l, r in zip(path, path[1:])), (
+            "rescue must actually use a valley"
+        )
+        # ...but transit valleys stay forbidden.
+        assert not reaches(network, "S2", EXTERNAL)
+
+    @pytest.mark.parametrize("implementation", ["frr", "bird", "mixed"])
+    def test_scenario_independent_of_host(self, implementation):
+        network = with_transit("xbgp", implementation=implementation)
+        double_failure(network)
+        assert reaches(network, "L10", INTERNAL)
+        assert not reaches(network, "S2", EXTERNAL)
+
+    def test_data_plane_follows_rescue_path(self):
+        # Not just RIB state: actual forwarding from L10 to the
+        # internal prefix must traverse the S2 -> (L11|L12) -> S1 valley
+        # and be delivered at L13.
+        network = with_transit("xbgp")
+        double_failure(network)
+        outcome, hops = network.trace("L10", "192.168.13.1")
+        assert outcome == "delivered"
+        assert hops[0] == "L10" and hops[-1] == "L13"
+        assert hops[1] == "S2" and "S1" in hops, hops
+
+    def test_data_plane_transit_blackholed_at_s2(self):
+        network = with_transit("xbgp")
+        double_failure(network)
+        outcome, _ = network.trace("S2", "8.8.8.8")
+        assert outcome == "unreachable"
+
+    def test_recovery_after_restore(self):
+        network = with_transit("xbgp")
+        double_failure(network)
+        network.restore_link("L13", "S2")
+        network.restore_link("L10", "S1")
+        network.restore_link("EXT", "S2")
+        route = network.router("L10").loc_rib.lookup(INTERNAL)
+        assert route is not None
+        # Back to the direct (non-valley) path.
+        assert route.as_path_length() == 2
+        assert reaches(network, "S2", EXTERNAL)

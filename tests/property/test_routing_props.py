@@ -1,0 +1,156 @@
+"""Property-based tests on routing invariants.
+
+* the decision process is a total, order-independent choice;
+* trie-backed and hash-backed ROA validation always agree;
+* the two hosts converge to identical Loc-RIBs for any generated
+  update stream (the vendor-neutrality invariant).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.attributes import (
+    make_as_path,
+    make_local_pref,
+    make_med,
+    make_next_hop,
+    make_origin,
+)
+from repro.bgp.aspath import AsPath
+from repro.bgp.constants import Origin
+from repro.bgp.decision import best_route, compare_routes, DecisionConfig, rank_routes
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.peer import Neighbor
+from repro.bgp.prefix import Prefix, parse_ipv4
+from repro.bgp.roa import HashRoaTable, Roa, TrieRoaTable
+from repro.bird import BirdDaemon
+from repro.bird.eattrs import EattrList
+from repro.bird.rib import BirdRoute
+from repro.frr import FrrDaemon
+
+PREFIX = Prefix.parse("10.0.0.0/8")
+
+
+@st.composite
+def candidate_routes(draw):
+    count = draw(st.integers(2, 6))
+    routes = []
+    for index in range(count):
+        peer = Neighbor.build(
+            f"10.0.1.{index + 1}",
+            draw(st.sampled_from([65001, 65100, 65200])),
+            "10.0.1.254",
+            65001,
+        )
+        attrs = [
+            make_origin(draw(st.sampled_from(list(Origin)))),
+            make_as_path(
+                AsPath.from_sequence(
+                    draw(st.lists(st.integers(1, 70000), min_size=1, max_size=5))
+                )
+            ),
+            make_next_hop(draw(st.integers(1, 0xFFFFFF))),
+            make_local_pref(draw(st.integers(0, 300))),
+            make_med(draw(st.integers(0, 100))),
+        ]
+        routes.append(BirdRoute(PREFIX, peer, EattrList.from_wire(attrs)))
+    return routes
+
+
+class TestDecisionProps:
+    @settings(max_examples=80, deadline=None)
+    @given(candidate_routes(), st.randoms())
+    def test_order_independent(self, routes, rng):
+        reference = best_route(routes)
+        shuffled = list(routes)
+        rng.shuffle(shuffled)
+        assert best_route(shuffled) is reference
+
+    @settings(max_examples=60, deadline=None)
+    @given(candidate_routes())
+    def test_rank_head_is_best(self, routes):
+        ranked = rank_routes(routes)
+        assert ranked[0] is best_route(routes)
+        # Ranking is consistent with pairwise comparison.
+        config = DecisionConfig()
+        for earlier, later in zip(ranked, ranked[1:]):
+            assert compare_routes(earlier, later, config) <= 0
+
+
+roas_strategy = st.lists(
+    st.builds(
+        lambda net, length, asn, extra: Roa(
+            Prefix(net, length), asn, max_length=min(32, length + extra)
+        ),
+        net=st.integers(0, 0xFFFFFFFF),
+        length=st.integers(8, 24),
+        asn=st.integers(1, 70000),
+        extra=st.integers(0, 8),
+    ),
+    max_size=25,
+)
+
+
+class TestRoaEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        roas_strategy,
+        st.lists(
+            st.tuples(
+                st.integers(0, 0xFFFFFFFF),
+                st.integers(8, 32),
+                st.integers(1, 70000),
+            ),
+            max_size=20,
+        ),
+    )
+    def test_trie_equals_hash(self, roas, checks):
+        trie, hashed = TrieRoaTable(), HashRoaTable()
+        trie.extend(roas)
+        hashed.extend(roas)
+        for network, length, asn in checks:
+            prefix = Prefix(network, length)
+            assert trie.validate(prefix, asn) == hashed.validate(prefix, asn)
+
+
+@st.composite
+def update_streams(draw):
+    """A short random sequence of announcements and withdrawals."""
+    prefix_pool = [Prefix(draw(st.integers(0, 0xFFFFFF)) << 8, 24) for _ in range(6)]
+    events = []
+    for _ in range(draw(st.integers(1, 12))):
+        prefix = draw(st.sampled_from(prefix_pool))
+        if draw(st.booleans()):
+            attrs = [
+                make_origin(draw(st.sampled_from(list(Origin)))),
+                make_as_path(
+                    AsPath.from_sequence(
+                        [65100] + draw(st.lists(st.integers(1, 70000), max_size=3))
+                    )
+                ),
+                make_next_hop(parse_ipv4("10.0.0.9")),
+            ]
+            events.append(UpdateMessage(attributes=attrs, nlri=[prefix]))
+        else:
+            events.append(UpdateMessage(withdrawn=[prefix]))
+    return events
+
+
+class TestCrossHostConvergence:
+    @settings(max_examples=40, deadline=None)
+    @given(update_streams())
+    def test_identical_loc_ribs(self, stream):
+        states = []
+        for cls in (FrrDaemon, BirdDaemon):
+            daemon = cls(asn=65001, router_id="1.1.1.1")
+            daemon.add_neighbor("10.0.0.9", 65100, lambda data: None)
+            daemon._established[parse_ipv4("10.0.0.9")] = True
+            for update in stream:
+                daemon.receive_message("10.0.0.9", update)
+            states.append(
+                {
+                    prefix: [(a.type_code, a.value) for a in attrs]
+                    for prefix, attrs in daemon.loc_rib_snapshot().items()
+                }
+            )
+        assert states[0] == states[1]

@@ -1,0 +1,69 @@
+"""Property-based tests: the prefix trie against a brute-force model."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bgp.prefix import Prefix
+from repro.bgp.trie import PrefixTrie
+
+prefixes = st.builds(
+    Prefix,
+    network=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    length=st.integers(min_value=0, max_value=32),
+)
+
+prefix_maps = st.dictionaries(prefixes, st.integers(), max_size=30)
+
+
+def build(entries):
+    trie = PrefixTrie()
+    for prefix, value in entries.items():
+        trie.insert(prefix, value)
+    return trie
+
+
+class TestAgainstModel:
+    @given(prefix_maps)
+    def test_exact_lookup(self, entries):
+        trie = build(entries)
+        assert len(trie) == len(entries)
+        for prefix, value in entries.items():
+            assert trie.get(prefix) == value
+
+    @given(prefix_maps, prefixes)
+    def test_longest_match(self, entries, query):
+        trie = build(entries)
+        covering = [p for p in entries if p.contains(query)]
+        result = trie.longest_match(query)
+        if not covering:
+            assert result is None
+        else:
+            best = max(covering, key=lambda p: p.length)
+            assert result == (best, entries[best])
+
+    @given(prefix_maps, prefixes)
+    def test_covering_set(self, entries, query):
+        trie = build(entries)
+        expected = {p for p in entries if p.contains(query)}
+        assert {p for p, _ in trie.covering(query)} == expected
+
+    @given(prefix_maps, prefixes)
+    def test_covered_set(self, entries, query):
+        trie = build(entries)
+        expected = {p for p in entries if query.contains(p)}
+        assert {p for p, _ in trie.covered(query)} == expected
+
+    @given(prefix_maps)
+    def test_items_complete(self, entries):
+        trie = build(entries)
+        assert dict(trie.items()) == entries
+
+    @given(prefix_maps, st.data())
+    def test_remove_restores_model(self, entries, data):
+        if not entries:
+            return
+        trie = build(entries)
+        victim = data.draw(st.sampled_from(sorted(entries)))
+        assert trie.remove(victim) == entries[victim]
+        remaining = {p: v for p, v in entries.items() if p != victim}
+        assert dict(trie.items()) == remaining

@@ -1,0 +1,119 @@
+"""Unit tests for the xbgp command-line tools."""
+
+import io
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def xc_file(tmp_path):
+    path = tmp_path / "filter.xc"
+    path.write_text(
+        """
+        u64 f(u64 args) {
+            u64 peer = get_peer_info();
+            if (peer == 0) { next(); }
+            if (*(u32 *)(peer) != EBGP_SESSION) { next(); }
+            if (*(u32 *)(peer + 4) == BAD_AS) { return FILTER_REJECT; }
+            next();
+        }
+        """
+    )
+    return path
+
+
+def run_cli(argv, capsys):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestCompile:
+    def test_compile_to_hex(self, xc_file, tmp_path, capsys):
+        out = tmp_path / "prog.hex"
+        code, _ = run_cli(
+            ["compile", str(xc_file), "-o", str(out), "-D", "BAD_AS=65500"], capsys
+        )
+        assert code == 0
+        blob = bytes.fromhex(out.read_text().strip())
+        assert len(blob) % 8 == 0 and len(blob) > 0
+
+    def test_compile_disasm(self, xc_file, capsys):
+        code, output = run_cli(
+            ["compile", str(xc_file), "--disasm", "-D", "BAD_AS=65500"], capsys
+        )
+        assert code == 0
+        assert "call get_peer_info" in output
+        assert "exit" in output
+
+    def test_bad_define_rejected(self, xc_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["compile", str(xc_file), "-D", "BROKEN"])
+
+
+class TestVerifyDisasm:
+    def test_verify_ok(self, xc_file, tmp_path, capsys):
+        out = tmp_path / "prog.hex"
+        main(["compile", str(xc_file), "-o", str(out), "-D", "BAD_AS=1"])
+        capsys.readouterr()
+        code, output = run_cli(["verify", str(out)], capsys)
+        assert code == 0 and "OK" in output
+
+    def test_verify_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.hex"
+        bad.write_text("ff00000000000000")  # unknown opcode, no exit
+        code, output = run_cli(["verify", str(bad)], capsys)
+        assert code == 1 and "REJECTED" in output
+
+    def test_disasm_roundtrip(self, xc_file, tmp_path, capsys):
+        out = tmp_path / "prog.hex"
+        main(["compile", str(xc_file), "-o", str(out), "-D", "BAD_AS=1"])
+        capsys.readouterr()
+        code, output = run_cli(["disasm", str(out)], capsys)
+        assert code == 0 and "call" in output
+
+
+class TestReports:
+    def test_fig1(self, capsys):
+        code, output = run_cli(["fig1"], capsys)
+        assert code == 0 and "median" in output
+
+    def test_loc(self, capsys):
+        code, output = run_cli(["loc"], capsys)
+        assert code == 0 and "FRR/BIRD" in output
+
+    def test_gen_table_roundtrips(self, tmp_path, capsys):
+        out = tmp_path / "table.mrt"
+        code, output = run_cli(
+            ["gen-table", str(out), "--routes", "50", "--seed", "3"], capsys
+        )
+        assert code == 0 and "50 RIB entries" in output
+        from repro.mrt import read_table
+
+        with open(out, "rb") as handle:
+            peers, entries = read_table(handle)
+        assert len(entries) == 50
+        assert peers[0].asn == 65100
+
+    def test_fig4_small_run(self, capsys):
+        code, output = run_cli(
+            [
+                "fig4",
+                "--implementation",
+                "bird",
+                "--feature",
+                "route_reflection",
+                "--engine",
+                "pyext",
+                "--routes",
+                "60",
+                "--runs",
+                "2",
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "route_reflection" in output and "impact" in output

@@ -1,0 +1,160 @@
+"""Unit tests for the decision process ranking ladder."""
+
+from repro.bgp.attributes import (
+    make_as_path,
+    make_local_pref,
+    make_med,
+    make_next_hop,
+    make_origin,
+    make_originator_id,
+    make_cluster_list,
+)
+from repro.bgp.aspath import AsPath
+from repro.bgp.constants import Origin
+from repro.bgp.decision import DecisionConfig, best_route, rank_routes
+from repro.bgp.peer import Neighbor
+from repro.bgp.prefix import Prefix, parse_ipv4
+from repro.bird.eattrs import EattrList
+from repro.bird.rib import BirdRoute
+
+PREFIX = Prefix.parse("10.0.0.0/8")
+
+
+def neighbor(address, asn, local_asn=65001):
+    return Neighbor.build(address, asn, "10.9.9.9", local_asn)
+
+
+def route(
+    peer,
+    as_path=(65100,),
+    local_pref=None,
+    origin=Origin.IGP,
+    med=None,
+    next_hop="10.0.0.1",
+    originator=None,
+    cluster_len=0,
+):
+    attrs = [
+        make_origin(origin),
+        make_as_path(AsPath.from_sequence(as_path)),
+        make_next_hop(parse_ipv4(next_hop)),
+    ]
+    if local_pref is not None:
+        attrs.append(make_local_pref(local_pref))
+    if med is not None:
+        attrs.append(make_med(med))
+    if originator is not None:
+        attrs.append(make_originator_id(parse_ipv4(originator)))
+    if cluster_len:
+        attrs.append(make_cluster_list([parse_ipv4("9.9.9.9")] * cluster_len))
+    return BirdRoute(PREFIX, peer, EattrList.from_wire(attrs))
+
+
+class TestLadder:
+    def test_highest_local_pref_wins(self):
+        a = route(neighbor("10.0.1.1", 65001), local_pref=200)
+        b = route(neighbor("10.0.1.2", 65001), local_pref=100)
+        assert best_route([b, a]) is a
+
+    def test_default_local_pref_is_100(self):
+        a = route(neighbor("10.0.1.1", 65001))  # implicit 100
+        b = route(neighbor("10.0.1.2", 65001), local_pref=150)
+        assert best_route([a, b]) is b
+
+    def test_shorter_as_path_wins(self):
+        a = route(neighbor("10.0.1.1", 65100), as_path=(65100,))
+        b = route(neighbor("10.0.1.2", 65200), as_path=(65200, 65300))
+        assert best_route([b, a]) is a
+
+    def test_as_set_counts_as_one_hop(self):
+        from repro.bgp.aspath import AsPathSegment
+        from repro.bgp.constants import AsPathSegmentType
+
+        path = AsPath(
+            [
+                AsPathSegment(AsPathSegmentType.AS_SEQUENCE, [1]),
+                AsPathSegment(AsPathSegmentType.AS_SET, [2, 3, 4]),
+            ]
+        )
+        attrs = [make_origin(Origin.IGP), make_next_hop(1)]
+        a = BirdRoute(
+            PREFIX,
+            neighbor("10.0.1.1", 65100),
+            EattrList.from_wire(attrs + [make_as_path(path)]),
+        )
+        b = route(neighbor("10.0.1.2", 65200), as_path=(9, 8, 7))
+        assert best_route([b, a]) is a  # 2 hops beats 3
+
+    def test_lower_origin_wins(self):
+        a = route(neighbor("10.0.1.1", 65100), origin=Origin.IGP)
+        b = route(neighbor("10.0.1.2", 65200), origin=Origin.INCOMPLETE)
+        assert best_route([b, a]) is a
+
+    def test_med_compared_within_same_neighbor_as(self):
+        a = route(neighbor("10.0.1.1", 65100), med=10)
+        b = route(neighbor("10.0.1.2", 65100), med=5)
+        assert best_route([a, b]) is b
+
+    def test_med_ignored_across_different_as(self):
+        # Different neighbor AS: MED skipped, eBGP tie, falls through to
+        # lowest peer address.
+        a = route(neighbor("10.0.1.1", 65100), med=50)
+        b = route(neighbor("10.0.1.2", 65200), med=5)
+        assert best_route([a, b]) is a
+
+    def test_always_compare_med(self):
+        config = DecisionConfig(always_compare_med=True)
+        a = route(neighbor("10.0.1.1", 65100), med=50)
+        b = route(neighbor("10.0.1.2", 65200), med=5)
+        assert best_route([a, b], config) is b
+
+    def test_ebgp_beats_ibgp(self):
+        a = route(neighbor("10.0.1.1", 65001))  # iBGP (same AS)
+        b = route(neighbor("10.0.1.2", 65200))  # eBGP
+        assert best_route([a, b]) is b
+
+    def test_lower_igp_metric_wins(self):
+        metrics = {parse_ipv4("10.0.0.1"): 50, parse_ipv4("10.0.0.2"): 5}
+        config = DecisionConfig(igp_metric=lambda addr: metrics[addr])
+        a = route(neighbor("10.0.1.1", 65001), next_hop="10.0.0.1")
+        b = route(neighbor("10.0.1.2", 65001), next_hop="10.0.0.2")
+        assert best_route([a, b], config) is b
+
+    def test_lower_originator_id_wins(self):
+        a = route(neighbor("10.0.1.1", 65001), originator="3.3.3.3")
+        b = route(neighbor("10.0.1.2", 65001), originator="2.2.2.2")
+        assert best_route([a, b]) is b
+
+    def test_shorter_cluster_list_wins(self):
+        a = route(neighbor("10.0.1.1", 65001), originator="2.2.2.2", cluster_len=2)
+        b = route(neighbor("10.0.1.2", 65001), originator="2.2.2.2", cluster_len=1)
+        assert best_route([a, b]) is b
+
+    def test_lowest_peer_address_is_final_tiebreak(self):
+        a = route(neighbor("10.0.1.1", 65001), originator="2.2.2.2")
+        b = route(neighbor("10.0.1.2", 65001), originator="2.2.2.2")
+        assert best_route([b, a]) is a
+
+
+class TestProperties:
+    def test_empty_candidates(self):
+        assert best_route([]) is None
+
+    def test_order_independence(self):
+        candidates = [
+            route(neighbor("10.0.1.1", 65001), local_pref=100),
+            route(neighbor("10.0.1.2", 65001), local_pref=200),
+            route(neighbor("10.0.1.3", 65001), local_pref=150),
+        ]
+        forward = best_route(candidates)
+        backward = best_route(list(reversed(candidates)))
+        assert forward is backward
+
+    def test_rank_routes_best_first(self):
+        candidates = [
+            route(neighbor("10.0.1.1", 65001), local_pref=100),
+            route(neighbor("10.0.1.2", 65001), local_pref=200),
+        ]
+        ranked = rank_routes(candidates)
+        assert ranked[0] is best_route(candidates)
+        assert len(ranked) == 2

@@ -1,0 +1,136 @@
+"""Unit tests for instruction encoding/decoding and the assembler."""
+
+import pytest
+
+from repro.ebpf.assembler import AssemblerError, assemble
+from repro.ebpf.disassembler import disassemble
+from repro.ebpf.isa import (
+    Instruction,
+    InstructionError,
+    OP_EXIT,
+    OP_LDDW,
+    decode_program,
+    encode_program,
+)
+
+
+class TestInstructionCodec:
+    def test_eight_bytes_each(self):
+        insn = Instruction(0xB7, 1, 0, 0, 42)  # mov r1, 42
+        assert len(insn.encode()) == 8
+
+    def test_roundtrip(self):
+        insn = Instruction(0x6B, 3, 7, -16, -1)
+        assert Instruction.decode(insn.encode()) == insn
+
+    def test_register_field_bounds(self):
+        with pytest.raises(InstructionError):
+            Instruction(0xB7, 16, 0, 0, 0).encode()
+
+    def test_program_roundtrip(self):
+        program = assemble("mov r0, 7\nexit")
+        assert decode_program(encode_program(program)) == program
+
+    def test_decode_rejects_ragged_size(self):
+        with pytest.raises(InstructionError):
+            decode_program(b"\x00" * 9)
+
+
+class TestAssembler:
+    def test_mov_and_exit(self):
+        program = assemble("mov r0, 5\nexit")
+        assert program[0].opcode == 0xB7 and program[0].imm == 5
+        assert program[1].opcode == OP_EXIT
+
+    def test_register_source(self):
+        program = assemble("add r1, r2\nexit")
+        assert program[0].opcode == 0x0F
+        assert (program[0].dst, program[0].src) == (1, 2)
+
+    def test_alu32_suffix(self):
+        program = assemble("add32 r1, 1\nexit")
+        assert program[0].opcode == 0x04
+
+    def test_lddw_two_slots(self):
+        program = assemble("lddw r1, 0x1122334455667788\nexit")
+        assert program[0].opcode == OP_LDDW
+        assert len(program) == 3
+
+    def test_loads_and_stores(self):
+        program = assemble(
+            "ldxdw r1, [r10-8]\nstxw [r10-16], r2\nstb [r1+3], 7\nexit"
+        )
+        assert program[0].offset == -8
+        assert program[1].offset == -16
+        assert program[2].imm == 7
+
+    def test_labels_forward_and_back(self):
+        program = assemble(
+            """
+            mov r0, 0
+        top:
+            add r0, 1
+            jlt r0, 3, top
+            ja done
+            mov r0, 99
+        done:
+            exit
+            """
+        )
+        # jlt back to 'top' must have a negative offset.
+        assert any(insn.offset < 0 for insn in program)
+
+    def test_call_by_name(self):
+        program = assemble("call my_helper\nexit", {"my_helper": 77})
+        assert program[0].imm == 77
+
+    def test_call_by_number(self):
+        assert assemble("call 12\nexit")[0].imm == 12
+
+    def test_byteswaps(self):
+        program = assemble("be16 r1\nle64 r2\nexit")
+        assert program[0].imm == 16
+        assert program[1].imm == 64
+
+    def test_comments_ignored(self):
+        program = assemble("mov r0, 1 ; trailing\n# full line\nexit")
+        assert len(program) == 2
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate r1\nexit")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("mov r11, 1\nexit")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("x:\nmov r0, 1\nx:\nexit")
+
+    def test_offset_out_of_s16(self):
+        with pytest.raises(AssemblerError):
+            assemble("ldxdw r1, [r2+40000]\nexit")
+
+
+class TestDisassembler:
+    def test_text_roundtrip(self):
+        source = """
+            mov r6, 10
+            lddw r1, 0xdeadbeefcafebabe
+            ldxw r2, [r6+4]
+            stxdw [r10-8], r1
+            jeq r2, 5, +2
+            add r2, r6
+            neg r2
+            be32 r2
+            call 3
+            exit
+        """
+        program = assemble(source)
+        text = disassemble(program)
+        assert assemble(text) == program
+
+    def test_helper_names_rendered(self):
+        program = assemble("call 9\nexit")
+        assert "call trace" in disassemble(program, {9: "trace"})

@@ -1,0 +1,90 @@
+"""Unit tests for the experiment drivers (fig1, fig4 stats, LoC report)."""
+
+import pytest
+
+from repro.data.bgp_rfcs import BGP_RFCS, delay_years
+from repro.eval import ablation, fig1, fig4, loc_report
+
+
+class TestFig1:
+    def test_dataset_has_forty_rfcs(self):
+        assert len(BGP_RFCS) == 40
+        assert len({rfc.number for rfc in BGP_RFCS}) == 40
+
+    def test_delays_positive(self):
+        assert all(delay_years(rfc) > 0 for rfc in BGP_RFCS)
+
+    def test_cdf_monotone_and_complete(self):
+        points = fig1.cdf_points()
+        assert len(points) == 40
+        fractions = [fraction for _, fraction in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+        delays = [delay for delay, _ in points]
+        assert delays == sorted(delays)
+
+    def test_headline_numbers_match_paper_shape(self):
+        stats = fig1.summary()
+        # Paper: median 3.5 years, tail up to ten years.
+        assert 3.0 <= stats["median_years"] <= 4.2
+        assert 8.0 <= stats["max_years"] <= 11.0
+
+    def test_render_table(self):
+        text = fig1.render_table()
+        assert "median" in text and "CDF" in text
+
+
+class TestFig4Stats:
+    def test_boxplot_stats(self):
+        stats = fig4.boxplot_stats([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats["min"] == 1.0
+        assert stats["median"] == 3.0
+        assert stats["max"] == 5.0
+        assert stats["p25"] == 2.0
+        assert stats["p75"] == 4.0
+
+    def test_result_impacts_relative_to_native_median(self):
+        result = fig4.Fig4Result("frr", "f", "jit", [1.0, 1.0], [1.1, 1.2])
+        impacts = result.impacts_percent
+        assert impacts[0] == pytest.approx(10.0)
+        assert impacts[1] == pytest.approx(20.0)
+
+    def test_render_table(self):
+        result = fig4.Fig4Result("frr", "route_reflection", "jit", [1.0], [1.2])
+        text = fig4.render_table([result], n_routes=10, runs=1)
+        assert "route_reflection" in text and "+20.0%" in text
+
+
+class TestLocReport:
+    def test_frr_glue_bigger_than_bird(self):
+        report = loc_report.glue_report()
+        assert report["frr"] > report["bird"] > 0
+
+    def test_render(self):
+        text = loc_report.render_table()
+        assert "FRR/BIRD ratio" in text
+
+
+class TestAblationHelpers:
+    def test_validation_workload_shape(self):
+        checks, roas = ablation.make_validation_workload(n=100, seed=2)
+        assert len(checks) == 100
+        assert roas
+
+    def test_trie_and_hash_agree_on_workload(self):
+        checks, roas = ablation.make_validation_workload(n=200, seed=2)
+        assert ablation.trie_check_fn(checks, roas)() == ablation.hash_check_fn(
+            checks, roas
+        )()
+
+    def test_engine_fn_runs(self):
+        for engine in ("interp", "jit"):
+            run = ablation.engine_fn(engine)
+            assert run() == run()  # deterministic arithmetic
+
+    def test_chain_fn_reaches_default(self):
+        run = ablation.chain_fn(3)
+        assert run() == 0
+
+    def test_verifier_fn_runs(self):
+        ablation.verifier_fn(repeats=2)()

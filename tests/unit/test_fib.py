@@ -1,0 +1,83 @@
+"""Unit tests for the FIB and data-plane tracing."""
+
+import pytest
+
+from repro.bgp import Prefix
+from repro.bgp.fib import Fib, FibEntry
+from repro.bgp.prefix import parse_ipv4
+from repro.bird import BirdDaemon
+from repro.sim import Network
+
+
+class TestFib:
+    def test_longest_match_wins(self):
+        fib = Fib()
+        fib.install(FibEntry(Prefix.parse("10.0.0.0/8"), 1))
+        fib.install(FibEntry(Prefix.parse("10.1.0.0/16"), 2))
+        assert fib.lookup(parse_ipv4("10.1.2.3")).next_hop == 2
+        assert fib.lookup(parse_ipv4("10.2.2.3")).next_hop == 1
+
+    def test_miss_returns_none(self):
+        assert Fib().lookup(parse_ipv4("10.0.0.1")) is None
+
+    def test_default_route(self):
+        fib = Fib()
+        fib.install(FibEntry(Prefix.parse("0.0.0.0/0"), 9))
+        assert fib.lookup(parse_ipv4("8.8.8.8")).next_hop == 9
+
+    def test_remove(self):
+        fib = Fib()
+        entry = FibEntry(Prefix.parse("10.0.0.0/8"), 1)
+        fib.install(entry)
+        assert fib.remove(entry.prefix) == entry
+        assert fib.remove(entry.prefix) is None
+        assert len(fib) == 0
+
+    def test_from_loc_rib_marks_local(self):
+        daemon = BirdDaemon(asn=65001, router_id="1.1.1.1")
+        daemon.originate(Prefix.parse("192.0.2.0/24"))
+        fib = Fib.from_loc_rib(daemon.loc_rib)
+        entry = fib.lookup(parse_ipv4("192.0.2.5"))
+        assert entry is not None and entry.local
+
+
+class TestTrace:
+    def _chain(self):
+        """a -- b -- c, eBGP everywhere, c originates."""
+        network = Network()
+        a = BirdDaemon(asn=65001, router_id="1.1.1.1", local_address="10.0.0.1")
+        b = BirdDaemon(asn=65002, router_id="2.2.2.2", local_address="10.0.1.1")
+        c = BirdDaemon(asn=65003, router_id="3.3.3.3", local_address="10.0.2.1")
+        network.add_router("a", a)
+        network.add_router("b", b)
+        network.add_router("c", c)
+        network.connect("a", "10.0.0.1", "b", "10.0.1.1")
+        network.connect("b", "10.0.1.2", "c", "10.0.2.1")
+        network.establish_all()
+        c.originate(Prefix.parse("192.0.2.0/24"))
+        network.run()
+        return network
+
+    def test_delivery_along_bgp_path(self):
+        network = self._chain()
+        outcome, hops = network.trace("a", "192.0.2.7")
+        assert outcome == "delivered"
+        assert hops == ["a", "b", "c"]
+
+    def test_origin_delivers_locally(self):
+        network = self._chain()
+        outcome, hops = network.trace("c", "192.0.2.7")
+        assert outcome == "delivered"
+        assert hops == ["c"]
+
+    def test_unknown_destination_unreachable(self):
+        network = self._chain()
+        outcome, _ = network.trace("a", "198.51.100.1")
+        assert outcome == "unreachable"
+
+    def test_withdrawal_breaks_forwarding(self):
+        network = self._chain()
+        network.router("c").withdraw_local(Prefix.parse("192.0.2.0/24"))
+        network.run()
+        outcome, _ = network.trace("a", "192.0.2.7")
+        assert outcome == "unreachable"

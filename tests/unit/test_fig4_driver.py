@@ -1,0 +1,58 @@
+"""Unit tests for the Fig. 4 experiment driver itself."""
+
+import pytest
+
+from repro.bgp.roa import make_roas_for_prefixes
+from repro.eval import fig4
+from repro.workload import RibGenerator, origins_of
+
+
+@pytest.fixture(scope="module")
+def tiny_routes():
+    return RibGenerator(n_routes=60, seed=55).generate()
+
+
+class TestRunCell:
+    def test_produces_paired_samples(self, tiny_routes):
+        result = fig4.run_cell(
+            "bird", "route_reflection", tiny_routes, None, runs=2, engine="pyext"
+        )
+        assert len(result.native_seconds) == 2
+        assert len(result.extension_seconds) == 2
+        assert all(value > 0 for value in result.native_seconds)
+
+    def test_impacts_are_percentages(self, tiny_routes):
+        result = fig4.run_cell(
+            "bird", "route_reflection", tiny_routes, None, runs=2, engine="pyext"
+        )
+        stats = result.stats()
+        assert set(stats) == {"min", "p25", "median", "p75", "max"}
+        assert stats["min"] <= stats["median"] <= stats["max"]
+
+    def test_origin_validation_cell(self, tiny_routes):
+        roas = make_roas_for_prefixes(origins_of(tiny_routes), 0.75, seed=55)
+        result = fig4.run_cell(
+            "frr", "origin_validation", tiny_routes, roas, runs=1, engine="jit"
+        )
+        assert result.engine == "jit"
+        assert len(result.extension_seconds) == 1
+
+    def test_render_includes_every_cell(self, tiny_routes):
+        results = [
+            fig4.run_cell("bird", "route_reflection", tiny_routes, None, 1, "pyext"),
+            fig4.run_cell("frr", "route_reflection", tiny_routes, None, 1, "pyext"),
+        ]
+        text = fig4.render_table(results, 60, 1)
+        assert text.count("route_reflection") == 2
+        assert "bird" in text and "frr" in text
+
+
+class TestBoxplotEdgeCases:
+    def test_single_sample(self):
+        stats = fig4.boxplot_stats([5.0])
+        assert stats["min"] == stats["median"] == stats["max"] == 5.0
+
+    def test_interpolated_quartiles(self):
+        stats = fig4.boxplot_stats([0.0, 10.0])
+        assert stats["p25"] == 2.5
+        assert stats["p75"] == 7.5

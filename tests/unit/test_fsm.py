@@ -1,0 +1,152 @@
+"""Unit tests for the RFC 4271 session FSM."""
+
+import pytest
+
+from repro.bgp.constants import NotificationCode
+from repro.bgp.fsm import Action, FsmEvent, FsmState, SessionFsm
+from repro.bgp.messages import (
+    KeepaliveMessage,
+    NotificationMessage,
+    OpenMessage,
+    UpdateMessage,
+)
+from repro.bgp.prefix import parse_ipv4
+
+
+def make_fsm():
+    return SessionFsm(local_asn=65001, router_id=parse_ipv4("1.1.1.1"), hold_time=90)
+
+
+def peer_open():
+    return OpenMessage.for_speaker(65002, parse_ipv4("2.2.2.2"), hold_time=30)
+
+
+def establish(fsm):
+    fsm.process(FsmEvent.MANUAL_START)
+    fsm.process(FsmEvent.TCP_CONNECTED)
+    fsm.process(FsmEvent.MESSAGE_RECEIVED, peer_open())
+    return fsm.process(FsmEvent.MESSAGE_RECEIVED, KeepaliveMessage())
+
+
+class TestHappyPath:
+    def test_start_connects(self):
+        fsm = make_fsm()
+        actions = fsm.process(FsmEvent.MANUAL_START)
+        assert fsm.state == FsmState.CONNECT
+        assert actions[0][0] == Action.START_CONNECT
+
+    def test_tcp_connected_sends_open(self):
+        fsm = make_fsm()
+        fsm.process(FsmEvent.MANUAL_START)
+        actions = fsm.process(FsmEvent.TCP_CONNECTED)
+        assert fsm.state == FsmState.OPEN_SENT
+        assert actions[0][0] == Action.SEND_OPEN
+        assert isinstance(actions[0][1], OpenMessage)
+
+    def test_open_received_sends_keepalive(self):
+        fsm = make_fsm()
+        fsm.process(FsmEvent.MANUAL_START)
+        fsm.process(FsmEvent.TCP_CONNECTED)
+        actions = fsm.process(FsmEvent.MESSAGE_RECEIVED, peer_open())
+        assert fsm.state == FsmState.OPEN_CONFIRM
+        assert actions[0][0] == Action.SEND_KEEPALIVE
+
+    def test_keepalive_establishes(self):
+        fsm = make_fsm()
+        actions = establish(fsm)
+        assert fsm.state == FsmState.ESTABLISHED
+        assert actions[0][0] == Action.SESSION_ESTABLISHED
+
+    def test_hold_time_negotiated_to_minimum(self):
+        fsm = make_fsm()
+        establish(fsm)
+        assert fsm.negotiated_hold_time == 30
+
+    def test_update_delivered_when_established(self):
+        fsm = make_fsm()
+        establish(fsm)
+        update = UpdateMessage()
+        actions = fsm.process(FsmEvent.MESSAGE_RECEIVED, update)
+        assert actions == [(Action.DELIVER_UPDATE, update)]
+
+    def test_keepalive_timer_sends_keepalive(self):
+        fsm = make_fsm()
+        establish(fsm)
+        actions = fsm.process(FsmEvent.KEEPALIVE_TIMER_EXPIRES)
+        assert actions[0][0] == Action.SEND_KEEPALIVE
+
+
+class TestFailurePaths:
+    def test_tcp_failed_from_connect_goes_active(self):
+        fsm = make_fsm()
+        fsm.process(FsmEvent.MANUAL_START)
+        fsm.process(FsmEvent.TCP_FAILED)
+        assert fsm.state == FsmState.ACTIVE
+
+    def test_retry_from_active_reconnects(self):
+        fsm = make_fsm()
+        fsm.process(FsmEvent.MANUAL_START)
+        fsm.process(FsmEvent.TCP_FAILED)
+        actions = fsm.process(FsmEvent.CONNECTION_RETRY_EXPIRES)
+        assert fsm.state == FsmState.CONNECT
+        assert actions[0][0] == Action.START_CONNECT
+
+    def test_hold_timer_in_established_tears_down(self):
+        fsm = make_fsm()
+        establish(fsm)
+        actions = fsm.process(FsmEvent.HOLD_TIMER_EXPIRES)
+        kinds = [action for action, _ in actions]
+        assert Action.SEND_NOTIFICATION in kinds
+        assert Action.SESSION_DOWN in kinds
+        assert fsm.state == FsmState.IDLE
+
+    def test_notification_received_drops_session(self):
+        fsm = make_fsm()
+        establish(fsm)
+        actions = fsm.process(
+            FsmEvent.MESSAGE_RECEIVED, NotificationMessage(NotificationCode.CEASE)
+        )
+        assert (Action.SESSION_DOWN, None) in actions
+        assert fsm.state == FsmState.IDLE
+
+    def test_unexpected_message_in_open_sent_is_fsm_error(self):
+        fsm = make_fsm()
+        fsm.process(FsmEvent.MANUAL_START)
+        fsm.process(FsmEvent.TCP_CONNECTED)
+        actions = fsm.process(FsmEvent.MESSAGE_RECEIVED, UpdateMessage())
+        assert actions[0][0] == Action.SEND_NOTIFICATION
+        assert actions[0][1].code == NotificationCode.FSM_ERROR
+        assert fsm.state == FsmState.IDLE
+
+    def test_open_with_bad_hold_time_rejected(self):
+        fsm = make_fsm()
+        fsm.process(FsmEvent.MANUAL_START)
+        fsm.process(FsmEvent.TCP_CONNECTED)
+        bad = OpenMessage(65002, 1, parse_ipv4("2.2.2.2"))
+        actions = fsm.process(FsmEvent.MESSAGE_RECEIVED, bad)
+        assert actions[0][0] == Action.SEND_NOTIFICATION
+        assert fsm.state == FsmState.IDLE
+
+    def test_open_with_bad_router_id_rejected(self):
+        fsm = make_fsm()
+        fsm.process(FsmEvent.MANUAL_START)
+        fsm.process(FsmEvent.TCP_CONNECTED)
+        bad = OpenMessage(65002, 90, 0)
+        actions = fsm.process(FsmEvent.MESSAGE_RECEIVED, bad)
+        assert actions[0][0] == Action.SEND_NOTIFICATION
+
+    def test_manual_stop_sends_cease(self):
+        fsm = make_fsm()
+        establish(fsm)
+        actions = fsm.process(FsmEvent.MANUAL_STOP)
+        assert actions[0][0] == Action.SEND_NOTIFICATION
+        assert actions[0][1].code == NotificationCode.CEASE
+        assert fsm.state == FsmState.IDLE
+
+    def test_observer_sees_transitions(self):
+        fsm = make_fsm()
+        seen = []
+        fsm.add_observer(lambda old, new: seen.append((old, new)))
+        establish(fsm)
+        assert seen[0] == (FsmState.IDLE, FsmState.CONNECT)
+        assert seen[-1][1] == FsmState.ESTABLISHED

@@ -1,0 +1,115 @@
+"""Unit tests for the IGP substrate (topology + SPF)."""
+
+import pytest
+
+from repro.bgp.prefix import parse_ipv4
+from repro.igp import IgpTopology, IgpView, Spf, UNREACHABLE
+
+
+def triangle():
+    topology = IgpTopology()
+    topology.add_node("a", "10.0.0.1")
+    topology.add_node("b", "10.0.0.2")
+    topology.add_node("c", "10.0.0.3")
+    topology.add_link("a", "b", 1)
+    topology.add_link("b", "c", 1)
+    topology.add_link("a", "c", 5)
+    return topology
+
+
+class TestTopology:
+    def test_duplicate_node_rejected(self):
+        topology = IgpTopology()
+        topology.add_node("a", "10.0.0.1")
+        with pytest.raises(ValueError):
+            topology.add_node("a", "10.0.0.2")
+
+    def test_duplicate_loopback_rejected(self):
+        topology = IgpTopology()
+        topology.add_node("a", "10.0.0.1")
+        with pytest.raises(ValueError):
+            topology.add_node("b", "10.0.0.1")
+
+    def test_link_needs_known_nodes(self):
+        topology = IgpTopology()
+        topology.add_node("a", "10.0.0.1")
+        with pytest.raises(KeyError):
+            topology.add_link("a", "zz", 1)
+
+    def test_link_cost_positive(self):
+        topology = triangle()
+        with pytest.raises(ValueError):
+            topology.add_link("a", "b", 0)
+
+    def test_asymmetric_costs(self):
+        topology = IgpTopology()
+        topology.add_node("a", "10.0.0.1")
+        topology.add_node("b", "10.0.0.2")
+        topology.add_link("a", "b", 1, cost_back=9)
+        assert topology.neighbors("a")["b"] == 1
+        assert topology.neighbors("b")["a"] == 9
+
+    def test_node_by_address(self):
+        topology = triangle()
+        assert topology.node_by_address(parse_ipv4("10.0.0.2")) == "b"
+        assert topology.node_by_address(123) is None
+
+    def test_edges_deduplicated(self):
+        assert len(list(triangle().edges())) == 3
+
+
+class TestSpf:
+    def test_shortest_path_chosen(self):
+        spf = Spf(triangle())
+        assert spf.distance("a", "c") == 2  # a-b-c beats a-c direct (5)
+
+    def test_self_distance_zero(self):
+        assert Spf(triangle()).distance("a", "a") == 0
+
+    def test_unreachable(self):
+        topology = triangle()
+        topology.add_node("island", "10.0.0.9")
+        assert Spf(topology).distance("a", "island") == UNREACHABLE
+
+    def test_cache_invalidation(self):
+        topology = triangle()
+        spf = Spf(topology)
+        assert spf.distance("a", "c") == 2
+        topology.remove_link("a", "b")
+        spf.invalidate()
+        assert spf.distance("a", "c") == 5
+
+    def test_stale_without_invalidation(self):
+        # Documented behavior: the cache holds until invalidated.
+        topology = triangle()
+        spf = Spf(topology)
+        assert spf.distance("a", "c") == 2
+        topology.remove_link("a", "b")
+        assert spf.distance("a", "c") == 2  # still cached
+        assert spf.generation == 0
+        spf.invalidate()
+        assert spf.generation == 1
+
+    def test_first_hop_recorded(self):
+        spf = Spf(triangle())
+        tree = spf.tree("a")
+        assert tree["c"] == (2, "b")
+
+
+class TestIgpView:
+    def test_metric_to_loopback(self):
+        topology = triangle()
+        view = IgpView(Spf(topology), topology, "a")
+        assert view.metric_to(parse_ipv4("10.0.0.3")) == 2
+        assert view.reachable(parse_ipv4("10.0.0.3"))
+
+    def test_unknown_address_unreachable(self):
+        topology = triangle()
+        view = IgpView(Spf(topology), topology, "a")
+        assert view.metric_to(parse_ipv4("99.99.99.99")) == UNREACHABLE
+        assert not view.reachable(parse_ipv4("99.99.99.99"))
+
+    def test_unknown_node_rejected(self):
+        topology = triangle()
+        with pytest.raises(KeyError):
+            IgpView(Spf(topology), topology, "nope")

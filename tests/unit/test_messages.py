@@ -1,0 +1,181 @@
+"""Unit tests for repro.bgp.messages."""
+
+import pytest
+
+from repro.bgp.aspath import AsPath
+from repro.bgp.attributes import make_as_path, make_next_hop, make_origin
+from repro.bgp.constants import BGP_HEADER_SIZE, MessageType, Origin
+from repro.bgp.messages import (
+    CAP_FOUR_OCTET_AS,
+    Capability,
+    KeepaliveMessage,
+    MessageDecodeError,
+    NotificationMessage,
+    OpenMessage,
+    UpdateMessage,
+    decode_message,
+    encode_header,
+    split_stream,
+)
+from repro.bgp.prefix import Prefix, parse_ipv4
+
+
+def roundtrip(message):
+    decoded, consumed = decode_message(message.encode())
+    assert consumed == len(message.encode())
+    return decoded
+
+
+class TestHeader:
+    def test_header_size(self):
+        assert len(encode_header(MessageType.KEEPALIVE, b"")) == BGP_HEADER_SIZE
+
+    def test_rejects_oversize(self):
+        with pytest.raises(ValueError):
+            encode_header(MessageType.UPDATE, b"\x00" * 5000)
+
+    def test_decode_rejects_bad_marker(self):
+        data = bytearray(KeepaliveMessage().encode())
+        data[0] = 0
+        with pytest.raises(MessageDecodeError):
+            decode_message(bytes(data))
+
+    def test_decode_rejects_bad_type(self):
+        data = bytearray(KeepaliveMessage().encode())
+        data[18] = 99
+        with pytest.raises(MessageDecodeError):
+            decode_message(bytes(data))
+
+    def test_decode_rejects_short_length(self):
+        data = bytearray(KeepaliveMessage().encode())
+        data[16:18] = (10).to_bytes(2, "big")
+        with pytest.raises(MessageDecodeError):
+            decode_message(bytes(data))
+
+
+class TestOpen:
+    def test_roundtrip_plain(self):
+        message = OpenMessage(65001, 90, parse_ipv4("1.1.1.1"))
+        decoded = roundtrip(message)
+        assert decoded.asn == 65001
+        assert decoded.hold_time == 90
+        assert decoded.router_id == parse_ipv4("1.1.1.1")
+
+    def test_roundtrip_capabilities(self):
+        message = OpenMessage.for_speaker(65001, parse_ipv4("1.1.1.1"))
+        decoded = roundtrip(message)
+        assert decoded.capabilities == message.capabilities
+
+    def test_four_octet_as_capability(self):
+        message = OpenMessage.for_speaker(4200000000, parse_ipv4("1.1.1.1"))
+        assert message.asn == 23456  # AS_TRANS in the 2-octet field
+        decoded = roundtrip(message)
+        assert decoded.effective_asn() == 4200000000
+
+    def test_effective_asn_without_capability(self):
+        assert OpenMessage(65001, 90, 1).effective_asn() == 65001
+
+    def test_rejects_wrong_version(self):
+        data = bytearray(OpenMessage(65001, 90, 1).encode())
+        data[BGP_HEADER_SIZE] = 3  # version field
+        with pytest.raises(MessageDecodeError):
+            decode_message(bytes(data))
+
+
+class TestUpdate:
+    def _attrs(self):
+        return [
+            make_origin(Origin.IGP),
+            make_as_path(AsPath.from_sequence([65001])),
+            make_next_hop(parse_ipv4("10.0.0.1")),
+        ]
+
+    def test_roundtrip_announcement(self):
+        message = UpdateMessage(
+            attributes=self._attrs(),
+            nlri=[Prefix.parse("10.0.0.0/8"), Prefix.parse("192.0.2.0/24")],
+        )
+        decoded = roundtrip(message)
+        assert decoded.nlri == message.nlri
+        assert decoded.attributes == message.attributes
+
+    def test_roundtrip_withdrawal(self):
+        message = UpdateMessage(withdrawn=[Prefix.parse("10.0.0.0/8")])
+        decoded = roundtrip(message)
+        assert decoded.withdrawn == message.withdrawn
+        assert not decoded.nlri
+
+    def test_end_of_rib(self):
+        assert roundtrip(UpdateMessage.end_of_rib()).is_end_of_rib()
+        assert not UpdateMessage(nlri=[Prefix.parse("1.0.0.0/8")]).is_end_of_rib()
+
+    def test_attribute_lookup(self):
+        message = UpdateMessage(attributes=self._attrs())
+        assert message.attribute(1) is not None
+        assert message.attribute(200) is None
+
+    def test_rejects_truncated(self):
+        encoded = UpdateMessage(attributes=self._attrs(), nlri=[Prefix.parse("1.0.0.0/8")]).encode()
+        # Corrupt the attributes length to point past the end.
+        data = bytearray(encoded)
+        data[BGP_HEADER_SIZE + 2 : BGP_HEADER_SIZE + 4] = (4000).to_bytes(2, "big")
+        with pytest.raises(MessageDecodeError):
+            decode_message(bytes(data))
+
+
+class TestNotificationAndKeepalive:
+    def test_notification_roundtrip(self):
+        message = NotificationMessage(6, 2, b"bye")
+        decoded = roundtrip(message)
+        assert (decoded.code, decoded.subcode, decoded.data) == (6, 2, b"bye")
+
+    def test_keepalive_roundtrip(self):
+        assert roundtrip(KeepaliveMessage()) == KeepaliveMessage()
+
+    def test_keepalive_rejects_body(self):
+        data = encode_header(MessageType.KEEPALIVE, b"x")
+        with pytest.raises(MessageDecodeError):
+            decode_message(data)
+
+
+class TestRouteRefresh:
+    def test_roundtrip(self):
+        from repro.bgp.messages import RouteRefreshMessage
+
+        message = RouteRefreshMessage(afi=1, safi=1)
+        assert roundtrip(message) == message
+
+    def test_rejects_bad_length(self):
+        from repro.bgp.messages import RouteRefreshMessage
+
+        data = encode_header(MessageType.ROUTE_REFRESH, b"\x00\x01\x00")
+        with pytest.raises(MessageDecodeError):
+            decode_message(data)
+
+
+class TestSplitStream:
+    def test_multiple_messages_one_buffer(self):
+        buffer = bytearray(KeepaliveMessage().encode() * 3)
+        messages = split_stream(buffer)
+        assert len(messages) == 3
+        assert not buffer
+
+    def test_partial_message_left_in_buffer(self):
+        encoded = KeepaliveMessage().encode()
+        buffer = bytearray(encoded + encoded[:10])
+        messages = split_stream(buffer)
+        assert len(messages) == 1
+        assert bytes(buffer) == encoded[:10]
+
+    def test_empty_buffer(self):
+        assert split_stream(bytearray()) == []
+
+    def test_reassembly_across_chunks(self):
+        encoded = UpdateMessage(withdrawn=[Prefix.parse("10.0.0.0/8")]).encode()
+        buffer = bytearray()
+        results = []
+        for byte in encoded:
+            buffer.append(byte)
+            results.extend(split_stream(buffer))
+        assert len(results) == 1
+        assert results[0].withdrawn == (Prefix.parse("10.0.0.0/8"),)

@@ -1,0 +1,124 @@
+"""Unit tests for the native filter framework."""
+
+from repro.bgp.attributes import (
+    make_as_path,
+    make_communities,
+    make_next_hop,
+    make_origin,
+)
+from repro.bgp.aspath import AsPath
+from repro.bgp.communities import community
+from repro.bgp.constants import AttrTypeCode, Origin, WellKnownCommunity
+from repro.bgp.peer import Neighbor
+from repro.bgp.policy import (
+    AsPathLoopFilter,
+    CommunityMatchFilter,
+    CommunityTagFilter,
+    FilterAction,
+    FilterChain,
+    FilterResult,
+    NoExportFilter,
+    PrefixListFilter,
+)
+from repro.bgp.prefix import Prefix, parse_ipv4
+from repro.bird.eattrs import EattrList
+from repro.bird.rib import BirdRoute
+
+
+def ebgp_neighbor():
+    return Neighbor.build("10.0.0.2", 65002, "10.0.0.1", 65001)
+
+
+def ibgp_neighbor():
+    return Neighbor.build("10.0.0.3", 65001, "10.0.0.1", 65001)
+
+
+def route(prefix="10.0.0.0/8", as_path=(65002,), communities=None):
+    attrs = [
+        make_origin(Origin.IGP),
+        make_as_path(AsPath.from_sequence(as_path)),
+        make_next_hop(parse_ipv4("10.0.0.2")),
+    ]
+    if communities:
+        attrs.append(make_communities(communities))
+    return BirdRoute(Prefix.parse(prefix), ebgp_neighbor(), EattrList.from_wire(attrs))
+
+
+class TestChain:
+    def test_empty_chain_accepts(self):
+        assert FilterChain().evaluate(route(), ebgp_neighbor()) is not None
+
+    def test_reject_short_circuits(self):
+        calls = []
+
+        def rejecting(r, n):
+            calls.append("first")
+            return FilterResult.reject()
+
+        def never(r, n):
+            calls.append("second")
+            return FilterResult.proceed(r)
+
+        chain = FilterChain([rejecting, never])
+        assert chain.evaluate(route(), ebgp_neighbor()) is None
+        assert calls == ["first"]
+
+    def test_accept_short_circuits(self):
+        chain = FilterChain(
+            [lambda r, n: FilterResult.accept(r), lambda r, n: FilterResult.reject()]
+        )
+        assert chain.evaluate(route(), ebgp_neighbor()) is not None
+
+    def test_continue_passes_rewritten_route(self):
+        tag = CommunityTagFilter(community(65001, 42))
+        seen = []
+
+        def check(r, n):
+            seen.append(r.attribute(AttrTypeCode.COMMUNITIES))
+            return FilterResult.proceed(r)
+
+        chain = FilterChain([tag, check])
+        result = chain.evaluate(route(), ebgp_neighbor())
+        assert community(65001, 42) in result.attribute(AttrTypeCode.COMMUNITIES).as_communities()
+        assert seen[0] is not None
+
+
+class TestFilters:
+    def test_prefix_list_deny(self):
+        deny = PrefixListFilter([Prefix.parse("10.0.0.0/8")])
+        assert deny(route("10.1.0.0/16"), ebgp_neighbor()).action == FilterAction.REJECT
+        assert deny(route("11.0.0.0/8"), ebgp_neighbor()).action == FilterAction.CONTINUE
+
+    def test_prefix_list_permit_only(self):
+        permit = PrefixListFilter([Prefix.parse("10.0.0.0/8")], permit=True)
+        assert permit(route("10.1.0.0/16"), ebgp_neighbor()).action == FilterAction.CONTINUE
+        assert permit(route("11.0.0.0/8"), ebgp_neighbor()).action == FilterAction.REJECT
+
+    def test_community_tag_preserves_existing(self):
+        tag = CommunityTagFilter(community(65001, 2))
+        result = tag(route(communities=[community(65001, 1)]), ebgp_neighbor())
+        values = result.route.attribute(AttrTypeCode.COMMUNITIES).as_communities()
+        assert {community(65001, 1), community(65001, 2)} <= values
+
+    def test_community_match_rejects(self):
+        match = CommunityMatchFilter(community(65001, 7))
+        tagged = route(communities=[community(65001, 7)])
+        assert match(tagged, ebgp_neighbor()).action == FilterAction.REJECT
+        assert match(route(), ebgp_neighbor()).action == FilterAction.CONTINUE
+
+    def test_as_path_loop(self):
+        loop = AsPathLoopFilter(65001)
+        looped = route(as_path=(65002, 65001))
+        assert loop(looped, ebgp_neighbor()).action == FilterAction.REJECT
+        assert loop(route(), ebgp_neighbor()).action == FilterAction.CONTINUE
+
+    def test_no_export_blocked_on_ebgp(self):
+        filt = NoExportFilter()
+        tagged = route(communities=[int(WellKnownCommunity.NO_EXPORT)])
+        assert filt(tagged, ebgp_neighbor()).action == FilterAction.REJECT
+        assert filt(tagged, ibgp_neighbor()).action == FilterAction.CONTINUE
+
+    def test_no_advertise_blocked_everywhere(self):
+        filt = NoExportFilter()
+        tagged = route(communities=[int(WellKnownCommunity.NO_ADVERTISE)])
+        assert filt(tagged, ibgp_neighbor()).action == FilterAction.REJECT

@@ -1,0 +1,141 @@
+"""Unit tests for the RIB containers and RouteView accessors."""
+
+from repro.bgp.attributes import make_as_path, make_next_hop, make_origin
+from repro.bgp.aspath import AsPath
+from repro.bgp.constants import Origin
+from repro.bgp.peer import Neighbor
+from repro.bgp.prefix import Prefix, parse_ipv4
+from repro.bgp.rib import AdjRibIn, AdjRibOut, LocRib
+from repro.bird.eattrs import EattrList
+from repro.bird.rib import BirdRoute
+
+
+def neighbor(address="10.0.0.2", asn=65002):
+    return Neighbor.build(address, asn, "10.0.0.1", 65001)
+
+
+def route(prefix_text, peer=None):
+    attrs = [
+        make_origin(Origin.IGP),
+        make_as_path(AsPath.from_sequence([65002])),
+        make_next_hop(parse_ipv4("10.0.0.2")),
+    ]
+    return BirdRoute(Prefix.parse(prefix_text), peer or neighbor(), EattrList.from_wire(attrs))
+
+
+class TestAdjRibIn:
+    def test_update_and_candidates(self):
+        rib = AdjRibIn()
+        r1 = route("10.0.0.0/8")
+        rib.update(1, r1)
+        assert rib.candidates(Prefix.parse("10.0.0.0/8")) == [r1]
+        assert len(rib) == 1
+
+    def test_update_returns_replaced(self):
+        rib = AdjRibIn()
+        r1, r2 = route("10.0.0.0/8"), route("10.0.0.0/8")
+        assert rib.update(1, r1) is None
+        assert rib.update(1, r2) is r1
+        assert len(rib) == 1
+
+    def test_candidates_across_peers(self):
+        rib = AdjRibIn()
+        r1, r2 = route("10.0.0.0/8"), route("10.0.0.0/8")
+        rib.update(1, r1)
+        rib.update(2, r2)
+        assert set(map(id, rib.candidates(Prefix.parse("10.0.0.0/8")))) == {id(r1), id(r2)}
+
+    def test_withdraw(self):
+        rib = AdjRibIn()
+        r1 = route("10.0.0.0/8")
+        rib.update(1, r1)
+        assert rib.withdraw(1, r1.prefix) is r1
+        assert rib.withdraw(1, r1.prefix) is None
+        assert rib.candidates(r1.prefix) == []
+
+    def test_withdraw_unknown_peer(self):
+        assert AdjRibIn().withdraw(9, Prefix.parse("10.0.0.0/8")) is None
+
+    def test_drop_peer(self):
+        rib = AdjRibIn()
+        rib.update(1, route("10.0.0.0/8"))
+        rib.update(1, route("11.0.0.0/8"))
+        dropped = rib.drop_peer(1)
+        assert len(dropped) == 2
+        assert len(rib) == 0
+
+    def test_routes_from(self):
+        rib = AdjRibIn()
+        rib.update(1, route("10.0.0.0/8"))
+        assert len(list(rib.routes_from(1))) == 1
+        assert list(rib.routes_from(2)) == []
+
+
+class TestLocRib:
+    def test_install_lookup_remove(self):
+        rib = LocRib()
+        r1 = route("10.0.0.0/8")
+        assert rib.install(r1) is None
+        assert rib.lookup(r1.prefix) is r1
+        assert r1.prefix in rib
+        assert rib.remove(r1.prefix) is r1
+        assert rib.lookup(r1.prefix) is None
+
+    def test_install_returns_previous(self):
+        rib = LocRib()
+        r1, r2 = route("10.0.0.0/8"), route("10.0.0.0/8")
+        rib.install(r1)
+        assert rib.install(r2) is r1
+
+    def test_iteration(self):
+        rib = LocRib()
+        rib.install(route("10.0.0.0/8"))
+        rib.install(route("11.0.0.0/8"))
+        assert len(list(rib.routes())) == 2
+        assert len(list(rib.prefixes())) == 2
+        assert len(rib) == 2
+
+
+class TestAdjRibOut:
+    def test_advertise_and_withdraw(self):
+        rib = AdjRibOut()
+        r1 = route("10.0.0.0/8")
+        assert rib.advertise(5, r1) is None
+        assert rib.advertised(5, r1.prefix) is r1
+        assert rib.withdraw(5, r1.prefix) is r1
+        assert rib.advertised(5, r1.prefix) is None
+
+    def test_withdraw_not_advertised(self):
+        assert AdjRibOut().withdraw(5, Prefix.parse("10.0.0.0/8")) is None
+
+    def test_routes_to_and_drop(self):
+        rib = AdjRibOut()
+        rib.advertise(5, route("10.0.0.0/8"))
+        assert len(list(rib.routes_to(5))) == 1
+        rib.drop_peer(5)
+        assert list(rib.routes_to(5)) == []
+
+
+class TestRouteViewDefaults:
+    def test_defaults_for_missing_attributes(self):
+        bare = BirdRoute(Prefix.parse("10.0.0.0/8"), neighbor(), EattrList())
+        assert bare.local_pref() == 100
+        assert bare.as_path_length() == 0
+        assert bare.origin() == Origin.INCOMPLETE
+        assert bare.med() == 0
+        assert bare.next_hop() == 0
+
+    def test_ebgp_detection(self):
+        assert route("10.0.0.0/8").from_ebgp()
+        ibgp = route("10.0.0.0/8", peer=neighbor(asn=65001))
+        assert not ibgp.from_ebgp()
+
+    def test_with_attributes_copies(self):
+        original = route("10.0.0.0/8")
+        modified = original.with_attributes(
+            [make_origin(Origin.EGP)]
+        )
+        assert modified.origin() == Origin.EGP
+        assert original.origin() == Origin.IGP
+        assert modified.prefix == original.prefix
+        assert modified.source is original.source

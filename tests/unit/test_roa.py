@@ -1,0 +1,170 @@
+"""Unit tests for ROA tables and RFC 6811 validation."""
+
+import pytest
+
+from repro.bgp.constants import RouteOriginValidity
+from repro.bgp.prefix import Prefix
+from repro.bgp.roa import (
+    HashRoaTable,
+    Roa,
+    TrieRoaTable,
+    dump_roa_file,
+    load_roa_file,
+    make_roas_for_prefixes,
+)
+
+
+def p(text):
+    return Prefix.parse(text)
+
+
+class TestRoa:
+    def test_default_max_length_is_prefix_length(self):
+        assert Roa(p("10.0.0.0/16"), 65001).max_length == 16
+
+    def test_rejects_max_length_below_prefix(self):
+        with pytest.raises(ValueError):
+            Roa(p("10.0.0.0/16"), 65001, max_length=8)
+
+    def test_authorizes_exact(self):
+        roa = Roa(p("10.0.0.0/16"), 65001, max_length=24)
+        assert roa.authorizes(p("10.0.0.0/16"), 65001)
+
+    def test_authorizes_within_maxlen(self):
+        roa = Roa(p("10.0.0.0/16"), 65001, max_length=24)
+        assert roa.authorizes(p("10.0.5.0/24"), 65001)
+
+    def test_rejects_beyond_maxlen(self):
+        roa = Roa(p("10.0.0.0/16"), 65001, max_length=20)
+        assert not roa.authorizes(p("10.0.5.0/24"), 65001)
+
+    def test_rejects_wrong_origin(self):
+        roa = Roa(p("10.0.0.0/16"), 65001)
+        assert not roa.authorizes(p("10.0.0.0/16"), 65002)
+
+    def test_as0_never_authorizes(self):
+        roa = Roa(p("10.0.0.0/16"), 0)
+        assert not roa.authorizes(p("10.0.0.0/16"), 0)
+
+
+@pytest.mark.parametrize("table_cls", [TrieRoaTable, HashRoaTable])
+class TestTables:
+    def test_not_found_when_empty(self, table_cls):
+        table = table_cls()
+        assert table.validate(p("10.0.0.0/16"), 65001) == RouteOriginValidity.NOT_FOUND
+
+    def test_valid(self, table_cls):
+        table = table_cls()
+        table.add(Roa(p("10.0.0.0/16"), 65001, max_length=24))
+        assert table.validate(p("10.0.3.0/24"), 65001) == RouteOriginValidity.VALID
+
+    def test_invalid_wrong_origin(self, table_cls):
+        table = table_cls()
+        table.add(Roa(p("10.0.0.0/16"), 65001))
+        assert table.validate(p("10.0.0.0/16"), 65999) == RouteOriginValidity.INVALID
+
+    def test_invalid_too_specific(self, table_cls):
+        table = table_cls()
+        table.add(Roa(p("10.0.0.0/16"), 65001, max_length=16))
+        assert table.validate(p("10.0.0.0/20"), 65001) == RouteOriginValidity.INVALID
+
+    def test_any_valid_roa_suffices(self, table_cls):
+        table = table_cls()
+        table.add(Roa(p("10.0.0.0/16"), 65999))
+        table.add(Roa(p("10.0.0.0/8"), 65001, max_length=24))
+        assert table.validate(p("10.0.0.0/16"), 65001) == RouteOriginValidity.VALID
+
+    def test_remove(self, table_cls):
+        table = table_cls()
+        roa = Roa(p("10.0.0.0/16"), 65001)
+        table.add(roa)
+        table.remove(roa)
+        assert len(table) == 0
+        assert table.validate(p("10.0.0.0/16"), 65001) == RouteOriginValidity.NOT_FOUND
+
+    def test_remove_missing_raises(self, table_cls):
+        with pytest.raises(KeyError):
+            table_cls().remove(Roa(p("10.0.0.0/16"), 65001))
+
+    def test_duplicate_add_ignored(self, table_cls):
+        table = table_cls()
+        roa = Roa(p("10.0.0.0/16"), 65001)
+        table.add(roa)
+        table.add(roa)
+        assert len(table) == 1
+
+    def test_all_roas(self, table_cls):
+        table = table_cls()
+        roas = {Roa(p("10.0.0.0/16"), 1), Roa(p("11.0.0.0/8"), 2)}
+        table.extend(roas)
+        assert set(table.all_roas()) == roas
+
+    def test_covering_includes_less_specifics(self, table_cls):
+        table = table_cls()
+        short = Roa(p("10.0.0.0/8"), 1)
+        long = Roa(p("10.0.0.0/16"), 2)
+        table.extend([short, long])
+        found = set(table.covering(p("10.0.0.0/24")))
+        assert found == {short, long}
+
+
+class TestTableEquivalence:
+    def test_trie_and_hash_agree(self):
+        checks = [(p(f"10.{i}.0.0/16"), 65000 + i) for i in range(50)]
+        roas = make_roas_for_prefixes(checks, valid_fraction=0.6, seed=3)
+        trie, hash_table = TrieRoaTable(), HashRoaTable()
+        trie.extend(roas)
+        hash_table.extend(roas)
+        for prefix, origin in checks:
+            assert trie.validate(prefix, origin) == hash_table.validate(prefix, origin)
+
+
+class TestFileFormat:
+    def test_roundtrip(self, tmp_path):
+        roas = [
+            Roa(p("10.0.0.0/16"), 65001, max_length=24),
+            Roa(p("192.0.2.0/24"), 65002),
+        ]
+        path = tmp_path / "table.roa"
+        dump_roa_file(str(path), roas)
+        loaded = load_roa_file(str(path))
+        assert set(loaded.all_roas()) == set(roas)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "table.roa"
+        path.write_text("# header\n\n10.0.0.0/16 65001 20  # inline\n")
+        loaded = load_roa_file(str(path))
+        assert loaded.all_roas() == [Roa(p("10.0.0.0/16"), 65001, max_length=20)]
+
+    def test_rejects_malformed_line(self, tmp_path):
+        path = tmp_path / "table.roa"
+        path.write_text("10.0.0.0/16\n")
+        with pytest.raises(ValueError):
+            load_roa_file(str(path))
+
+    def test_loads_into_given_table(self, tmp_path):
+        path = tmp_path / "table.roa"
+        path.write_text("10.0.0.0/16 65001\n")
+        table = TrieRoaTable()
+        assert load_roa_file(str(path), table) is table
+
+
+class TestSyntheticRoas:
+    def test_valid_fraction_approximate(self):
+        checks = [(Prefix(0x0A000000 + (i << 8), 24), 65000) for i in range(2000)]
+        roas = make_roas_for_prefixes(checks, valid_fraction=0.75, seed=1)
+        table = HashRoaTable()
+        table.extend(roas)
+        outcomes = [table.validate(prefix, origin) for prefix, origin in checks]
+        valid = sum(1 for o in outcomes if o == RouteOriginValidity.VALID)
+        assert 0.70 < valid / len(checks) < 0.80
+
+    def test_deterministic_for_seed(self):
+        checks = [(p("10.0.0.0/16"), 65001), (p("11.0.0.0/16"), 65002)]
+        assert make_roas_for_prefixes(checks, seed=9) == make_roas_for_prefixes(
+            checks, seed=9
+        )
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            make_roas_for_prefixes([], valid_fraction=1.5)

@@ -1,0 +1,113 @@
+"""Unit tests for the discrete-event engine and network wiring."""
+
+import pytest
+
+from repro.bgp import Prefix
+from repro.bird import BirdDaemon
+from repro.sim import EventScheduler, Network
+
+
+class TestScheduler:
+    def test_fifo_among_equal_times(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(0, lambda: order.append("a"))
+        scheduler.schedule(0, lambda: order.append("b"))
+        scheduler.run()
+        assert order == ["a", "b"]
+
+    def test_time_ordering(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(2.0, lambda: order.append("late"))
+        scheduler.schedule(1.0, lambda: order.append("early"))
+        scheduler.run()
+        assert order == ["early", "late"]
+        assert scheduler.now == 2.0
+
+    def test_nested_scheduling(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(1.0, lambda: scheduler.schedule(1.0, lambda: order.append("inner")))
+        scheduler.run()
+        assert order == ["inner"]
+        assert scheduler.now == 2.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventScheduler().schedule(-1, lambda: None)
+
+    def test_max_events_bound(self):
+        scheduler = EventScheduler()
+
+        def rearm():
+            scheduler.schedule(1, rearm)
+
+        scheduler.schedule(0, rearm)
+        processed = scheduler.run(max_events=5)
+        assert processed == 5
+        assert scheduler.pending() == 1
+
+    def test_run_until(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(1.0, lambda: order.append(1))
+        scheduler.schedule(5.0, lambda: order.append(5))
+        scheduler.run_until(2.0)
+        assert order == [1]
+        assert scheduler.now == 2.0
+
+
+class TestNetwork:
+    def _pair(self):
+        network = Network()
+        a = BirdDaemon(asn=65001, router_id="1.1.1.1")
+        b = BirdDaemon(asn=65002, router_id="2.2.2.2")
+        network.add_router("a", a)
+        network.add_router("b", b)
+        network.connect("a", "10.0.0.1", "b", "10.0.0.2")
+        return network, a, b
+
+    def test_duplicate_router_rejected(self):
+        network = Network()
+        network.add_router("a", BirdDaemon(asn=1, router_id="1.1.1.1"))
+        with pytest.raises(ValueError):
+            network.add_router("a", BirdDaemon(asn=2, router_id="2.2.2.2"))
+
+    def test_route_propagates(self):
+        network, a, b = self._pair()
+        network.establish_all()
+        a.originate(Prefix.parse("10.9.0.0/16"))
+        network.run()
+        assert b.loc_rib.lookup(Prefix.parse("10.9.0.0/16")) is not None
+
+    def test_link_failure_drops_in_flight_and_sessions(self):
+        network, a, b = self._pair()
+        network.establish_all()
+        a.originate(Prefix.parse("10.9.0.0/16"))
+        network.run()
+        network.fail_link("a", "b")
+        assert b.loc_rib.lookup(Prefix.parse("10.9.0.0/16")) is None
+        # Messages sent on the dead link vanish.
+        a.originate(Prefix.parse("10.8.0.0/16"))
+        network.run()
+        assert b.loc_rib.lookup(Prefix.parse("10.8.0.0/16")) is None
+
+    def test_link_restore_resyncs(self):
+        network, a, b = self._pair()
+        network.establish_all()
+        a.originate(Prefix.parse("10.9.0.0/16"))
+        network.run()
+        network.fail_link("a", "b")
+        network.restore_link("a", "b")
+        assert b.loc_rib.lookup(Prefix.parse("10.9.0.0/16")) is not None
+
+    def test_unknown_link_rejected(self):
+        network, a, b = self._pair()
+        with pytest.raises(KeyError):
+            network.fail_link("a", "zz")
+
+    def test_neighbor_config_accessor(self):
+        network, a, b = self._pair()
+        neighbor = network.neighbor_config("a", "10.0.0.2")
+        assert neighbor.peer_asn == 65002

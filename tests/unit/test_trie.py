@@ -1,0 +1,104 @@
+"""Unit tests for repro.bgp.trie."""
+
+import pytest
+
+from repro.bgp.prefix import Prefix, parse_ipv4
+from repro.bgp.trie import PrefixTrie
+
+
+def p(text):
+    return Prefix.parse(text)
+
+
+class TestBasics:
+    def test_empty(self):
+        trie = PrefixTrie()
+        assert len(trie) == 0
+        assert p("10.0.0.0/8") not in trie
+
+    def test_insert_get(self):
+        trie = PrefixTrie()
+        trie.insert(p("10.0.0.0/8"), "a")
+        assert trie.get(p("10.0.0.0/8")) == "a"
+        assert len(trie) == 1
+
+    def test_insert_replaces(self):
+        trie = PrefixTrie()
+        trie.insert(p("10.0.0.0/8"), "a")
+        trie.insert(p("10.0.0.0/8"), "b")
+        assert trie.get(p("10.0.0.0/8")) == "b"
+        assert len(trie) == 1
+
+    def test_get_default(self):
+        assert PrefixTrie().get(p("10.0.0.0/8"), default=42) == 42
+
+    def test_default_route_storable(self):
+        trie = PrefixTrie()
+        trie.insert(p("0.0.0.0/0"), "default")
+        assert trie.get(p("0.0.0.0/0")) == "default"
+
+    def test_remove(self):
+        trie = PrefixTrie()
+        trie.insert(p("10.0.0.0/8"), "a")
+        assert trie.remove(p("10.0.0.0/8")) == "a"
+        assert len(trie) == 0
+        assert p("10.0.0.0/8") not in trie
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            PrefixTrie().remove(p("10.0.0.0/8"))
+
+    def test_remove_keeps_descendants(self):
+        trie = PrefixTrie()
+        trie.insert(p("10.0.0.0/8"), "short")
+        trie.insert(p("10.1.0.0/16"), "long")
+        trie.remove(p("10.0.0.0/8"))
+        assert trie.get(p("10.1.0.0/16")) == "long"
+
+
+class TestLookups:
+    def setup_method(self):
+        self.trie = PrefixTrie()
+        self.trie.insert(p("10.0.0.0/8"), 8)
+        self.trie.insert(p("10.1.0.0/16"), 16)
+        self.trie.insert(p("10.1.2.0/24"), 24)
+        self.trie.insert(p("192.0.2.0/24"), 99)
+
+    def test_longest_match_exact(self):
+        match = self.trie.longest_match(p("10.1.2.0/24"))
+        assert match == (p("10.1.2.0/24"), 24)
+
+    def test_longest_match_covering(self):
+        match = self.trie.longest_match(p("10.1.2.128/25"))
+        assert match == (p("10.1.2.0/24"), 24)
+
+    def test_longest_match_falls_back_to_shortest(self):
+        match = self.trie.longest_match(p("10.200.0.0/16"))
+        assert match == (p("10.0.0.0/8"), 8)
+
+    def test_longest_match_none(self):
+        assert self.trie.longest_match(p("11.0.0.0/8")) is None
+
+    def test_lookup_address(self):
+        match = self.trie.lookup_address(parse_ipv4("10.1.2.3"))
+        assert match == (p("10.1.2.3/32").__class__(parse_ipv4("10.1.2.0"), 24), 24)
+
+    def test_covering_walk_shortest_first(self):
+        found = list(self.trie.covering(p("10.1.2.0/24")))
+        assert [value for _, value in found] == [8, 16, 24]
+
+    def test_covering_excludes_more_specific(self):
+        found = list(self.trie.covering(p("10.1.0.0/16")))
+        assert [value for _, value in found] == [8, 16]
+
+    def test_covered_subtree(self):
+        found = dict(self.trie.covered(p("10.0.0.0/8")))
+        assert set(found.values()) == {8, 16, 24}
+
+    def test_items_enumerates_everything(self):
+        assert sorted(value for _, value in self.trie.items()) == [8, 16, 24, 99]
+
+    def test_items_keys_are_correct_prefixes(self):
+        found = dict(self.trie.items())
+        assert found[p("192.0.2.0/24")] == 99
+        assert found[p("10.1.0.0/16")] == 16

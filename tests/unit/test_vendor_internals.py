@@ -1,0 +1,149 @@
+"""Unit tests for the two hosts' internal representations."""
+
+import pytest
+
+from repro.bgp.attributes import (
+    PathAttribute,
+    make_as_path,
+    make_communities,
+    make_geoloc,
+    make_local_pref,
+    make_med,
+    make_next_hop,
+    make_origin,
+    make_originator_id,
+)
+from repro.bgp.aspath import AsPath
+from repro.bgp.constants import AttrTypeCode, Origin
+from repro.bird.eattrs import Eattr, EattrList
+from repro.frr.attrs_intern import AttrPool, FrrAttrs
+
+
+def sample_attrs():
+    return [
+        make_origin(Origin.IGP),
+        make_as_path(AsPath.from_sequence([65001, 65002])),
+        make_next_hop(0x0A000001),
+        make_med(50),
+        make_local_pref(200),
+        make_communities([0x1234_0001]),
+        make_originator_id(0x01010101),
+        make_geoloc(1.5, -2.5),  # unknown to the host: raw carry
+    ]
+
+
+class TestEattrList:
+    def test_from_wire_find(self):
+        eattrs = EattrList.from_wire(sample_attrs())
+        assert eattrs.ea_find(AttrTypeCode.ORIGIN).data == bytes([Origin.IGP])
+        assert AttrTypeCode.GEOLOC in eattrs
+
+    def test_set_and_unset(self):
+        eattrs = EattrList()
+        eattrs.ea_set(99, 0xC0, b"\x01")
+        assert eattrs.ea_find(99) == Eattr(99, 0xC0, b"\x01")
+        assert eattrs.ea_unset(99)
+        assert not eattrs.ea_unset(99)
+
+    def test_copy_is_independent(self):
+        eattrs = EattrList.from_wire(sample_attrs())
+        clone = eattrs.copy()
+        clone.ea_unset(AttrTypeCode.ORIGIN)
+        assert AttrTypeCode.ORIGIN in eattrs
+
+    def test_to_path_attributes_roundtrip(self):
+        original = sorted(sample_attrs(), key=lambda a: a.type_code)
+        eattrs = EattrList.from_wire(original)
+        assert eattrs.to_path_attributes() == original
+
+    def test_cache_key_stable(self):
+        a = EattrList.from_wire(sample_attrs())
+        b = EattrList.from_wire(sample_attrs())
+        assert a.cache_key() == b.cache_key()
+        b.ea_set(99, 0, b"")
+        assert a.cache_key() != b.cache_key()
+
+    def test_iteration_sorted_by_code(self):
+        eattrs = EattrList.from_wire(sample_attrs())
+        codes = [e.code for e in eattrs]
+        assert codes == sorted(codes)
+
+
+class TestFrrAttrs:
+    def test_from_wire_parses_host_order(self):
+        attrs = FrrAttrs.from_wire(sample_attrs())
+        assert attrs.origin == Origin.IGP
+        assert attrs.as_path == ((2, (65001, 65002)),)
+        assert attrs.next_hop == 0x0A000001
+        assert attrs.med == 50
+        assert attrs.local_pref == 200
+        assert attrs.communities == frozenset({0x1234_0001})
+        assert attrs.originator_id == 0x01010101
+        assert attrs.extra[0][0] == AttrTypeCode.GEOLOC
+
+    def test_to_wire_roundtrip(self):
+        original = sorted(sample_attrs(), key=lambda a: a.type_code)
+        assert FrrAttrs.from_wire(original).to_wire() == original
+
+    def test_attr_to_wire_single(self):
+        attrs = FrrAttrs.from_wire(sample_attrs())
+        med = attrs.attr_to_wire(AttrTypeCode.MULTI_EXIT_DISC)
+        assert med is not None and med.as_u32() == 50
+        assert attrs.attr_to_wire(222) is None
+
+    def test_with_attr_wire_known_code(self):
+        attrs = FrrAttrs.from_wire(sample_attrs())
+        updated = attrs.with_attr_wire(
+            AttrTypeCode.LOCAL_PREF, 0x40, (500).to_bytes(4, "big")
+        )
+        assert updated.local_pref == 500
+        assert attrs.local_pref == 200  # original untouched
+
+    def test_with_attr_wire_unknown_code_goes_to_extra(self):
+        attrs = FrrAttrs().with_attr_wire(222, 0xC0, b"\xab")
+        assert (222, 0xC0, b"\xab") in attrs.extra
+
+    def test_with_attr_wire_replaces_extra(self):
+        attrs = FrrAttrs().with_attr_wire(222, 0xC0, b"\xab")
+        attrs = attrs.with_attr_wire(222, 0xC0, b"\xcd")
+        assert len(attrs.extra) == 1
+        assert attrs.extra[0][2] == b"\xcd"
+
+    def test_without_attr(self):
+        attrs = FrrAttrs.from_wire(sample_attrs())
+        updated, removed = attrs.without_attr(AttrTypeCode.MULTI_EXIT_DISC)
+        assert removed and updated.med is None
+        again, removed2 = updated.without_attr(AttrTypeCode.MULTI_EXIT_DISC)
+        assert not removed2 and again is updated
+
+    def test_without_extra_attr(self):
+        attrs = FrrAttrs().with_attr_wire(222, 0xC0, b"\xab")
+        updated, removed = attrs.without_attr(222)
+        assert removed and not updated.extra
+
+    def test_has_attr(self):
+        attrs = FrrAttrs.from_wire(sample_attrs())
+        assert attrs.has_attr(AttrTypeCode.GEOLOC)
+        assert not attrs.has_attr(250)
+
+    def test_equality_and_hash(self):
+        a = FrrAttrs.from_wire(sample_attrs())
+        b = FrrAttrs.from_wire(sample_attrs())
+        assert a == b and hash(a) == hash(b)
+
+
+class TestAttrPool:
+    def test_interning_dedups(self):
+        pool = AttrPool()
+        a = pool.intern(FrrAttrs.from_wire(sample_attrs()))
+        b = pool.intern(FrrAttrs.from_wire(sample_attrs()))
+        assert a is b
+        assert pool.hits == 1 and pool.misses == 1
+        assert len(pool) == 1
+
+    def test_distinct_sets_kept_apart(self):
+        pool = AttrPool()
+        a = pool.intern(FrrAttrs(origin=0))
+        b = pool.intern(FrrAttrs(origin=1))
+        assert a is not b
+        assert len(pool) == 2

@@ -1,0 +1,133 @@
+"""Unit tests for the static verifier."""
+
+import pytest
+
+from repro.ebpf.assembler import assemble
+from repro.ebpf.isa import Instruction
+from repro.ebpf.verifier import VerifierConfig, VerifierError, verify
+
+
+def check(source, **config):
+    verify(assemble(source), VerifierConfig(**config))
+
+
+class TestAccepts:
+    def test_trivial(self):
+        check("mov r0, 0\nexit")
+
+    def test_branches(self):
+        check(
+            """
+            mov r1, 5
+            jeq r1, 5, yes
+            mov r0, 0
+            exit
+        yes:
+            mov r0, 1
+            exit
+            """
+        )
+
+    def test_stack_access(self):
+        check("mov r1, 7\nstxdw [r10-8], r1\nldxdw r0, [r10-8]\nexit")
+
+    def test_loop_allowed_when_configured(self):
+        source = """
+            mov r0, 0
+        top:
+            add r0, 1
+            jlt r0, 5, top
+            exit
+        """
+        check(source, allow_loops=True)
+
+    def test_helper_in_allowed_set(self):
+        program = assemble("call 7\nexit")
+        verify(program, VerifierConfig(allowed_helpers={7}))
+
+
+class TestRejects:
+    def test_empty_program(self):
+        with pytest.raises(VerifierError):
+            verify([])
+
+    def test_too_long(self):
+        program = assemble("mov r0, 0\n" * 10 + "exit")
+        with pytest.raises(VerifierError):
+            verify(program, VerifierConfig(max_instructions=5))
+
+    def test_no_exit(self):
+        # Falling off the end is caught as control flow leaving the program.
+        with pytest.raises(VerifierError):
+            verify(assemble("mov r0, 0"))
+
+    def test_jump_out_of_range(self):
+        with pytest.raises(VerifierError):
+            verify([Instruction(0x05, 0, 0, 100, 0)])  # ja +100
+
+    def test_loop_rejected_by_default(self):
+        source = """
+            mov r0, 0
+        top:
+            add r0, 1
+            jlt r0, 5, top
+            exit
+        """
+        with pytest.raises(VerifierError, match="back-edge"):
+            check(source)
+
+    def test_write_to_r10(self):
+        with pytest.raises(VerifierError, match="r10"):
+            verify(assemble("mov r10, 5\nexit"))
+
+    def test_division_by_zero_constant(self):
+        with pytest.raises(VerifierError, match="zero"):
+            verify(assemble("mov r0, 8\ndiv r0, 0\nexit"))
+
+    def test_modulo_by_zero_constant(self):
+        with pytest.raises(VerifierError, match="zero"):
+            verify(assemble("mov r0, 8\nmod r0, 0\nexit"))
+
+    def test_helper_not_in_allowed_set(self):
+        program = assemble("call 7\nexit")
+        with pytest.raises(VerifierError, match="manifest"):
+            verify(program, VerifierConfig(allowed_helpers={3}))
+
+    def test_jump_into_lddw_second_slot(self):
+        program = assemble("lddw r1, 0x1122334455667788\nmov r0, 0\nexit")
+        # Craft a jump landing on the lddw continuation slot.
+        bad = [Instruction(0x05, 0, 0, 0, 0)] + program  # ja +0 -> slot 1
+        bad[0] = Instruction(0x05, 0, 0, 1, 0)  # ja into slot 2 (lddw half)
+        with pytest.raises(VerifierError):
+            verify(bad)
+
+    def test_lddw_missing_second_slot(self):
+        program = assemble("lddw r1, 0x1122334455667788\nexit")
+        with pytest.raises(VerifierError):
+            verify(program[:1] + program[2:])  # drop the second slot
+
+    def test_read_before_initialisation(self):
+        with pytest.raises(VerifierError, match="r6"):
+            verify(assemble("mov r0, r6\nexit"))
+
+    def test_read_initialised_on_one_path_only(self):
+        source = """
+            mov r1, 1
+            jeq r1, 0, skip
+            mov r6, 5
+        skip:
+            mov r0, r6
+            exit
+        """
+        with pytest.raises(VerifierError, match="r6"):
+            verify(assemble(source))
+
+    def test_bad_byteswap_width(self):
+        program = assemble("be16 r1\nexit")
+        bad = [program[0]._replace(imm=24), program[1]]
+        with pytest.raises(VerifierError):
+            verify(bad)
+
+    def test_unknown_opcode(self):
+        with pytest.raises(VerifierError):
+            verify([Instruction(0xFF, 0, 0, 0, 0), Instruction(0x95, 0, 0, 0, 0)])

@@ -1,0 +1,183 @@
+"""Unit tests for the synthetic workload generator and MRT format."""
+
+import io
+
+import pytest
+
+from repro.bgp.constants import AttrTypeCode
+from repro.bgp.prefix import Prefix, parse_ipv4
+from repro.mrt import MrtError, MrtPeer, RibEntry, read_table, write_table
+from repro.workload import AsTopology, RibGenerator, build_updates, origins_of
+
+
+class TestTopology:
+    def test_generation_deterministic(self):
+        a = AsTopology.generate(n_ases=100, seed=5)
+        b = AsTopology.generate(n_ases=100, seed=5)
+        assert a.all_ases() == b.all_ases()
+        assert all(a.providers_of(asn) == b.providers_of(asn) for asn in a.all_ases())
+
+    def test_structure(self):
+        topology = AsTopology.generate(n_ases=100, n_tier1=5, seed=5)
+        assert len(topology.tier1) == 5
+        assert len(topology.all_ases()) == 100
+        assert topology.stubs  # there are stubs
+        for stub in topology.stubs:
+            assert topology.providers_of(stub), "stubs must have providers"
+
+    def test_paths_end_at_origin(self):
+        import random
+
+        topology = AsTopology.generate(n_ases=100, seed=5)
+        rng = random.Random(1)
+        for stub in topology.stubs[:20]:
+            path = topology.path_to_tier1(stub, rng)
+            assert path[-1] == stub
+            assert len(set(path)) == len(path)  # loop free
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            AsTopology.generate(n_ases=5, n_tier1=8)
+
+
+class TestRibGenerator:
+    def test_count_and_uniqueness(self):
+        routes = RibGenerator(n_routes=500, seed=3).generate()
+        assert len(routes) == 500
+        assert len({r.prefix for r in routes}) == 500
+
+    def test_deterministic(self):
+        assert (
+            RibGenerator(n_routes=50, seed=3).generate()
+            == RibGenerator(n_routes=50, seed=3).generate()
+        )
+
+    def test_prefix_length_mix(self):
+        routes = RibGenerator(n_routes=3000, seed=3).generate()
+        slash24 = sum(1 for r in routes if r.prefix.length == 24)
+        assert 0.5 < slash24 / len(routes) < 0.7  # ≈59% like RIS
+
+    def test_paths_short_and_loop_free(self):
+        routes = RibGenerator(n_routes=300, seed=3).generate()
+        for route in routes:
+            assert 1 <= len(route.as_path) <= 12
+        lengths = [len(set(r.as_path)) >= len(r.as_path) - 1 for r in routes]
+        assert all(lengths)  # at most one duplicate (prepending)
+
+    def test_origins_helper(self):
+        routes = RibGenerator(n_routes=20, seed=3).generate()
+        origins = origins_of(routes)
+        assert len(origins) == 20
+        assert all(origin == route.origin_asn for (_, origin), route in zip(origins, routes))
+
+
+class TestBuildUpdates:
+    def test_all_prefixes_present_once(self):
+        routes = RibGenerator(n_routes=400, seed=3).generate()
+        updates = build_updates(routes, next_hop=parse_ipv4("10.0.0.9"))
+        prefixes = [p for u in updates for p in u.nlri]
+        assert sorted(prefixes) == sorted(r.prefix for r in routes)
+
+    def test_packing_shares_updates(self):
+        routes = RibGenerator(n_routes=400, seed=3).generate()
+        updates = build_updates(routes, next_hop=1)
+        assert len(updates) < len(routes)  # attribute sharing packs NLRI
+
+    def test_ibgp_updates_have_local_pref(self):
+        routes = RibGenerator(n_routes=10, seed=3).generate()
+        updates = build_updates(routes, next_hop=1, session="ibgp")
+        assert all(u.attribute(AttrTypeCode.LOCAL_PREF) is not None for u in updates)
+
+    def test_ebgp_updates_prepend_sender(self):
+        routes = RibGenerator(n_routes=10, seed=3).generate()
+        updates = build_updates(routes, next_hop=1, session="ebgp", sender_asn=65100)
+        for update in updates:
+            path = update.attribute(AttrTypeCode.AS_PATH).as_path()
+            assert path.first_asn() == 65100
+            assert update.attribute(AttrTypeCode.LOCAL_PREF) is None
+
+    def test_max_prefixes_respected(self):
+        routes = RibGenerator(n_routes=300, seed=3).generate()
+        updates = build_updates(routes, next_hop=1, max_prefixes_per_update=10)
+        assert all(len(u.nlri) <= 10 for u in updates)
+
+    def test_bad_session_kind(self):
+        with pytest.raises(ValueError):
+            build_updates([], next_hop=1, session="maybe")
+
+    def test_updates_fit_wire_limit(self):
+        routes = RibGenerator(n_routes=500, seed=3).generate()
+        for update in build_updates(routes, next_hop=1):
+            assert len(update.encode()) <= 4096
+
+
+class TestMrt:
+    def _sample(self):
+        routes = RibGenerator(n_routes=40, seed=3).generate()
+        updates = build_updates(routes, next_hop=parse_ipv4("10.0.0.9"))
+        peers = [MrtPeer(parse_ipv4("10.0.0.9"), parse_ipv4("10.0.0.9"), 65100)]
+        entries = [
+            RibEntry(prefix, 0, 1_600_000_000, update.attributes)
+            for update in updates
+            for prefix in update.nlri
+        ]
+        return peers, entries
+
+    def test_roundtrip(self):
+        peers, entries = self._sample()
+        stream = io.BytesIO()
+        write_table(stream, peers, entries, collector_id=7)
+        stream.seek(0)
+        read_peers, read_entries = read_table(stream)
+        assert read_peers == peers
+        assert read_entries == entries
+
+    def test_missing_index_rejected(self):
+        with pytest.raises(MrtError):
+            read_table(io.BytesIO(b""))
+
+    def test_truncated_payload_rejected(self):
+        peers, entries = self._sample()
+        stream = io.BytesIO()
+        write_table(stream, peers, entries[:1])
+        data = stream.getvalue()[:-3]
+        with pytest.raises(MrtError):
+            read_table(io.BytesIO(data))
+
+    def test_routes_from_mrt_reconstructs_specs(self, tmp_path):
+        from repro.workload import routes_from_mrt
+
+        peers, entries = self._sample()
+        path = tmp_path / "table.mrt"
+        with open(path, "wb") as handle:
+            write_table(handle, peers, entries)
+        routes = routes_from_mrt(str(path))
+        assert len(routes) == len(entries)
+        by_prefix = {entry.prefix for entry in entries}
+        assert {route.prefix for route in routes} == by_prefix
+        assert all(route.as_path for route in routes)
+
+    def test_routes_from_mrt_feeds_harness(self, tmp_path):
+        from repro.sim.harness import ConvergenceHarness
+        from repro.workload import routes_from_mrt
+
+        peers, entries = self._sample()
+        path = tmp_path / "table.mrt"
+        with open(path, "wb") as handle:
+            write_table(handle, peers, entries)
+        routes = routes_from_mrt(str(path))
+        harness = ConvergenceHarness("bird", "plain", "native", routes)
+        harness.run()
+        assert len(harness.collector) == len(routes)
+
+    def test_foreign_record_types_tolerated(self):
+        import struct
+
+        peers, entries = self._sample()
+        stream = io.BytesIO()
+        # A BGP4MP (type 16) record first: should be skipped.
+        stream.write(struct.pack("!IHHI", 0, 16, 4, 2) + b"ab")
+        write_table(stream, peers, entries[:2])
+        stream.seek(0)
+        read_peers, read_entries = read_table(stream)
+        assert len(read_entries) == 2
