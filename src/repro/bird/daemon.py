@@ -193,6 +193,40 @@ class BirdDaemon:
     def log_messages(self) -> List[str]:
         return list(self._log)
 
+    @property
+    def telemetry(self):
+        """The VMM's telemetry facade (None when disabled)."""
+        return self.vmm.telemetry
+
+    def update_telemetry_gauges(self) -> None:
+        """Refresh session and RIB-size gauges on the telemetry registry.
+
+        Called before every export (harness snapshot, ``xbgp stats``) so
+        scrapes see current control-plane state alongside the VMM's
+        execution counters.
+        """
+        telemetry = self.vmm.telemetry
+        if telemetry is None:
+            return
+        registry = telemetry.registry
+        impl = self.implementation
+        registry.gauge(
+            "xbgp_sessions", "configured BGP sessions", implementation=impl
+        ).set(len(self.neighbors))
+        registry.gauge(
+            "xbgp_sessions_established",
+            "sessions in Established state",
+            implementation=impl,
+        ).set(sum(1 for up in self._established.values() if up))
+        for rib_name, rib in (
+            ("adj_rib_in", self.adj_rib_in),
+            ("loc_rib", self.loc_rib),
+            ("adj_rib_out", self.adj_rib_out),
+        ):
+            registry.gauge(
+                "xbgp_rib_routes", "routes per RIB", implementation=impl, rib=rib_name
+            ).set(len(rib))
+
     def igp_metric(self, address: int) -> int:
         if self.igp is None:
             return 0

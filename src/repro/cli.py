@@ -11,7 +11,10 @@ Subcommands:
   engine) and print the paper-style row;
 * ``gen-table`` — generate a synthetic RIS-like table and write it as
   an MRT TABLE_DUMP_V2 file;
-* ``loc``      — print the §2.1 glue-size report.
+* ``loc``      — print the §2.1 glue-size report;
+* ``stats``    — drive one harness scenario and print the VMM's
+  telemetry (per-insertion-point/extension counters, latency
+  histograms, quarantine state) as Prometheus text and/or JSON.
 """
 
 from __future__ import annotations
@@ -146,6 +149,59 @@ def _cmd_loc(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    """Run one convergence scenario and expose its telemetry."""
+    import json as _json
+
+    from .bgp.roa import make_roas_for_prefixes
+    from .sim.harness import ConvergenceHarness
+    from .telemetry import QuarantinePolicy
+    from .workload import RibGenerator, origins_of
+
+    routes = RibGenerator(n_routes=args.routes, seed=args.seed).generate()
+    roas = None
+    if args.feature == "origin_validation":
+        roas = make_roas_for_prefixes(origins_of(routes), 0.75, seed=args.seed)
+    quarantine = None
+    if args.quarantine_after < 0:
+        raise SystemExit("xbgp stats: --quarantine-after must be >= 0")
+    if args.quarantine_after:
+        quarantine = QuarantinePolicy(error_threshold=args.quarantine_after)
+    harness = ConvergenceHarness(
+        args.implementation,
+        args.feature,
+        args.mode,
+        routes,
+        roas,
+        engine=args.engine,
+        quarantine=quarantine,
+    )
+    elapsed = harness.run()
+    telemetry = harness.dut.vmm.telemetry
+    if args.trace_out:
+        count = telemetry.trace.export_jsonl(args.trace_out)
+        print(f"# wrote {count} trace events to {args.trace_out}", file=sys.stderr)
+    if args.format in ("prom", "both"):
+        sys.stdout.write(telemetry.render_prometheus())
+    if args.format in ("json", "both"):
+        snapshot = telemetry.snapshot()
+        snapshot["run"] = {
+            "implementation": args.implementation,
+            "feature": args.feature,
+            "mode": args.mode,
+            "engine": args.engine,
+            "routes": args.routes,
+            "elapsed_seconds": elapsed,
+            "vmm": {
+                "codes": harness.dut.vmm.stats(),
+                "points": harness.dut.vmm.point_stats(),
+                "quarantined": harness.dut.vmm.quarantined_codes(),
+            },
+        }
+        print(_json.dumps(snapshot, indent=2))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="xbgp", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -194,6 +250,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("loc", help="print the glue LoC report")
     p.set_defaults(fn=_cmd_loc)
+
+    p = sub.add_parser("stats", help="run one scenario, print VMM telemetry")
+    p.add_argument("--implementation", choices=["frr", "bird"], default="frr")
+    p.add_argument(
+        "--feature",
+        choices=["route_reflection", "origin_validation", "plain"],
+        default="route_reflection",
+    )
+    p.add_argument("--mode", choices=["extension", "native"], default="extension")
+    p.add_argument("--engine", choices=["jit", "interp", "pyext"], default="jit")
+    p.add_argument("--routes", type=int, default=500)
+    p.add_argument("--seed", type=int, default=20200604)
+    p.add_argument(
+        "--format", choices=["prom", "json", "both"], default="both",
+        help="exposition format (default: both)",
+    )
+    p.add_argument(
+        "--quarantine-after", type=int, default=0, metavar="N",
+        help="quarantine an extension after N consecutive errors (0: never)",
+    )
+    p.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="also export the trace ring as JSON Lines",
+    )
+    p.set_defaults(fn=_cmd_stats)
 
     return parser
 

@@ -57,6 +57,7 @@ class ExecutionContext:
         "hidden",
         "next_requested",
         "error",
+        "faulted_extension",
     )
 
     def __init__(
@@ -81,7 +82,12 @@ class ExecutionContext:
         self.out_buffer = out_buffer
         self.hidden = hidden or {}
         self.next_requested = False
+        #: Human-readable "<extension>: <error>" set when a code aborts.
         self.error: Optional[str] = None
+        #: Name of the extension code that faulted mid-chain, so hosts
+        #: and traces can attribute the failure without parsing
+        #: ``error``'s flattened string.
+        self.faulted_extension: Optional[str] = None
 
     def __repr__(self) -> str:
         return (

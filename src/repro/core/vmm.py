@@ -12,16 +12,27 @@ of its native function at every insertion point.  The VMM:
 4. execution is monitored: a sandbox violation, a blown instruction
    budget or a helper error aborts the code, notifies the host and
    falls back to the default function.
+
+Monitoring goes beyond the paper's bare fallback: every run is
+recorded against a :class:`repro.telemetry.Telemetry` instance —
+per-(insertion point, extension) execution/error/fallback counters,
+latency histograms, executed-instruction and helper-call totals, and a
+structured trace of enter/exit/next/fallback events.  A quarantine
+policy (circuit breaker) can detach a crash-looping extension after N
+consecutive errors so the rest of the chain and the native path keep
+the router converging; see :mod:`repro.telemetry.health`.
 """
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
 from ..ebpf.helpers import HelperError, HelperTable
 from ..ebpf.memory import SandboxViolation, VmMemory
 from ..ebpf.verifier import VerifierConfig, VerifierError, verify
 from ..ebpf.vm import ExecutionError, VirtualMachine
+from ..telemetry import QuarantinePolicy, Telemetry
 from .api import build_helper_table
 from .context import ExecutionContext, NextRequested
 from .extension import ExtensionCode, NativeExtensionCode, ProgramState, XbgpProgram
@@ -36,9 +47,23 @@ class AttachError(Exception):
 
 
 class VmmConfig:
-    """Resource limits applied to every attached extension code."""
+    """Resource limits applied to every attached extension code.
 
-    __slots__ = ("step_budget", "heap_size", "allow_loops", "max_instructions", "engine")
+    ``telemetry=False`` strips all instrumentation from the execution
+    hot path (the ablation benchmark's uninstrumented arm);
+    ``quarantine`` configures the circuit breaker (default: never
+    quarantine, matching the paper's always-retry fallback).
+    """
+
+    __slots__ = (
+        "step_budget",
+        "heap_size",
+        "allow_loops",
+        "max_instructions",
+        "engine",
+        "telemetry",
+        "quarantine",
+    )
 
     def __init__(
         self,
@@ -47,6 +72,8 @@ class VmmConfig:
         allow_loops: bool = True,
         max_instructions: int = 65536,
         engine: str = "jit",
+        telemetry: bool = True,
+        quarantine: Optional[QuarantinePolicy] = None,
     ):
         if engine not in ("jit", "interp"):
             raise ValueError(f"bad engine {engine!r}")
@@ -55,12 +82,34 @@ class VmmConfig:
         self.allow_loops = allow_loops
         self.max_instructions = max_instructions
         self.engine = engine
+        self.telemetry = telemetry
+        self.quarantine = quarantine
 
 
 class _Attached:
-    """One attached extension code with its persistent VM and stats."""
+    """One attached extension code with its persistent VM and stats.
 
-    __slots__ = ("code", "vm", "state", "executions", "errors")
+    The telemetry handles (counters, histogram, breaker state) are
+    resolved once at attach time so the execution hot path pays one
+    attribute update per event instead of a registry lookup.
+    """
+
+    __slots__ = (
+        "code",
+        "vm",
+        "state",
+        "executions",
+        "errors",
+        "fallbacks",
+        "health",
+        "m_exec",
+        "m_err",
+        "m_fallback",
+        "m_next",
+        "m_insns",
+        "m_helpers",
+        "hist",
+    )
 
     def __init__(self, code, vm: Optional[VirtualMachine], state: ProgramState):
         self.code = code
@@ -68,18 +117,39 @@ class _Attached:
         self.state = state
         self.executions = 0
         self.errors = 0
+        self.fallbacks = 0
+        self.health = None
+        self.m_exec = None
+        self.m_err = None
+        self.m_fallback = None
+        self.m_next = None
+        self.m_insns = None
+        self.m_helpers = None
+        self.hist = None
 
 
 class VirtualMachineManager:
     """Attach xBGP programs to a host and execute them at runtime."""
 
-    def __init__(self, host: HostImplementation, config: Optional[VmmConfig] = None):
+    def __init__(
+        self,
+        host: HostImplementation,
+        config: Optional[VmmConfig] = None,
+        telemetry: Optional[Telemetry] = None,
+    ):
         self.host = host
         self.config = config or VmmConfig()
         self.helper_table: HelperTable = build_helper_table()
         self._chains: Dict[InsertionPoint, List[_Attached]] = {}
         self._programs: Dict[str, XbgpProgram] = {}
         self.fallbacks = 0
+        self._point_fallbacks: Dict[InsertionPoint, int] = {}
+        if telemetry is not None:
+            self.telemetry = telemetry
+        elif self.config.telemetry:
+            self.telemetry = Telemetry(policy=self.config.quarantine)
+        else:
+            self.telemetry = None
 
     # -- attachment -----------------------------------------------------
 
@@ -127,10 +197,41 @@ class VirtualMachineManager:
             vm.prepare()  # pay translation cost at attach, not first run
             attached.append(_Attached(code, vm, state))
         for item in attached:
+            if self.telemetry is not None:
+                self._instrument(item)
             chain = self._chains.setdefault(item.code.insertion_point, [])
             chain.append(item)
             chain.sort(key=lambda entry: entry.code.seq)
         self._programs[program.name] = program
+
+    def _instrument(self, item: _Attached) -> None:
+        """Bind the telemetry handles this code updates on every run."""
+        registry = self.telemetry.registry
+        point = item.code.insertion_point.value
+        name = item.code.name
+        labels = {"point": point, "extension": name}
+        item.health = self.telemetry.health.state_for(point, name)
+        item.m_exec = registry.counter(
+            "xbgp_extension_executions", "extension code invocations", **labels
+        )
+        item.m_err = registry.counter(
+            "xbgp_extension_errors", "aborted extension runs", **labels
+        )
+        item.m_fallback = registry.counter(
+            "xbgp_extension_fallbacks", "fallbacks to native caused by this code", **labels
+        )
+        item.m_next = registry.counter(
+            "xbgp_extension_next", "next() delegations", **labels
+        )
+        item.m_insns = registry.counter(
+            "xbgp_extension_instructions", "eBPF instructions executed", **labels
+        )
+        item.m_helpers = registry.counter(
+            "xbgp_extension_helper_calls", "helper functions invoked", **labels
+        )
+        item.hist = registry.histogram(
+            "xbgp_extension_run_seconds", "per-run latency", **labels
+        )
 
     def detach_program(self, name: str) -> None:
         """Remove every extension code of program ``name``."""
@@ -146,15 +247,44 @@ class VirtualMachineManager:
         return [item.code.name for item in self._chains.get(point, [])]
 
     def stats(self) -> Dict[str, Dict[str, int]]:
-        """Per-code execution and error counters."""
+        """Per-code execution, error and caused-fallback counters."""
         result: Dict[str, Dict[str, int]] = {}
         for chain in self._chains.values():
             for item in chain:
                 result[item.code.name] = {
                     "executions": item.executions,
                     "errors": item.errors,
+                    "fallbacks": item.fallbacks,
                 }
         return result
+
+    def point_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-insertion-point aggregates, including fallback counts."""
+        result: Dict[str, Dict[str, int]] = {}
+        for point, chain in self._chains.items():
+            entry = {
+                "executions": 0,
+                "errors": 0,
+                "fallbacks": self._point_fallbacks.get(point, 0),
+            }
+            for item in chain:
+                entry["executions"] += item.executions
+                entry["errors"] += item.errors
+            result[point.value] = entry
+        for point, count in self._point_fallbacks.items():
+            if point.value not in result:
+                result[point.value] = {"executions": 0, "errors": 0, "fallbacks": count}
+        return result
+
+    def quarantined_codes(self) -> List[str]:
+        """Names of codes currently detached by the circuit breaker."""
+        if self.telemetry is None:
+            return []
+        return [
+            health.name
+            for health in self.telemetry.health.quarantined()
+            if health.state == "open"
+        ]
 
     # -- execution ---------------------------------------------------------
 
@@ -172,6 +302,28 @@ class VirtualMachineManager:
         chain = self._chains.get(ctx.insertion_point)
         if not chain:
             return default_fn()
+        if self.telemetry is not None:
+            return self._run_traced(chain, ctx, default_fn)
+        return self._run_plain(chain, ctx, default_fn)
+
+    def _note_fallback(self, item: _Attached, ctx: ExecutionContext, exc: Exception) -> None:
+        """Bookkeeping shared by both paths when a code aborts the chain."""
+        item.errors += 1
+        item.fallbacks += 1
+        self.fallbacks += 1
+        point = ctx.insertion_point
+        self._point_fallbacks[point] = self._point_fallbacks.get(point, 0) + 1
+        ctx.error = f"{item.code.name}: {exc}"
+        ctx.faulted_extension = item.code.name
+        self.host.log(f"[vmm] {ctx.error}; falling back to native")
+
+    def _run_plain(
+        self,
+        chain: List[_Attached],
+        ctx: ExecutionContext,
+        default_fn: Callable[[], int],
+    ) -> int:
+        """Uninstrumented execution (seed semantics, no telemetry cost)."""
         for item in chain:
             item.executions += 1
             ctx.next_requested = False
@@ -181,10 +333,7 @@ class VirtualMachineManager:
                 except NextRequested:
                     continue
                 except Exception as exc:  # noqa: BLE001 - must never crash the host
-                    item.errors += 1
-                    ctx.error = f"{item.code.name}: {exc}"
-                    self.host.log(f"[vmm] {ctx.error}; falling back to native")
-                    self.fallbacks += 1
+                    self._note_fallback(item, ctx, exc)
                     return default_fn()
             vm = item.vm
             vm.ctx = ctx
@@ -194,9 +343,90 @@ class VirtualMachineManager:
             except NextRequested:
                 continue
             except (SandboxViolation, ExecutionError, HelperError) as exc:
-                item.errors += 1
-                ctx.error = f"{item.code.name}: {exc}"
-                self.host.log(f"[vmm] {ctx.error}; falling back to native")
-                self.fallbacks += 1
+                self._note_fallback(item, ctx, exc)
                 return default_fn()
+        return default_fn()
+
+    def _run_traced(
+        self,
+        chain: List[_Attached],
+        ctx: ExecutionContext,
+        default_fn: Callable[[], int],
+    ) -> int:
+        """Instrumented execution: metrics, trace and quarantine."""
+        telemetry = self.telemetry
+        trace = telemetry.trace
+        health_engine = telemetry.health
+        point = ctx.insertion_point.value
+        for item in chain:
+            health = item.health
+            if health.state != "closed" and not health_engine.allow(health):
+                trace.record("skip", point, item.code.name, reason="quarantined")
+                continue
+            item.executions += 1
+            item.m_exec.inc()
+            ctx.next_requested = False
+            trace.record("enter", point, item.code.name)
+            vm = item.vm
+            if vm is not None:
+                vm.ctx = ctx
+                vm.memory.reset_heap()
+                vm.steps_executed = 0
+                vm.helper_calls = 0
+            start = perf_counter()
+            try:
+                if vm is None:
+                    result = item.code.fn(ctx, self.host)
+                else:
+                    result = vm.run(r1=0)
+            except NextRequested:
+                elapsed = perf_counter() - start
+                item.hist.observe(elapsed)
+                item.m_next.inc()
+                if vm is not None:
+                    item.m_insns.inc(vm.steps_executed)
+                    item.m_helpers.inc(vm.helper_calls)
+                health_engine.record_success(health)
+                trace.record("next", point, item.code.name)
+                trace.record("exit", point, item.code.name, outcome="next")
+                continue
+            except Exception as exc:  # noqa: BLE001 - must never crash the host
+                if vm is not None and not isinstance(
+                    exc, (SandboxViolation, ExecutionError, HelperError)
+                ):
+                    raise  # bytecode path: only sandbox faults are absorbed
+                elapsed = perf_counter() - start
+                item.hist.observe(elapsed)
+                item.m_err.inc()
+                item.m_fallback.inc()
+                if vm is not None:
+                    item.m_insns.inc(vm.steps_executed)
+                    item.m_helpers.inc(vm.helper_calls)
+                self._note_fallback(item, ctx, exc)
+                health_engine.record_error(health)
+                trace.record(
+                    "exit", point, item.code.name, outcome="error", error=str(exc)
+                )
+                trace.record(
+                    "fallback", point, item.code.name, error=ctx.error
+                )
+                telemetry.registry.counter(
+                    "xbgp_vmm_fallbacks", "chain fallbacks to native", point=point
+                ).inc()
+                return default_fn()
+            elapsed = perf_counter() - start
+            item.hist.observe(elapsed)
+            if vm is not None:
+                item.m_insns.inc(vm.steps_executed)
+                item.m_helpers.inc(vm.helper_calls)
+            health_engine.record_success(health)
+            trace.record(
+                "exit",
+                point,
+                item.code.name,
+                outcome="return",
+                verdict=result if isinstance(result, int) else None,
+            )
+            return result
+        trace.record("default", point)
         return default_fn()

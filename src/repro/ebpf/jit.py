@@ -228,6 +228,7 @@ def translate(
         "mem_write": memory.write,
         "vm": vm,
         "ExecBudget": _BudgetError,
+        "BaseException": BaseException,
         "FP": memory.frame_pointer(),
         "HB": heap.base,
         "HS": len(heap.data),
@@ -253,20 +254,27 @@ def translate(
     for offset in sorted(slots):
         w.emit(1, f"{_slot_var(offset)} = 0")
     w.emit(1, "steps = 0")
+    w.emit(1, "hc = 0")
     w.emit(1, "pc = 0")
-    w.emit(1, "while True:")
+    w.emit(1, "try:")
+    w.emit(2, "while True:")
 
     first = True
     for block_index, leader in enumerate(leaders):
         keyword = "if" if first else "elif"
         first = False
-        w.emit(2, f"{keyword} pc == {leader}:")
+        w.emit(3, f"{keyword} pc == {leader}:")
         end = leaders[block_index + 1] if block_index + 1 < len(leaders) else count
-        w.emit(3, f"steps += {end - leader}")
-        w.emit(3, f"if steps > {step_budget}: raise ExecBudget({leader})")
-        emitter.emit_block(w, leader, end)
-    w.emit(2, "else:")
-    w.emit(3, "raise ExecBudget(pc)")
+        w.emit(4, f"steps += {end - leader}")
+        w.emit(4, f"if steps > {step_budget}: raise ExecBudget({leader})")
+        emitter.emit_block(w, leader, end, indent=4)
+    w.emit(3, "else:")
+    w.emit(4, "raise ExecBudget(pc)")
+    # Aborted runs (budget, sandbox fault, helper error, next()) still
+    # publish their counters before the exception propagates.
+    w.emit(1, "except BaseException:")
+    w.emit(2, "vm.steps_executed = steps; vm.helper_calls = hc")
+    w.emit(2, "raise")
 
     source = "\n".join(w.lines)
     try:
@@ -346,11 +354,10 @@ class _BlockEmitter:
 
     # -- block emission -------------------------------------------------------
 
-    def emit_block(self, w: _Writer, start: int, end: int) -> None:
+    def emit_block(self, w: _Writer, start: int, end: int, indent: int = 3) -> None:
         program = self.program
         mirrors = self.mirrors
         mirrors.reset()
-        indent = 3
         index = start
         terminated = False
         while index < end:
@@ -367,12 +374,14 @@ class _BlockEmitter:
                 continue
 
             if opcode == OP_EXIT:
+                w.emit(indent, "vm.steps_executed = steps; vm.helper_calls = hc")
                 w.emit(indent, "return r0")
                 terminated = True
                 index += 1
                 continue
 
             if opcode == OP_CALL:
+                w.emit(indent, "hc += 1")
                 w.emit(indent, f"r0 = H{insn.imm}(vm, r1, r2, r3, r4, r5) & {_M64}")
                 w.emit(indent, "r1 = r2 = r3 = r4 = r5 = 0")
                 mirrors.kill_regs(range(0, 6))

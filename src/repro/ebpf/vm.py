@@ -78,6 +78,7 @@ class VirtualMachine:
         self.memory = memory or VmMemory()
         self.step_budget = step_budget
         self.steps_executed = 0
+        self.helper_calls = 0
         self.jit = jit
         self.trusted_layout = trusted_layout
         self._jit_run = None
@@ -103,6 +104,11 @@ class VirtualMachine:
         May raise :class:`ExecutionError`, :class:`SandboxViolation` or
         :class:`HelperError` — the VMM treats all three as "extension
         code failed, fall back to native".
+
+        ``steps_executed`` and ``helper_calls`` report the finished
+        run's instruction/helper counts (best effort on faulting JIT
+        runs: budget blowouts report their step count, other JIT faults
+        leave whatever the caller reset them to).
 
         With ``jit=True`` the program runs as translated Python (same
         semantics, ~20-50x faster dispatch); see :mod:`repro.ebpf.jit`.
@@ -130,153 +136,160 @@ class VirtualMachine:
         memory = self.memory
         budget = self.step_budget
         steps = 0
+        helper_calls = 0
         pc = 0
 
-        while True:
-            if pc >= count or pc < 0:
-                raise ExecutionError(pc, "program counter out of range")
-            steps += 1
-            if steps > budget:
-                raise ExecutionError(pc, f"instruction budget ({budget}) exceeded")
-            insn = program[pc]
-            opcode = insn.opcode
+        try:
+            while True:
+                if pc >= count or pc < 0:
+                    raise ExecutionError(pc, "program counter out of range")
+                steps += 1
+                if steps > budget:
+                    raise ExecutionError(pc, f"instruction budget ({budget}) exceeded")
+                insn = program[pc]
+                opcode = insn.opcode
 
-            if opcode == OP_EXIT:
-                self.steps_executed = steps
-                return regs[0]
+                if opcode == OP_EXIT:
+                    self.steps_executed = steps
+                    self.helper_calls = helper_calls
+                    return regs[0]
 
-            klass = class_of(opcode)
+                klass = class_of(opcode)
 
-            # -- lddw ----------------------------------------------------
-            if opcode == OP_LDDW:
-                high = program[pc + 1].imm & _U32
-                regs[insn.dst] = (insn.imm & _U32) | (high << 32)
-                pc += 2
-                continue
+                # -- lddw ----------------------------------------------------
+                if opcode == OP_LDDW:
+                    high = program[pc + 1].imm & _U32
+                    regs[insn.dst] = (insn.imm & _U32) | (high << 32)
+                    pc += 2
+                    continue
 
-            # -- ALU ----------------------------------------------------
-            if klass == BPF_ALU64 or klass == BPF_ALU:
-                is64 = klass == BPF_ALU64
-                op = opcode & 0xF0
-                if op == ALU_OPS["end"]:
-                    width = insn.imm
-                    if opcode & BPF_X:  # be
-                        regs[insn.dst] = _bswap(regs[insn.dst], width)
-                    else:  # le: truncate
-                        regs[insn.dst] = regs[insn.dst] & ((1 << width) - 1)
+                # -- ALU ----------------------------------------------------
+                if klass == BPF_ALU64 or klass == BPF_ALU:
+                    is64 = klass == BPF_ALU64
+                    op = opcode & 0xF0
+                    if op == ALU_OPS["end"]:
+                        width = insn.imm
+                        if opcode & BPF_X:  # be
+                            regs[insn.dst] = _bswap(regs[insn.dst], width)
+                        else:  # le: truncate
+                            regs[insn.dst] = regs[insn.dst] & ((1 << width) - 1)
+                        pc += 1
+                        continue
+                    if opcode & BPF_X:
+                        operand = regs[insn.src]
+                    else:
+                        operand = insn.imm & _U64  # sign-extended imm
+                    if not is64:
+                        operand &= _U32
+                    value = regs[insn.dst] if is64 else regs[insn.dst] & _U32
+                    mask = _U64 if is64 else _U32
+                    bits = 64 if is64 else 32
+                    if op == ALU_OPS["add"]:
+                        value = (value + operand) & mask
+                    elif op == ALU_OPS["sub"]:
+                        value = (value - operand) & mask
+                    elif op == ALU_OPS["mul"]:
+                        value = (value * operand) & mask
+                    elif op == ALU_OPS["div"]:
+                        divisor = operand & mask
+                        value = (value // divisor) & mask if divisor else 0
+                    elif op == ALU_OPS["mod"]:
+                        divisor = operand & mask
+                        value = (value % divisor) & mask if divisor else value
+                    elif op == ALU_OPS["or"]:
+                        value = (value | operand) & mask
+                    elif op == ALU_OPS["and"]:
+                        value = (value & operand) & mask
+                    elif op == ALU_OPS["lsh"]:
+                        value = (value << (operand % bits)) & mask
+                    elif op == ALU_OPS["rsh"]:
+                        value = (value & mask) >> (operand % bits)
+                    elif op == ALU_OPS["neg"]:
+                        value = (-value) & mask
+                    elif op == ALU_OPS["xor"]:
+                        value = (value ^ operand) & mask
+                    elif op == ALU_OPS["mov"]:
+                        value = operand & mask
+                    elif op == ALU_OPS["arsh"]:
+                        value = (_signed(value, bits) >> (operand % bits)) & mask
+                    else:
+                        raise ExecutionError(pc, f"bad ALU opcode {opcode:#x}")
+                    regs[insn.dst] = value  # 32-bit ops zero-extend
                     pc += 1
                     continue
-                if opcode & BPF_X:
-                    operand = regs[insn.src]
-                else:
-                    operand = insn.imm & _U64  # sign-extended imm
-                if not is64:
-                    operand &= _U32
-                value = regs[insn.dst] if is64 else regs[insn.dst] & _U32
-                mask = _U64 if is64 else _U32
-                bits = 64 if is64 else 32
-                if op == ALU_OPS["add"]:
-                    value = (value + operand) & mask
-                elif op == ALU_OPS["sub"]:
-                    value = (value - operand) & mask
-                elif op == ALU_OPS["mul"]:
-                    value = (value * operand) & mask
-                elif op == ALU_OPS["div"]:
-                    divisor = operand & mask
-                    value = (value // divisor) & mask if divisor else 0
-                elif op == ALU_OPS["mod"]:
-                    divisor = operand & mask
-                    value = (value % divisor) & mask if divisor else value
-                elif op == ALU_OPS["or"]:
-                    value = (value | operand) & mask
-                elif op == ALU_OPS["and"]:
-                    value = (value & operand) & mask
-                elif op == ALU_OPS["lsh"]:
-                    value = (value << (operand % bits)) & mask
-                elif op == ALU_OPS["rsh"]:
-                    value = (value & mask) >> (operand % bits)
-                elif op == ALU_OPS["neg"]:
-                    value = (-value) & mask
-                elif op == ALU_OPS["xor"]:
-                    value = (value ^ operand) & mask
-                elif op == ALU_OPS["mov"]:
-                    value = operand & mask
-                elif op == ALU_OPS["arsh"]:
-                    value = (_signed(value, bits) >> (operand % bits)) & mask
-                else:
-                    raise ExecutionError(pc, f"bad ALU opcode {opcode:#x}")
-                regs[insn.dst] = value  # 32-bit ops zero-extend
-                pc += 1
-                continue
 
-            # -- jumps ----------------------------------------------------
-            if klass == BPF_JMP or klass == BPF_JMP32:
-                if opcode == OP_JA:
-                    pc += 1 + insn.offset
-                    continue
-                if opcode == OP_CALL:
-                    helper = self.helpers.get(insn.imm)
-                    if helper is None:
-                        raise ExecutionError(pc, f"unknown helper {insn.imm}")
-                    try:
+                # -- jumps ----------------------------------------------------
+                if klass == BPF_JMP or klass == BPF_JMP32:
+                    if opcode == OP_JA:
+                        pc += 1 + insn.offset
+                        continue
+                    if opcode == OP_CALL:
+                        helper = self.helpers.get(insn.imm)
+                        if helper is None:
+                            raise ExecutionError(pc, f"unknown helper {insn.imm}")
+                        helper_calls += 1
                         result = helper.fn(self, regs[1], regs[2], regs[3], regs[4], regs[5])
-                    except (SandboxViolation, HelperError):
-                        self.steps_executed = steps
-                        raise
-                    regs[0] = int(result) & _U64
-                    regs[1] = regs[2] = regs[3] = regs[4] = regs[5] = 0
-                    pc += 1
+                        regs[0] = int(result) & _U64
+                        regs[1] = regs[2] = regs[3] = regs[4] = regs[5] = 0
+                        pc += 1
+                        continue
+                    op = opcode & 0xF0
+                    wide = klass == BPF_JMP
+                    mask = _U64 if wide else _U32
+                    bits = 64 if wide else 32
+                    left = regs[insn.dst] & mask
+                    if opcode & BPF_X:
+                        right = regs[insn.src] & mask
+                    else:
+                        right = insn.imm & mask
+                    taken = False
+                    if op == JMP_OPS["jeq"]:
+                        taken = left == right
+                    elif op == JMP_OPS["jne"]:
+                        taken = left != right
+                    elif op == JMP_OPS["jgt"]:
+                        taken = left > right
+                    elif op == JMP_OPS["jge"]:
+                        taken = left >= right
+                    elif op == JMP_OPS["jlt"]:
+                        taken = left < right
+                    elif op == JMP_OPS["jle"]:
+                        taken = left <= right
+                    elif op == JMP_OPS["jset"]:
+                        taken = bool(left & right)
+                    elif op == JMP_OPS["jsgt"]:
+                        taken = _signed(left, bits) > _signed(right, bits)
+                    elif op == JMP_OPS["jsge"]:
+                        taken = _signed(left, bits) >= _signed(right, bits)
+                    elif op == JMP_OPS["jslt"]:
+                        taken = _signed(left, bits) < _signed(right, bits)
+                    elif op == JMP_OPS["jsle"]:
+                        taken = _signed(left, bits) <= _signed(right, bits)
+                    else:
+                        raise ExecutionError(pc, f"bad JMP opcode {opcode:#x}")
+                    pc += 1 + (insn.offset if taken else 0)
                     continue
-                op = opcode & 0xF0
-                wide = klass == BPF_JMP
-                mask = _U64 if wide else _U32
-                bits = 64 if wide else 32
-                left = regs[insn.dst] & mask
-                if opcode & BPF_X:
-                    right = regs[insn.src] & mask
-                else:
-                    right = insn.imm & mask
-                taken = False
-                if op == JMP_OPS["jeq"]:
-                    taken = left == right
-                elif op == JMP_OPS["jne"]:
-                    taken = left != right
-                elif op == JMP_OPS["jgt"]:
-                    taken = left > right
-                elif op == JMP_OPS["jge"]:
-                    taken = left >= right
-                elif op == JMP_OPS["jlt"]:
-                    taken = left < right
-                elif op == JMP_OPS["jle"]:
-                    taken = left <= right
-                elif op == JMP_OPS["jset"]:
-                    taken = bool(left & right)
-                elif op == JMP_OPS["jsgt"]:
-                    taken = _signed(left, bits) > _signed(right, bits)
-                elif op == JMP_OPS["jsge"]:
-                    taken = _signed(left, bits) >= _signed(right, bits)
-                elif op == JMP_OPS["jslt"]:
-                    taken = _signed(left, bits) < _signed(right, bits)
-                elif op == JMP_OPS["jsle"]:
-                    taken = _signed(left, bits) <= _signed(right, bits)
-                else:
-                    raise ExecutionError(pc, f"bad JMP opcode {opcode:#x}")
-                pc += 1 + (insn.offset if taken else 0)
-                continue
 
-            # -- loads / stores ------------------------------------------
-            size = SIZE_BYTES.get(opcode & 0x18)
-            if size is None:
-                raise ExecutionError(pc, f"bad size in opcode {opcode:#x}")
-            if klass == BPF_LDX:
-                address = (regs[insn.src] + insn.offset) & _U64
-                regs[insn.dst] = memory.read(address, size)
-            elif klass == BPF_STX:
-                address = (regs[insn.dst] + insn.offset) & _U64
-                memory.write(address, size, regs[insn.src])
-            elif klass == BPF_ST:
-                address = (regs[insn.dst] + insn.offset) & _U64
-                memory.write(address, size, insn.imm & _U64)
-            else:
-                raise ExecutionError(pc, f"unknown opcode {opcode:#x}")
-            pc += 1
+                # -- loads / stores ------------------------------------------
+                size = SIZE_BYTES.get(opcode & 0x18)
+                if size is None:
+                    raise ExecutionError(pc, f"bad size in opcode {opcode:#x}")
+                if klass == BPF_LDX:
+                    address = (regs[insn.src] + insn.offset) & _U64
+                    regs[insn.dst] = memory.read(address, size)
+                elif klass == BPF_STX:
+                    address = (regs[insn.dst] + insn.offset) & _U64
+                    memory.write(address, size, regs[insn.src])
+                elif klass == BPF_ST:
+                    address = (regs[insn.dst] + insn.offset) & _U64
+                    memory.write(address, size, insn.imm & _U64)
+                else:
+                    raise ExecutionError(pc, f"unknown opcode {opcode:#x}")
+                pc += 1
+        except Exception:
+            # Aborted runs — faults, but also NextRequested escaping a
+            # helper — still report how far they got, so telemetry can
+            # charge budget blowouts and delegations their instructions.
+            self.steps_executed = steps
+            self.helper_calls = helper_calls
+            raise

@@ -77,6 +77,8 @@ class ConvergenceHarness:
         roas: Optional[List[Roa]] = None,
         max_prefixes_per_update: int = 64,
         engine: str = "jit",
+        telemetry: bool = True,
+        quarantine=None,
     ):
         if implementation not in DAEMONS:
             raise ValueError(f"unknown implementation {implementation!r}")
@@ -92,6 +94,11 @@ class ConvergenceHarness:
         self.engine = engine
         self.routes = routes
         self.roas = roas or []
+        self.telemetry_enabled = telemetry
+        self.quarantine = quarantine
+        #: Telemetry snapshot of the most recent :meth:`run` (or None
+        #: when the DUT runs uninstrumented).
+        self.last_telemetry: Optional[Dict[str, object]] = None
         self.collector = Collector()
         self.dut = self._build_dut()
         self._wire()
@@ -110,8 +117,12 @@ class ConvergenceHarness:
             "router_id": _DUT,
             "local_address": _DUT,
         }
-        if self.engine in ("jit", "interp"):
-            kwargs["vmm_config"] = VmmConfig(engine=self.engine)
+        vm_engine = self.engine if self.engine in ("jit", "interp") else "jit"
+        kwargs["vmm_config"] = VmmConfig(
+            engine=vm_engine,
+            telemetry=self.telemetry_enabled,
+            quarantine=self.quarantine,
+        )
         if self.feature == "route_reflection":
             kwargs["route_reflector"] = self.mode
         if self.feature == "origin_validation" and self.mode == "native":
@@ -182,7 +193,16 @@ class ConvergenceHarness:
                 f"{len(self.collector)}/{expected} prefixes "
                 f"(vmm fallbacks={self.dut.vmm.fallbacks})"
             )
+        self.last_telemetry = self.telemetry_snapshot()
         return elapsed
 
     def extension_stats(self) -> Dict[str, Dict[str, int]]:
         return self.dut.vmm.stats()
+
+    def telemetry_snapshot(self) -> Optional[Dict[str, object]]:
+        """Current telemetry state (gauges refreshed), or None."""
+        telemetry = self.dut.vmm.telemetry
+        if telemetry is None:
+            return None
+        self.dut.update_telemetry_gauges()
+        return telemetry.snapshot()

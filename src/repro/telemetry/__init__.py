@@ -1,0 +1,96 @@
+"""repro.telemetry — runtime observability for libxbgp.
+
+The paper's future work says the VMM "needs to monitor the execution
+of the bytecodes and their impact on the router"; this package is that
+monitor, three layers sharing one facade:
+
+* :mod:`repro.telemetry.metrics` — a registry of counters, gauges and
+  log-bucketed latency histograms with Prometheus text + JSON export;
+* :mod:`repro.telemetry.trace`   — a ring buffer of structured events
+  (extension enter/exit, ``next()`` delegation, fallback, verdicts,
+  quarantine transitions) with JSONL export;
+* :mod:`repro.telemetry.health`  — a per-extension circuit breaker
+  that quarantines crash-looping extension codes and optionally
+  re-arms them after probation.
+
+One :class:`Telemetry` instance belongs to one
+:class:`~repro.core.vmm.VirtualMachineManager`; the daemons, the
+experiment harness and the ``xbgp stats`` CLI all read the same object,
+so benchmarks and live runs share a single observability path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .health import ExtensionHealth, QuarantineEngine, QuarantinePolicy
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_buckets,
+    render_prometheus,
+)
+from .trace import DEFAULT_TRACE_CAPACITY, TraceRing
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "log_buckets",
+    "render_prometheus",
+    "TraceRing",
+    "DEFAULT_TRACE_CAPACITY",
+    "ExtensionHealth",
+    "QuarantineEngine",
+    "QuarantinePolicy",
+    "Telemetry",
+]
+
+
+class Telemetry:
+    """Registry + trace + quarantine engine wired together."""
+
+    def __init__(
+        self,
+        policy: Optional[QuarantinePolicy] = None,
+        trace_capacity: int = DEFAULT_TRACE_CAPACITY,
+        trace_timestamps: bool = False,
+    ):
+        self.registry = MetricsRegistry()
+        self.trace = TraceRing(trace_capacity, timestamps=trace_timestamps)
+        self.health = QuarantineEngine(policy, on_transition=self._on_transition)
+
+    # -- quarantine plumbing ----------------------------------------------
+
+    def _on_transition(self, health: ExtensionHealth, previous: str) -> None:
+        self.trace.record(
+            "quarantine",
+            health.point,
+            health.name,
+            from_state=previous,
+            to_state=health.state,
+        )
+        self.registry.counter(
+            "xbgp_quarantine_transitions",
+            "circuit-breaker state changes",
+            point=health.point,
+            extension=health.name,
+            to_state=health.state,
+        ).inc()
+
+    # -- export ------------------------------------------------------------
+
+    def render_prometheus(self) -> str:
+        """Metrics in Prometheus text exposition format."""
+        return render_prometheus(self.registry)
+
+    def snapshot(self) -> Dict[str, object]:
+        """One JSON-able view of everything: metrics, health, trace."""
+        return {
+            "metrics": self.registry.to_json(),
+            "health": self.health.snapshot(),
+            "trace": self.trace.stats(),
+        }

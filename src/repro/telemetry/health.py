@@ -1,0 +1,182 @@
+"""Extension fault management: a per-extension circuit breaker.
+
+The paper's future-work section notes the VMM "needs to monitor the
+execution of the bytecodes and their impact on the router".  This
+module supplies the *act* half of that monitoring: an extension that
+fails repeatedly (sandbox faults, blown instruction budgets, helper
+errors) is **quarantined** — skipped by the VMM so the rest of the
+chain and the host's native function keep the router converging.
+
+States follow the classic circuit-breaker shape:
+
+* ``closed``    — healthy, runs normally; consecutive errors counted;
+* ``open``      — quarantined after ``error_threshold`` consecutive
+  errors; every would-be invocation is skipped (and counted);
+* ``half_open`` — probation: after ``probation_after`` skipped
+  invocations the breaker lets trial runs through; ``probation_successes``
+  consecutive clean runs re-arm (close) it, one error re-opens it.
+
+Probation is optional: ``probation_after=0`` (the default) keeps a
+quarantined extension detached until an operator re-attaches it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["QuarantinePolicy", "ExtensionHealth", "QuarantineEngine"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class QuarantinePolicy:
+    """Thresholds of the circuit breaker.
+
+    ``error_threshold=0`` disables quarantine entirely (every extension
+    stays attached no matter how often it faults) — the seed behavior.
+    """
+
+    __slots__ = ("error_threshold", "probation_after", "probation_successes")
+
+    def __init__(
+        self,
+        error_threshold: int = 0,
+        probation_after: int = 0,
+        probation_successes: int = 3,
+    ):
+        if error_threshold < 0 or probation_after < 0 or probation_successes < 1:
+            raise ValueError("bad quarantine policy")
+        self.error_threshold = error_threshold
+        self.probation_after = probation_after
+        self.probation_successes = probation_successes
+
+    @property
+    def enabled(self) -> bool:
+        return self.error_threshold > 0
+
+    def __repr__(self) -> str:
+        return (
+            f"QuarantinePolicy(error_threshold={self.error_threshold}, "
+            f"probation_after={self.probation_after}, "
+            f"probation_successes={self.probation_successes})"
+        )
+
+
+class ExtensionHealth:
+    """Mutable breaker state for one (insertion point, extension)."""
+
+    __slots__ = (
+        "point",
+        "name",
+        "state",
+        "consecutive_errors",
+        "skipped",
+        "trial_successes",
+        "quarantine_count",
+    )
+
+    def __init__(self, point: str, name: str):
+        self.point = point
+        self.name = name
+        self.state = CLOSED
+        self.consecutive_errors = 0
+        self.skipped = 0
+        self.trial_successes = 0
+        self.quarantine_count = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "point": self.point,
+            "extension": self.name,
+            "state": self.state,
+            "consecutive_errors": self.consecutive_errors,
+            "skipped": self.skipped,
+            "quarantine_count": self.quarantine_count,
+        }
+
+
+class QuarantineEngine:
+    """Owns breaker state and transitions; consulted by the VMM.
+
+    ``on_transition(health, previous_state)`` fires on every state
+    change so the telemetry facade can trace and count transitions.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[QuarantinePolicy] = None,
+        on_transition: Optional[Callable[[ExtensionHealth, str], None]] = None,
+    ):
+        self.policy = policy or QuarantinePolicy()
+        self.on_transition = on_transition
+        self._states: Dict[Tuple[str, str], ExtensionHealth] = {}
+
+    # -- state access -----------------------------------------------------
+
+    def state_for(self, point: str, name: str) -> ExtensionHealth:
+        key = (point, name)
+        health = self._states.get(key)
+        if health is None:
+            health = ExtensionHealth(point, name)
+            self._states[key] = health
+        return health
+
+    def is_quarantined(self, point: str, name: str) -> bool:
+        health = self._states.get((point, name))
+        return health is not None and health.state == OPEN
+
+    def quarantined(self) -> List[ExtensionHealth]:
+        return [h for h in self._states.values() if h.state != CLOSED]
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        return [
+            self._states[key].snapshot() for key in sorted(self._states)
+        ]
+
+    def _transition(self, health: ExtensionHealth, state: str) -> None:
+        previous = health.state
+        health.state = state
+        if self.on_transition is not None:
+            self.on_transition(health, previous)
+
+    # -- breaker protocol (hot path) ---------------------------------------
+
+    def allow(self, health: ExtensionHealth) -> bool:
+        """May this extension run now?  Counts the skip when not."""
+        if health.state != OPEN:
+            return True
+        health.skipped += 1
+        after = self.policy.probation_after
+        if after and health.skipped >= after:
+            health.trial_successes = 0
+            self._transition(health, HALF_OPEN)
+            return True
+        return False
+
+    def record_success(self, health: ExtensionHealth) -> None:
+        if health.state == HALF_OPEN:
+            health.trial_successes += 1
+            if health.trial_successes >= self.policy.probation_successes:
+                health.consecutive_errors = 0
+                health.skipped = 0
+                health.trial_successes = 0
+                self._transition(health, CLOSED)
+            return
+        health.consecutive_errors = 0
+
+    def record_error(self, health: ExtensionHealth) -> None:
+        if health.state == HALF_OPEN:
+            # Probation failed: back into quarantine.
+            health.skipped = 0
+            health.trial_successes = 0
+            health.quarantine_count += 1
+            self._transition(health, OPEN)
+            return
+        health.consecutive_errors += 1
+        threshold = self.policy.error_threshold
+        if threshold and health.state == CLOSED and health.consecutive_errors >= threshold:
+            health.skipped = 0
+            health.quarantine_count += 1
+            self._transition(health, OPEN)

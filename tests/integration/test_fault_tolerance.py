@@ -18,8 +18,11 @@ from repro.bgp.constants import Origin
 from repro.bgp.messages import UpdateMessage
 from repro.bgp.prefix import parse_ipv4
 from repro.bird import BirdDaemon
-from repro.core import Manifest, VmmConfig
+from repro.core import Manifest, NextRequested, VmmConfig
+from repro.core.extension import NativeExtensionCode, XbgpProgram
+from repro.core.insertion_points import InsertionPoint
 from repro.frr import FrrDaemon
+from repro.telemetry import QuarantinePolicy
 
 PREFIX = Prefix.parse("203.0.113.0/24")
 
@@ -155,3 +158,118 @@ class TestFaultFallback:
         )
         feed(daemon)
         assert daemon.loc_rib.lookup(PREFIX) is not None
+
+
+def flaky_program(name, fail_times):
+    """A native extension that errors its first ``fail_times`` runs,
+    then delegates cleanly forever after."""
+    calls = {"n": 0}
+
+    def fn(ctx, host):
+        calls["n"] += 1
+        if calls["n"] <= fail_times:
+            raise RuntimeError(f"flaky failure #{calls['n']}")
+        raise NextRequested()
+
+    code = NativeExtensionCode(name, fn, InsertionPoint.BGP_INBOUND_FILTER)
+    return XbgpProgram(name, [code]), calls
+
+
+@pytest.mark.parametrize("daemon_cls", [FrrDaemon, BirdDaemon], ids=["frr", "bird"])
+class TestQuarantine:
+    """Circuit breaker: a faulting extension is detached from the chain
+    after N consecutive errors; the chain and the native path keep the
+    router converging."""
+
+    def test_crash_looper_quarantined_rest_of_chain_keeps_running(self, daemon_cls):
+        config = VmmConfig(quarantine=QuarantinePolicy(error_threshold=3))
+        daemon = make_daemon(daemon_cls, config)
+        daemon.attach_manifest(manifest_for("crasher", CRASHING, helpers=()))
+        daemon.attach_manifest(manifest_for("selective", SELECTIVE, seq=1))
+        for index in range(6):
+            feed(daemon, Prefix(0x0A000000 + (index << 8), 24))
+        # Every route converged: the first three natively (fallback
+        # after the crash), the rest through the surviving chain.
+        assert len(daemon.loc_rib) == 6
+        stats = daemon.vmm.stats()
+        # The crasher stops being invoked once quarantined.
+        assert stats["crasher"]["errors"] == 3
+        assert stats["crasher"]["executions"] == 3
+        # Downstream of the crasher, selective only ran after the
+        # quarantine unblocked the chain.
+        assert stats["selective"]["executions"] == 3
+        assert daemon.vmm.quarantined_codes() == ["crasher"]
+        trace = daemon.vmm.telemetry.trace
+        skips = trace.events("skip")
+        assert len(skips) == 3
+        assert all(event["reason"] == "quarantined" for event in skips)
+        assert trace.last("quarantine")["to_state"] == "open"
+
+    def test_quarantined_selective_still_rejected_by_policy_chain(self, daemon_cls):
+        # Quarantining the crasher lets the selective filter downstream
+        # actually enforce its policy (a fault aborts the whole chain,
+        # so pre-quarantine the /32 sneaks in natively).
+        config = VmmConfig(quarantine=QuarantinePolicy(error_threshold=1))
+        daemon = make_daemon(daemon_cls, config)
+        daemon.attach_manifest(manifest_for("crasher", CRASHING, helpers=()))
+        daemon.attach_manifest(manifest_for("selective", SELECTIVE, seq=1))
+        feed(daemon, PREFIX)  # crash -> native fallback, quarantines crasher
+        feed(daemon, Prefix.parse("192.0.2.1/32"))
+        assert daemon.loc_rib.lookup(Prefix.parse("192.0.2.1/32")) is None
+        assert daemon.loc_rib.lookup(PREFIX) is not None
+
+    def test_native_path_keeps_converging_after_quarantine(self, daemon_cls):
+        config = VmmConfig(quarantine=QuarantinePolicy(error_threshold=2))
+        daemon = make_daemon(daemon_cls, config)
+        daemon.attach_manifest(manifest_for("crasher", CRASHING, helpers=()))
+        for index in range(5):
+            feed(daemon, Prefix(0x0A000000 + (index << 8), 24))
+        assert len(daemon.loc_rib) == 5
+        # Only the two pre-quarantine runs fell back; afterwards the
+        # skip goes straight to the native default, not via a fault.
+        assert daemon.vmm.fallbacks == 2
+        assert daemon.vmm.stats()["crasher"]["errors"] == 2
+        snapshot = daemon.vmm.telemetry.health.snapshot()
+        assert snapshot[0]["state"] == "open"
+        assert snapshot[0]["skipped"] == 3
+
+    def test_probation_rearms_flaky_extension(self, daemon_cls):
+        policy = QuarantinePolicy(
+            error_threshold=2, probation_after=2, probation_successes=2
+        )
+        daemon = make_daemon(daemon_cls, VmmConfig(quarantine=policy))
+        program, calls = flaky_program("flaky", fail_times=2)
+        daemon.attach_program(program)
+        for index in range(6):
+            feed(daemon, Prefix(0x0A000000 + (index << 8), 24))
+        # Timeline: errors on feeds 1-2 (-> open), skip on feed 3,
+        # probation trials on feeds 4-5 (clean -> closed), normal on 6.
+        assert len(daemon.loc_rib) == 6
+        assert calls["n"] == 5  # feed 3 is the only skipped invocation
+        health = daemon.vmm.telemetry.health.state_for(
+            InsertionPoint.BGP_INBOUND_FILTER.value, "flaky"
+        )
+        assert health.state == "closed"
+        assert health.quarantine_count == 1
+        states = [
+            event["to_state"]
+            for event in daemon.vmm.telemetry.trace.events("quarantine")
+        ]
+        assert states == ["open", "half_open", "closed"]
+        assert daemon.vmm.quarantined_codes() == []
+
+    def test_probation_failure_reopens_quarantine(self, daemon_cls):
+        policy = QuarantinePolicy(error_threshold=2, probation_after=1)
+        daemon = make_daemon(daemon_cls, VmmConfig(quarantine=policy))
+        program, calls = flaky_program("hopeless", fail_times=10_000)
+        daemon.attach_program(program)
+        for index in range(5):
+            feed(daemon, Prefix(0x0A000000 + (index << 8), 24))
+        # Every probation trial fails, so the breaker keeps re-opening —
+        # and every route still converges natively.
+        assert len(daemon.loc_rib) == 5
+        health = daemon.vmm.telemetry.health.state_for(
+            InsertionPoint.BGP_INBOUND_FILTER.value, "hopeless"
+        )
+        assert health.state == "open"
+        assert health.quarantine_count >= 2

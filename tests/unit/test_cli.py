@@ -117,3 +117,57 @@ class TestReports:
         )
         assert code == 0
         assert "route_reflection" in output and "impact" in output
+
+
+class TestStats:
+    def test_stats_prometheus_output(self, capsys):
+        code, output = run_cli(
+            ["stats", "--routes", "40", "--format", "prom"], capsys
+        )
+        assert code == 0
+        assert "# TYPE xbgp_extension_executions counter" in output
+        assert 'extension="rr_import"' in output
+        assert "xbgp_extension_instructions_total" in output
+        assert "xbgp_extension_run_seconds_bucket" in output
+        assert 'xbgp_sessions{implementation="frr"} 2' in output
+
+    def test_stats_json_output(self, capsys):
+        import json
+
+        code, output = run_cli(
+            ["stats", "--routes", "40", "--format", "json"], capsys
+        )
+        assert code == 0
+        snapshot = json.loads(output)
+        assert snapshot["run"]["routes"] == 40
+        codes = snapshot["run"]["vmm"]["codes"]
+        assert codes["rr_import"]["executions"] == 40
+        assert codes["rr_import"]["errors"] == 0
+        points = snapshot["run"]["vmm"]["points"]
+        assert points["bgp_inbound_filter"]["fallbacks"] == 0
+        assert "xbgp_extension_run_seconds" in snapshot["metrics"]
+
+    def test_stats_trace_export(self, tmp_path, capsys):
+        import json
+
+        trace_file = tmp_path / "trace.jsonl"
+        code, output = run_cli(
+            [
+                "stats",
+                "--routes",
+                "20",
+                "--format",
+                "json",
+                "--trace-out",
+                str(trace_file),
+            ],
+            capsys,
+        )
+        assert code == 0
+        events = [
+            json.loads(line) for line in trace_file.read_text().splitlines()
+        ]
+        assert events
+        assert {event["kind"] for event in events} <= {
+            "enter", "exit", "next", "default", "skip", "fallback", "quarantine",
+        }
