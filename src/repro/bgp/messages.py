@@ -184,7 +184,7 @@ class UpdateMessage:
     """UPDATE (RFC 4271 §4.3): withdrawals, attributes, NLRI."""
 
     type = MessageType.UPDATE
-    __slots__ = ("withdrawn", "attributes", "nlri")
+    __slots__ = ("withdrawn", "nlri", "_attributes", "_attrs_wire")
 
     def __init__(
         self,
@@ -193,8 +193,26 @@ class UpdateMessage:
         nlri: Sequence[Prefix] = (),
     ):
         self.withdrawn: Tuple[Prefix, ...] = tuple(withdrawn)
-        self.attributes: Tuple[PathAttribute, ...] = tuple(attributes)
+        self._attributes: Optional[Tuple[PathAttribute, ...]] = tuple(attributes)
+        self._attrs_wire: Optional[bytes] = None
         self.nlri: Tuple[Prefix, ...] = tuple(nlri)
+
+    @property
+    def attributes(self) -> Tuple[PathAttribute, ...]:
+        """Path attributes, decoded on first access.
+
+        Decoded messages carry the raw attribute bytes and parse them
+        lazily: a receiver that only looks at NLRI/withdrawn prefixes
+        (a monitoring collector, an end-of-RIB check) never pays the
+        per-attribute parse.  Attribute *content* errors therefore
+        surface at first access rather than inside ``decode_message``;
+        structural (length) errors are still raised eagerly there.
+        """
+        attributes = self._attributes
+        if attributes is None:
+            attributes = tuple(decode_attributes(self._attrs_wire))
+            self._attributes = attributes
+        return attributes
 
     def attribute(self, type_code: int) -> Optional[PathAttribute]:
         """Return the attribute with ``type_code`` or None."""
@@ -205,7 +223,11 @@ class UpdateMessage:
 
     def is_end_of_rib(self) -> bool:
         """RFC 4724: an empty UPDATE marks end of initial table transfer."""
-        return not self.withdrawn and not self.attributes and not self.nlri
+        if self.withdrawn or self.nlri:
+            return False
+        if self._attributes is None:
+            return not self._attrs_wire
+        return not self._attributes
 
     @classmethod
     def end_of_rib(cls) -> "UpdateMessage":
@@ -213,7 +235,13 @@ class UpdateMessage:
 
     def encode(self) -> bytes:
         withdrawn = b"".join(prefix.encode() for prefix in self.withdrawn)
-        attrs = encode_attributes(self.attributes)
+        # A decoded message re-emits its original attribute bytes
+        # verbatim (the message is immutable, so they stay the truth).
+        attrs = (
+            self._attrs_wire
+            if self._attrs_wire is not None
+            else encode_attributes(self.attributes)
+        )
         nlri = b"".join(prefix.encode() for prefix in self.nlri)
         body = (
             struct.pack("!H", len(withdrawn))
@@ -239,9 +267,12 @@ class UpdateMessage:
         attrs_end = attrs_start + attrs_len
         if attrs_end > len(body):
             raise MessageDecodeError("UPDATE attribute field truncated", subcode=1)
-        attributes = decode_attributes(body[attrs_start:attrs_end])
         nlri = list(Prefix.decode_all(body[attrs_end:]))
-        return cls(withdrawn, attributes, nlri)
+        message = cls(withdrawn, (), nlri)
+        if attrs_len:
+            message._attributes = None
+            message._attrs_wire = body[attrs_start:attrs_end]
+        return message
 
     def __repr__(self) -> str:
         return (

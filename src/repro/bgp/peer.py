@@ -30,6 +30,7 @@ class Neighbor:
         "cluster_id",
         "xtra",
         "established",
+        "_packed_info",
     )
 
     def __init__(
@@ -54,6 +55,14 @@ class Neighbor:
         self.cluster_id = cluster_id or self.local_router_id
         self.xtra: Dict[str, Any] = dict(xtra or {})
         self.established = False
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        # Any field change (addresses, ASNs, session state…) invalidates
+        # the cached ``pack_peer_info`` bytes held in ``_packed_info``
+        # (see repro.core.abi); the struct is rebuilt on next use.
+        object.__setattr__(self, name, value)
+        if name != "_packed_info":
+            object.__setattr__(self, "_packed_info", None)
 
     @classmethod
     def build(

@@ -98,9 +98,14 @@ class BirdDaemon:
         igp: Optional[IgpView] = None,
         xtra: Optional[Dict[str, bytes]] = None,
         vmm_config: Optional[VmmConfig] = None,
+        hot_path: bool = True,
     ):
         if route_reflector not in (None, "native", "extension"):
             raise ValueError(f"bad route_reflector mode {route_reflector!r}")
+        #: Enables daemon-level hot-path shortcuts (marshalling caches,
+        #: export-side encode cache, empty-insertion-point skips).  Off
+        #: only for the ablation benchmark's legacy arm.
+        self.hot_path = hot_path
         self.asn = asn
         self.router_id = parse_ipv4(router_id)
         self.local_address = parse_ipv4(local_address or router_id)
@@ -129,6 +134,9 @@ class BirdDaemon:
         self.validity_counters: Counter = Counter()
         self.stats: Counter = Counter()
         self._log: List[str] = []
+        #: Export-side encode cache: (eattrs cache_key, session type,
+        #: rr_client) -> encoded attribute blob.  See _encode_attributes.
+        self._encode_cache: Dict[tuple, bytes] = {}
 
         self.host = BirdHost(self)
         self.vmm = VirtualMachineManager(self.host, vmm_config)
@@ -285,14 +293,17 @@ class BirdDaemon:
 
         # Insertion point 1: BGP_RECEIVE_MESSAGE — extension code may
         # rewrite the UPDATE's attributes before import processing.
-        ctx = ExecutionContext(
-            self.host,
-            InsertionPoint.BGP_RECEIVE_MESSAGE,
-            neighbor=neighbor,
-            route=eattrs,
-            message=update.encode(),
-        )
-        self.vmm.run(ctx, lambda: 0)
+        # With nothing attached the chain reduces to the no-op default,
+        # so the hot path skips context construction and re-encoding.
+        if not self.hot_path or self.vmm.active(InsertionPoint.BGP_RECEIVE_MESSAGE):
+            ctx = ExecutionContext(
+                self.host,
+                InsertionPoint.BGP_RECEIVE_MESSAGE,
+                neighbor=neighbor,
+                route=eattrs,
+                message=update.encode(),
+            )
+            self.vmm.run(ctx, lambda: 0)
 
         dirty: List[Prefix] = []
         for prefix in update.withdrawn:
@@ -535,23 +546,51 @@ class BirdDaemon:
     # -- encoding -----------------------------------------------------------------------
 
     def _encode_attributes(self, route: BirdRoute, neighbor: Neighbor) -> bytes:
-        """Native attr encoding plus BGP_ENCODE_MESSAGE extension bytes."""
+        """Native attr encoding plus BGP_ENCODE_MESSAGE extension bytes.
+
+        Memoised on (attribute set, peer export class): re-advertising
+        the same attributes to N peers of the same class encodes once.
+        Constraint: BGP_ENCODE_MESSAGE extensions must be deterministic
+        in (attribute set, peer class) — true for the shipped GeoLoc
+        encoder and anything derived only from route attributes and peer
+        info.
+        """
+        cache = None
+        if self.hot_path:
+            key = (
+                route.eattrs.cache_key(),
+                int(neighbor.session_type),
+                neighbor.rr_client,
+            )
+            cache = self._encode_cache
+            blob = cache.get(key)
+            if blob is not None:
+                return blob
+
         native = b"".join(
             eattr.to_path_attribute().encode()
             for eattr in route.eattrs
             if eattr.code in NATIVE_ENCODABLE
         )
-        out_buffer = bytearray()
-        ctx = ExecutionContext(
-            self.host,
-            InsertionPoint.BGP_ENCODE_MESSAGE,
-            neighbor=neighbor,
-            route=route,
-            prefix=route.prefix,
-            out_buffer=out_buffer,
-        )
-        self.vmm.run(ctx, lambda: 0)
-        return native + bytes(out_buffer)
+        if not self.hot_path or self.vmm.active(InsertionPoint.BGP_ENCODE_MESSAGE):
+            out_buffer = bytearray()
+            ctx = ExecutionContext(
+                self.host,
+                InsertionPoint.BGP_ENCODE_MESSAGE,
+                neighbor=neighbor,
+                route=route,
+                prefix=route.prefix,
+                out_buffer=out_buffer,
+            )
+            self.vmm.run(ctx, lambda: 0)
+            blob = native + bytes(out_buffer)
+        else:
+            blob = native
+        if cache is not None:
+            if len(cache) >= 16384:
+                cache.clear()
+            cache[key] = blob
+        return blob
 
     def _send_route(self, neighbor: Neighbor, route: BirdRoute) -> None:
         attrs_blob = self._encode_attributes(route, neighbor)

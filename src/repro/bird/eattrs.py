@@ -19,14 +19,20 @@ __all__ = ["Eattr", "EattrList"]
 
 
 class Eattr:
-    """One extended attribute: (code, flags, raw bytes)."""
+    """One extended attribute: (code, flags, raw bytes).
 
-    __slots__ = ("code", "flags", "data")
+    Effectively immutable — ``ea_set`` replaces the whole object — so
+    the ``get_attr`` helper-struct bytes are memoised on ``_packed``
+    (filled by the glue's ``get_attr_packed``).
+    """
+
+    __slots__ = ("code", "flags", "data", "_packed")
 
     def __init__(self, code: int, flags: int, data: bytes):
         self.code = code
         self.flags = flags
         self.data = bytes(data)
+        self._packed: Optional[bytes] = None
 
     def to_path_attribute(self) -> PathAttribute:
         return PathAttribute(self.flags, self.code, self.data)
@@ -50,10 +56,17 @@ class Eattr:
 class EattrList:
     """Mutable list of eattrs with BIRD's find/set/unset API."""
 
-    __slots__ = ("_attrs",)
+    __slots__ = ("_attrs", "_ckey", "_write_cache")
 
     def __init__(self, attrs: Optional[Dict[int, Eattr]] = None):
         self._attrs: Dict[int, Eattr] = dict(attrs) if attrs else {}
+        self._ckey: Optional[Tuple[Tuple[int, int, bytes], ...]] = None
+        # ``set_attr`` template cache: (code, flags, data) -> the list
+        # that results from that write, pre-memoised.  Valid only for
+        # the *current* content, so copies share it (same content) and
+        # any in-place mutation swaps in a fresh dict rather than
+        # clearing the shared one.
+        self._write_cache: Dict[Tuple[int, int, bytes], "EattrList"] = {}
 
     @classmethod
     def from_wire(cls, attributes: Iterable[PathAttribute]) -> "EattrList":
@@ -72,9 +85,15 @@ class EattrList:
 
     def ea_set(self, code: int, flags: int, data: bytes) -> None:
         self._attrs[code] = Eattr(code, flags, data)
+        self._ckey = None
+        self._write_cache = {}
 
     def ea_unset(self, code: int) -> bool:
-        return self._attrs.pop(code, None) is not None
+        removed = self._attrs.pop(code, None) is not None
+        if removed:
+            self._ckey = None
+            self._write_cache = {}
+        return removed
 
     def __contains__(self, code: int) -> bool:
         return code in self._attrs
@@ -89,14 +108,25 @@ class EattrList:
     # -- conversion / identity ----------------------------------------------
 
     def copy(self) -> "EattrList":
-        return EattrList(self._attrs)
+        clone = EattrList(self._attrs)
+        clone._ckey = self._ckey  # same attrs, same identity
+        clone._write_cache = self._write_cache  # same content, same templates
+        return clone
 
     def to_path_attributes(self) -> List[PathAttribute]:
         return [eattr.to_path_attribute() for eattr in self]
 
     def cache_key(self) -> Tuple[Tuple[int, int, bytes], ...]:
-        """Hashable identity used for update packing and dedup."""
-        return tuple((e.code, e.flags, e.data) for e in self)
+        """Hashable identity used for update packing and dedup.
+
+        Memoised (built once per distinct attribute-set state); any
+        ``ea_set``/``ea_unset`` invalidates the cached tuple.
+        """
+        key = self._ckey
+        if key is None:
+            key = tuple((e.code, e.flags, e.data) for e in self)
+            self._ckey = key
+        return key
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, EattrList):

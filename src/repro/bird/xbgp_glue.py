@@ -14,6 +14,7 @@ from typing import Optional, Tuple
 from ..bgp.attributes import PathAttribute
 from ..bgp.constants import AttrTypeCode
 from ..bgp.prefix import Prefix
+from ..core.abi import pack_attr
 from ..core.context import ExecutionContext
 from ..core.host_interface import HostImplementation
 from ..igp.spf import UNREACHABLE
@@ -30,6 +31,7 @@ class BirdHost(HostImplementation):
 
     def __init__(self, daemon):
         self.daemon = daemon
+        self.hot_path = getattr(daemon, "hot_path", True)
 
     # -- attribute container resolution ---------------------------------
 
@@ -61,7 +63,41 @@ class BirdHost(HostImplementation):
         eattr = eattrs.ea_find(code)
         return eattr.to_path_attribute() if eattr is not None else None
 
+    def get_attr_packed(self, ctx: ExecutionContext, code: int) -> Optional[bytes]:
+        if not self.hot_path:
+            return HostImplementation.get_attr_packed(self, ctx, code)
+        eattrs = self._eattrs(ctx)
+        if eattrs is None:
+            return None
+        eattr = eattrs.ea_find(code)
+        if eattr is None:
+            return None
+        # Eattr objects are replaced (not mutated) by ea_set, so the
+        # helper struct can live on the attribute itself.
+        packed = eattr._packed
+        if packed is None:
+            packed = pack_attr(eattr.code, eattr.flags, eattr.data)
+            eattr._packed = packed
+        return packed
+
     def set_attr(self, ctx: ExecutionContext, code: int, flags: int, value: bytes) -> bool:
+        container = ctx.route
+        if self.hot_path and isinstance(container, BirdRoute):
+            # Template cache: the same write applied to the same content
+            # (an RR stamps one ORIGINATOR_ID onto every route of an
+            # UPDATE) builds the resulting list once; each route then
+            # takes a cheap copy that inherits the memoised cache key.
+            base = container.eattrs
+            key = (code, flags, value)
+            stamped = base._write_cache.get(key)
+            if stamped is None:
+                stamped = base.copy()
+                stamped.ea_set(code, flags, value)
+                stamped.cache_key()  # pre-memoise for the encode probe
+                base._write_cache[key] = stamped
+            ctx.route = container.with_eattrs(stamped.copy())
+            ctx.hidden["cow"] = True
+            return True
         eattrs = self._eattrs(ctx, for_write=True)
         if eattrs is None:
             return False

@@ -129,18 +129,27 @@ PEER_INFO_SIZE = 36
 _PEER_INFO = struct.Struct("<9I")
 
 
-def pack_peer_info(neighbor: Neighbor) -> bytes:
-    return _PEER_INFO.pack(
-        int(neighbor.session_type),
-        neighbor.peer_asn,
-        neighbor.peer_router_id,
-        neighbor.local_asn,
-        neighbor.local_router_id,
-        neighbor.peer_address,
-        neighbor.local_address,
-        1 if neighbor.rr_client else 0,
-        neighbor.cluster_id,
-    )
+def pack_peer_info(neighbor: Neighbor, cached: bool = True) -> bytes:
+    # Memoized on the Neighbor: peers are long-lived and their fields
+    # rarely change, but helpers ask for this struct on every route.
+    # Neighbor.__setattr__ clears _packed_info on any field change.
+    # ``cached=False`` re-packs every call (the hot-path ablation's
+    # legacy arm, which predates this memo).
+    packed = neighbor._packed_info if cached else None
+    if packed is None:
+        packed = _PEER_INFO.pack(
+            int(neighbor.session_type),
+            neighbor.peer_asn,
+            neighbor.peer_router_id,
+            neighbor.local_asn,
+            neighbor.local_router_id,
+            neighbor.peer_address,
+            neighbor.local_address,
+            1 if neighbor.rr_client else 0,
+            neighbor.cluster_id,
+        )
+        object.__setattr__(neighbor, "_packed_info", packed)
+    return packed
 
 
 #: ``struct ubpf_nexthop`` — 12 bytes:

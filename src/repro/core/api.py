@@ -23,7 +23,6 @@ from .abi import (
     HELPER_IDS,
     MAP_NO_ENTRY,
     pack_arg,
-    pack_attr,
     pack_nexthop_info,
     pack_peer_info,
 )
@@ -33,17 +32,26 @@ __all__ = ["build_helper_table"]
 
 
 def _ctx(vm) -> ExecutionContext:
-    ctx = getattr(vm, "ctx", None)
+    # Plain attribute access (VirtualMachine initialises ``ctx`` to
+    # None); helpers run a few times per route, so the getattr-with-
+    # default form was measurable.
+    ctx = vm.ctx
     if ctx is None:
         raise HelperError("helper called outside an insertion point")
     return ctx
 
 
 def _state(vm):
-    state = getattr(vm, "program_state", None)
+    state = vm.program_state
     if state is None:
         raise HelperError("extension has no program state")
     return state
+
+
+#: Pre-built delegation signal.  ``next()`` fires on most runs of a
+#: filter-style extension; reusing one exception instance skips the
+#: per-raise allocation (the traceback is rewritten on every raise).
+_NEXT = NextRequested()
 
 
 def build_helper_table() -> HelperTable:
@@ -59,7 +67,7 @@ def build_helper_table() -> HelperTable:
 
     def helper_next(vm, *args) -> int:
         _ctx(vm).next_requested = True
-        raise NextRequested()
+        raise _NEXT
 
     # -- argument / peer access ------------------------------------------
 
@@ -82,7 +90,7 @@ def build_helper_table() -> HelperTable:
         ctx = _ctx(vm)
         if ctx.neighbor is None:
             return 0
-        return vm.memory.alloc_bytes(pack_peer_info(ctx.neighbor))
+        return vm.memory.alloc_bytes(pack_peer_info(ctx.neighbor, ctx.host.hot_path))
 
     def get_prefix(vm, *args) -> int:
         ctx = _ctx(vm)
@@ -99,18 +107,16 @@ def build_helper_table() -> HelperTable:
             source = ctx.hidden.get("source")
         if source is None:
             return 0
-        return vm.memory.alloc_bytes(pack_peer_info(source))
+        return vm.memory.alloc_bytes(pack_peer_info(source, ctx.host.hot_path))
 
     # -- attribute access -------------------------------------------------
 
     def get_attr(vm, code, *args) -> int:
         ctx = _ctx(vm)
-        attribute = ctx.host.get_attr(ctx, int(code))
-        if attribute is None:
+        packed = ctx.host.get_attr_packed(ctx, int(code))
+        if packed is None:
             return 0
-        return vm.memory.alloc_bytes(
-            pack_attr(attribute.type_code, attribute.flags, attribute.value)
-        )
+        return vm.memory.alloc_bytes(packed)
 
     def set_attr(vm, code, flags, data_ptr, length, *args) -> int:
         ctx = _ctx(vm)

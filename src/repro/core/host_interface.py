@@ -32,6 +32,12 @@ class HostImplementation(ABC):
     #: in the LoC accounting experiment.
     name: str = "abstract"
 
+    #: Whether the helper layer may use this PR's marshalling caches
+    #: (peer-info memo, packed-attribute cache).  Daemons flip it off
+    #: for the hot-path ablation's legacy arm; standalone hosts keep
+    #: the default.
+    hot_path: bool = True
+
     # -- attribute access (neutral representation in/out) ---------------
 
     @abstractmethod
@@ -58,6 +64,22 @@ class HostImplementation(ABC):
     @abstractmethod
     def remove_attr(self, ctx: ExecutionContext, code: int) -> bool:
         """Delete attribute ``code``; False when absent."""
+
+    def get_attr_packed(self, ctx: ExecutionContext, code: int) -> Optional[bytes]:
+        """Attribute ``code`` as ready-to-copy ``get_attr`` helper bytes
+        (``pack_attr`` header + network-order payload), or None.
+
+        The default builds the struct from :meth:`get_attr` on every
+        call; hosts with immutable/interned attribute storage override
+        this to memoize the packed bytes on the attribute object so a
+        repeat ``get_attr`` on an unchanged attribute is a cache hit.
+        """
+        from .abi import pack_attr
+
+        attribute = self.get_attr(ctx, code)
+        if attribute is None:
+            return None
+        return pack_attr(attribute.type_code, attribute.flags, attribute.value)
 
     # -- topology / configuration ------------------------------------------
 

@@ -25,6 +25,7 @@ the router converging; see :mod:`repro.telemetry.health`.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
@@ -53,6 +54,11 @@ class VmmConfig:
     hot path (the ablation benchmark's uninstrumented arm);
     ``quarantine`` configures the circuit breaker (default: never
     quarantine, matching the paper's always-retry fallback).
+
+    ``fast_path`` enables the single-code specialized run closure and
+    ``lazy_heap`` the zero-fill-free VM heap reset; both default on and
+    exist only so the hot-path ablation benchmark can measure the
+    pre-overhaul arms.  Neither changes observable semantics.
     """
 
     __slots__ = (
@@ -63,6 +69,8 @@ class VmmConfig:
         "engine",
         "telemetry",
         "quarantine",
+        "fast_path",
+        "lazy_heap",
     )
 
     def __init__(
@@ -74,6 +82,8 @@ class VmmConfig:
         engine: str = "jit",
         telemetry: bool = True,
         quarantine: Optional[QuarantinePolicy] = None,
+        fast_path: bool = True,
+        lazy_heap: bool = True,
     ):
         if engine not in ("jit", "interp"):
             raise ValueError(f"bad engine {engine!r}")
@@ -84,6 +94,8 @@ class VmmConfig:
         self.engine = engine
         self.telemetry = telemetry
         self.quarantine = quarantine
+        self.fast_path = fast_path
+        self.lazy_heap = lazy_heap
 
 
 class _Attached:
@@ -141,6 +153,13 @@ class VirtualMachineManager:
         self.config = config or VmmConfig()
         self.helper_table: HelperTable = build_helper_table()
         self._chains: Dict[InsertionPoint, List[_Attached]] = {}
+        #: Specialized run closures for points with exactly one attached
+        #: code (the overwhelmingly common deployment shape): the chain
+        #: loop, per-run attribute lookups and telemetry-handle fetches
+        #: are resolved once at attach time.  Rebuilt by :meth:`_rebind`
+        #: on every attach/detach; absent entries fall back to the
+        #: general chain walk.
+        self._fast: Dict[InsertionPoint, Callable[[ExecutionContext, Callable[[], int]], int]] = {}
         self._programs: Dict[str, XbgpProgram] = {}
         self.fallbacks = 0
         self._point_fallbacks: Dict[InsertionPoint, int] = {}
@@ -183,7 +202,11 @@ class VirtualMachineManager:
                 verify(code.instructions, verifier_config)
             except VerifierError as exc:
                 raise AttachError(f"{code.name}: verification failed: {exc}") from exc
-            memory = VmMemory(heap_size=self.config.heap_size)
+            memory = VmMemory(
+                heap_size=self.config.heap_size,
+                lazy_zero=self.config.lazy_heap,
+                fast_access=self.config.lazy_heap,
+            )
             memory.attach(state.shared)
             vm = VirtualMachine(
                 code.instructions,
@@ -196,13 +219,17 @@ class VirtualMachineManager:
             vm.program_state = state
             vm.prepare()  # pay translation cost at attach, not first run
             attached.append(_Attached(code, vm, state))
+        touched = set()
         for item in attached:
             if self.telemetry is not None:
                 self._instrument(item)
             chain = self._chains.setdefault(item.code.insertion_point, [])
             chain.append(item)
             chain.sort(key=lambda entry: entry.code.seq)
+            touched.add(item.code.insertion_point)
         self._programs[program.name] = program
+        for point in touched:
+            self._rebind(point)
 
     def _instrument(self, item: _Attached) -> None:
         """Bind the telemetry handles this code updates on every run."""
@@ -234,17 +261,51 @@ class VirtualMachineManager:
         )
 
     def detach_program(self, name: str) -> None:
-        """Remove every extension code of program ``name``."""
+        """Remove every extension code of program ``name``.
+
+        Quarantine state bound to the detached codes is discarded too:
+        re-attaching a fixed extension under the same name must start
+        with a fresh (closed) breaker, not inherit its predecessor's
+        open circuit.
+        """
         program = self._programs.pop(name, None)
         if program is None:
             raise KeyError(name)
         codes = set(id(code) for code in program.codes)
-        for chain in self._chains.values():
+        for point, chain in self._chains.items():
+            removed = [item for item in chain if id(item.code) in codes]
+            if not removed:
+                continue
             chain[:] = [item for item in chain if id(item.code) not in codes]
+            if self.telemetry is not None:
+                for item in removed:
+                    self.telemetry.health.discard(point.value, item.code.name)
+            self._rebind(point)
+
+    def _rebind(self, point: InsertionPoint) -> None:
+        """Rebuild (or drop) the specialized closure for ``point``."""
+        chain = self._chains.get(point)
+        if not self.config.fast_path or not chain or len(chain) != 1:
+            self._fast.pop(point, None)
+            return
+        if self.telemetry is not None:
+            self._fast[point] = self._bind_traced_fast(chain, chain[0])
+        else:
+            self._fast[point] = self._bind_plain_fast(chain, chain[0])
 
     def attached_codes(self, point: InsertionPoint) -> List[str]:
         """Names of the codes attached to ``point``, in execution order."""
         return [item.code.name for item in self._chains.get(point, [])]
+
+    def active(self, point: InsertionPoint) -> bool:
+        """O(1): is any extension code attached at ``point``?
+
+        Daemons use this to skip context construction (and, at the
+        encode point, building the neutral wire copy) when nothing is
+        attached — semantics are identical because an empty chain always
+        reduces to ``default_fn()``.
+        """
+        return bool(self._chains.get(point))
 
     def stats(self) -> Dict[str, Dict[str, int]]:
         """Per-code execution, error and caused-fallback counters."""
@@ -298,7 +359,14 @@ class VirtualMachineManager:
         ``default_fn`` is the host's native implementation of the
         operation; it runs when nothing is attached, when every code
         delegates with ``next()``, or when a code errors out.
+
+        Single-code points dispatch through a closure specialized at
+        attach time (see :meth:`_rebind`); multi-code chains and
+        quarantine-open states take the general loop.
         """
+        fast = self._fast.get(ctx.insertion_point)
+        if fast is not None:
+            return fast(ctx, default_fn)
         chain = self._chains.get(ctx.insertion_point)
         if not chain:
             return default_fn()
@@ -371,8 +439,6 @@ class VirtualMachineManager:
             if vm is not None:
                 vm.ctx = ctx
                 vm.memory.reset_heap()
-                vm.steps_executed = 0
-                vm.helper_calls = 0
             start = perf_counter()
             try:
                 if vm is None:
@@ -430,3 +496,224 @@ class VirtualMachineManager:
             return result
         trace.record("default", point)
         return default_fn()
+
+    # -- single-code fast path ---------------------------------------------
+
+    def _bind_plain_fast(
+        self, chain: List[_Attached], item: _Attached
+    ) -> Callable[[ExecutionContext, Callable[[], int]], int]:
+        """Uninstrumented single-code closure (telemetry disabled)."""
+        note_fallback = self._note_fallback
+        if item.vm is None:
+            fn = item.code.fn
+            host = self.host
+
+            def run_fast(ctx: ExecutionContext, default_fn: Callable[[], int]) -> int:
+                item.executions += 1
+                ctx.next_requested = False
+                try:
+                    return fn(ctx, host)
+                except NextRequested:
+                    return default_fn()
+                except Exception as exc:  # noqa: BLE001 - must never crash the host
+                    note_fallback(item, ctx, exc)
+                    return default_fn()
+
+            return run_fast
+
+        vm = item.vm
+        reset_heap = vm.memory.reset_heap
+        if vm.jit:
+            vm.prepare()
+            vm_run = vm._jit_run
+            budget_error = vm._budget_error
+            budget_message = f"instruction budget ({vm.step_budget}) exceeded"
+        else:
+            vm_run = vm.run
+            budget_error = ()
+            budget_message = ""
+
+        def run_fast(ctx: ExecutionContext, default_fn: Callable[[], int]) -> int:
+            item.executions += 1
+            ctx.next_requested = False
+            vm.ctx = ctx
+            reset_heap()
+            try:
+                return vm_run()
+            except NextRequested:
+                return default_fn()
+            except (SandboxViolation, ExecutionError, HelperError) as exc:
+                note_fallback(item, ctx, exc)
+                return default_fn()
+            except budget_error as exc:
+                note_fallback(item, ctx, ExecutionError(exc.pc, budget_message))
+                return default_fn()
+
+        return run_fast
+
+    def _bind_traced_fast(
+        self, chain: List[_Attached], item: _Attached
+    ) -> Callable[[ExecutionContext, Callable[[], int]], int]:
+        """Instrumented single-code closure.
+
+        Byte-for-byte the same metrics, trace events and quarantine
+        protocol as :meth:`_run_traced` on a one-item chain — the
+        telemetry handles, trace recorder and breaker state are simply
+        pre-bound instead of re-fetched per run.  Any non-closed breaker
+        state defers to the general loop, which owns the probation
+        (``allow``) protocol.
+        """
+        telemetry = self.telemetry
+        trace_record = telemetry.trace.record
+        trace_fast = telemetry.trace.record_fast
+        health_engine = telemetry.health
+        health = item.health
+        point = item.code.insertion_point.value
+        name = item.code.name
+        hist = item.hist
+        hist_observe = hist.observe
+        m_exec = item.m_exec
+        m_err = item.m_err
+        m_fallback = item.m_fallback
+        m_next = item.m_next
+        m_insns = item.m_insns
+        m_helpers = item.m_helpers
+        registry_counter = telemetry.registry.counter
+
+        def fallback_inc() -> None:
+            # Created on first fallback, like _run_traced, so the series
+            # only materialises once a fallback actually happens.
+            registry_counter(
+                "xbgp_vmm_fallbacks", "chain fallbacks to native", point=point
+            ).inc()
+
+        note_fallback = self._note_fallback
+        run_traced = self._run_traced
+
+        if item.vm is None:
+            fn = item.code.fn
+            host = self.host
+
+            def run_fast(ctx: ExecutionContext, default_fn: Callable[[], int]) -> int:
+                if health.state != "closed":
+                    return run_traced(chain, ctx, default_fn)
+                item.executions += 1
+                m_exec.value += 1
+                ctx.next_requested = False
+                trace_fast("enter", point, name)
+                start = perf_counter()
+                try:
+                    result = fn(ctx, host)
+                except NextRequested:
+                    elapsed = perf_counter() - start
+                    hist.counts[bisect_left(hist.boundaries, elapsed)] += 1
+                    hist.sum += elapsed
+                    hist.count += 1
+                    m_next.value += 1
+                    health_engine.record_success(health)
+                    trace_fast("next", point, name)
+                    trace_fast("exit", point, name)["outcome"] = "next"
+                    trace_record("default", point)
+                    return default_fn()
+                except Exception as exc:  # noqa: BLE001 - must never crash the host
+                    hist_observe(perf_counter() - start)
+                    m_err.inc()
+                    m_fallback.inc()
+                    note_fallback(item, ctx, exc)
+                    health_engine.record_error(health)
+                    trace_record("exit", point, name, outcome="error", error=str(exc))
+                    trace_record("fallback", point, name, error=ctx.error)
+                    fallback_inc()
+                    return default_fn()
+                elapsed = perf_counter() - start
+                hist.counts[bisect_left(hist.boundaries, elapsed)] += 1
+                hist.sum += elapsed
+                hist.count += 1
+                health_engine.record_success(health)
+                event = trace_fast("exit", point, name)
+                event["outcome"] = "return"
+                event["verdict"] = result if isinstance(result, int) else None
+                return result
+
+            return run_fast
+
+        vm = item.vm
+        reset_heap = vm.memory.reset_heap
+        # Call the translated function directly (one frame less than
+        # VirtualMachine.run); the budget-error translation run() would
+        # have done moves into the except clause below.  The generated
+        # code publishes steps_executed/helper_calls on every outcome,
+        # so run()'s counter zeroing is not needed.
+        if vm.jit:
+            vm.prepare()
+            vm_run = vm._jit_run
+            budget_error = vm._budget_error
+            budget_message = f"instruction budget ({vm.step_budget}) exceeded"
+        else:
+            vm_run = vm.run
+            budget_error = ()
+            budget_message = ""
+
+        def run_fast(ctx: ExecutionContext, default_fn: Callable[[], int]) -> int:
+            if health.state != "closed":
+                return run_traced(chain, ctx, default_fn)
+            item.executions += 1
+            m_exec.value += 1
+            ctx.next_requested = False
+            trace_fast("enter", point, name)
+            vm.ctx = ctx
+            reset_heap()
+            start = perf_counter()
+            try:
+                result = vm_run()
+            except NextRequested:
+                elapsed = perf_counter() - start
+                hist.counts[bisect_left(hist.boundaries, elapsed)] += 1
+                hist.sum += elapsed
+                hist.count += 1
+                m_next.value += 1
+                m_insns.value += vm.steps_executed
+                m_helpers.value += vm.helper_calls
+                health_engine.record_success(health)
+                trace_fast("next", point, name)
+                trace_fast("exit", point, name)["outcome"] = "next"
+                trace_record("default", point)
+                return default_fn()
+            except (SandboxViolation, ExecutionError, HelperError) as exc:
+                hist_observe(perf_counter() - start)
+                m_err.inc()
+                m_fallback.inc()
+                m_insns.inc(vm.steps_executed)
+                m_helpers.inc(vm.helper_calls)
+                note_fallback(item, ctx, exc)
+                health_engine.record_error(health)
+                trace_record("exit", point, name, outcome="error", error=str(exc))
+                trace_record("fallback", point, name, error=ctx.error)
+                fallback_inc()
+                return default_fn()
+            except budget_error as exc:
+                wrapped = ExecutionError(exc.pc, budget_message)
+                hist_observe(perf_counter() - start)
+                m_err.inc()
+                m_fallback.inc()
+                m_insns.inc(vm.steps_executed)
+                m_helpers.inc(vm.helper_calls)
+                note_fallback(item, ctx, wrapped)
+                health_engine.record_error(health)
+                trace_record("exit", point, name, outcome="error", error=str(wrapped))
+                trace_record("fallback", point, name, error=ctx.error)
+                fallback_inc()
+                return default_fn()
+            elapsed = perf_counter() - start
+            hist.counts[bisect_left(hist.boundaries, elapsed)] += 1
+            hist.sum += elapsed
+            hist.count += 1
+            m_insns.value += vm.steps_executed
+            m_helpers.value += vm.helper_calls
+            health_engine.record_success(health)
+            event = trace_fast("exit", point, name)
+            event["outcome"] = "return"
+            event["verdict"] = result if isinstance(result, int) else None
+            return result
+
+        return run_fast

@@ -20,7 +20,12 @@ module translates a verified program into one Python function:
 
 Semantics are identical to :class:`repro.ebpf.vm.VirtualMachine` (the
 property tests check translated-vs-interpreted equivalence); the
-instruction budget is enforced per basic block.
+instruction budget is enforced per basic block.  ``steps``/``hc``
+accounting matches the interpreter exactly — one step per executed
+instruction (``lddw`` counts once), flushed before every operation
+that can fault or delegate — so both engines report identical
+``steps_executed``/``helper_calls`` on returning, ``next()``-ing and
+faulting runs.
 """
 
 from __future__ import annotations
@@ -55,6 +60,17 @@ from .memory import VmMemory
 __all__ = ["translate", "JitError"]
 
 _M64 = (1 << 64) - 1
+
+#: Leader ranges at or below this size dispatch via a flat if/elif run;
+#: larger ranges split into a balanced binary search on ``pc``.
+_LINEAR_DISPATCH_MAX = 4
+
+#: How many successor blocks a dispatch leaf inlines when control just
+#: falls through (no taken jump).  Straight-line runs and not-taken
+#: conditionals then execute without bouncing through the dispatch
+#: loop; only *taken* jumps pay the O(log blocks) search.  Bounded so
+#: generated-code size stays linear-ish in the program size.
+_FALLTHROUGH_INLINE_MAX = 6
 _M32 = (1 << 32) - 1
 
 _ALU_NAMES = {code: name for name, code in ALU_OPS.items()}
@@ -102,6 +118,16 @@ def _leaders(program: Sequence[Instruction]) -> List[int]:
                     leaders.add(index + 1)
         index += width
     return sorted(leader for leader in leaders if 0 <= leader < count)
+
+
+def _count_insns(program: Sequence[Instruction], start: int, end: int) -> int:
+    """Instructions (not slots) in ``[start, end)`` — ``lddw`` is one."""
+    total = 0
+    index = start
+    while index < end:
+        total += 1
+        index += 2 if program[index].opcode == OP_LDDW else 1
+    return total
 
 
 #: Matches repro.xc.codegen.SCALAR_LIMIT: with a trusted layout, stack
@@ -219,7 +245,11 @@ def translate(
     slots = _promotable_slots(program, trusted_layout)
     count = len(program)
 
-    heap = memory._heap  # noqa: SLF001 - deliberate fast path
+    # Direct heap/stack views: VmMemory guarantees these regions'
+    # buffers survive resets (mutated in place, never replaced), so the
+    # translated function binds them once here and reuses them for the
+    # VM's whole lifetime.
+    heap = memory.heap_region
     stack = memory.stack
     namespace: Dict[str, object] = {
         "__builtins__": {},
@@ -259,17 +289,57 @@ def translate(
     w.emit(1, "try:")
     w.emit(2, "while True:")
 
-    first = True
-    for block_index, leader in enumerate(leaders):
-        keyword = "if" if first else "elif"
-        first = False
-        w.emit(3, f"{keyword} pc == {leader}:")
-        end = leaders[block_index + 1] if block_index + 1 < len(leaders) else count
-        w.emit(4, f"steps += {end - leader}")
-        w.emit(4, f"if steps > {step_budget}: raise ExecBudget({leader})")
-        emitter.emit_block(w, leader, end, indent=4)
-    w.emit(3, "else:")
-    w.emit(4, "raise ExecBudget(pc)")
+    def emit_leaf(block_index: int, indent: int) -> None:
+        # Emit the block, then keep inlining fall-through successors (up
+        # to _FALLTHROUGH_INLINE_MAX) so straight-line control flow
+        # never re-enters the dispatch loop.  Inlined blocks may also
+        # exist as their own dispatch leaves (they are jump targets);
+        # the duplication trades code size for dispatch rounds.
+        index = block_index
+        while True:
+            leader = leaders[index]
+            end = leaders[index + 1] if index + 1 < len(leaders) else count
+            # Budget checked against the whole block up front (bounds
+            # loops without per-instruction tests); steps themselves
+            # accrue incrementally inside the block so mid-block faults
+            # report the same count the interpreter would.
+            block_insns = _count_insns(program, leader, end)
+            w.emit(
+                indent,
+                f"if steps + {block_insns} > {step_budget}: raise ExecBudget({leader})",
+            )
+            last = (
+                index + 1 >= len(leaders)
+                or index - block_index >= _FALLTHROUGH_INLINE_MAX
+            )
+            terminated = emitter.emit_block(
+                w, leader, end, indent=indent, fallthrough=last
+            )
+            if terminated or last:
+                return
+            index += 1
+
+    def emit_dispatch(lo: int, hi: int, indent: int) -> None:
+        # Balanced binary search over block leaders: every jump costs
+        # O(log blocks) comparisons instead of the O(blocks) scan of a
+        # flat if/elif chain — the dominant dispatch cost for programs
+        # with many basic blocks.
+        span = hi - lo
+        if span <= _LINEAR_DISPATCH_MAX:
+            for block_index in range(lo, hi):
+                keyword = "if" if block_index == lo else "elif"
+                w.emit(indent, f"{keyword} pc == {leaders[block_index]}:")
+                emit_leaf(block_index, indent + 1)
+            w.emit(indent, "else:")
+            w.emit(indent + 1, "raise ExecBudget(pc)")
+            return
+        mid = lo + span // 2
+        w.emit(indent, f"if pc < {leaders[mid]}:")
+        emit_dispatch(lo, mid, indent + 1)
+        w.emit(indent, "else:")
+        emit_dispatch(mid, hi, indent + 1)
+
+    emit_dispatch(0, len(leaders), 3)
     # Aborted runs (budget, sandbox fault, helper error, next()) still
     # publish their counters before the exception propagates.
     w.emit(1, "except BaseException:")
@@ -299,6 +369,17 @@ class _BlockEmitter:
         self.slots = slots
         self.heap_first = heap_first
         self.mirrors = _Mirrors()
+        #: Steps accrued since the last flush.  Straight-line ALU work
+        #: batches into one ``steps += n``; a flush is forced before any
+        #: operation that can fault/delegate (helper call, memory
+        #: access) or leave the block, keeping ``steps`` exactly equal
+        #: to the interpreter's count at every observable point.
+        self._pending = 0
+
+    def _flush_steps(self, w: _Writer, indent: int) -> None:
+        if self._pending:
+            w.emit(indent, f"steps += {self._pending}")
+            self._pending = 0
 
     # -- memory fast paths ------------------------------------------------
 
@@ -354,10 +435,19 @@ class _BlockEmitter:
 
     # -- block emission -------------------------------------------------------
 
-    def emit_block(self, w: _Writer, start: int, end: int, indent: int = 3) -> None:
+    def emit_block(
+        self, w: _Writer, start: int, end: int, indent: int = 3, fallthrough: bool = True
+    ) -> bool:
+        """Emit one basic block; returns whether it ended control flow.
+
+        With ``fallthrough=False`` the caller inlines the successor
+        block directly after this one, so the ``pc = end; continue``
+        tail is suppressed (steps are still flushed).
+        """
         program = self.program
         mirrors = self.mirrors
         mirrors.reset()
+        self._pending = 0
         index = start
         terminated = False
         while index < end:
@@ -365,6 +455,9 @@ class _BlockEmitter:
             opcode = insn.opcode
             klass = class_of(opcode)
             dst = _reg(insn.dst)
+            # Pre-count this instruction (the interpreter increments
+            # before executing, so a faulting op includes itself).
+            self._pending += 1
 
             if opcode == OP_LDDW:
                 value = (insn.imm & _M32) | ((program[index + 1].imm & _M32) << 32)
@@ -374,6 +467,7 @@ class _BlockEmitter:
                 continue
 
             if opcode == OP_EXIT:
+                self._flush_steps(w, indent)
                 w.emit(indent, "vm.steps_executed = steps; vm.helper_calls = hc")
                 w.emit(indent, "return r0")
                 terminated = True
@@ -381,6 +475,7 @@ class _BlockEmitter:
                 continue
 
             if opcode == OP_CALL:
+                self._flush_steps(w, indent)
                 w.emit(indent, "hc += 1")
                 w.emit(indent, f"r0 = H{insn.imm}(vm, r1, r2, r3, r4, r5) & {_M64}")
                 w.emit(indent, "r1 = r2 = r3 = r4 = r5 = 0")
@@ -389,6 +484,7 @@ class _BlockEmitter:
                 continue
 
             if opcode == OP_JA:
+                self._flush_steps(w, indent)
                 w.emit(indent, f"pc = {index + 1 + insn.offset}")
                 w.emit(indent, "continue")
                 terminated = True
@@ -396,6 +492,7 @@ class _BlockEmitter:
                 continue
 
             if klass in (BPF_JMP, BPF_JMP32):
+                self._flush_steps(w, indent)
                 self._emit_cond_jump(w, indent, insn, index, klass)
                 index += 1
                 continue
@@ -414,8 +511,11 @@ class _BlockEmitter:
             raise JitError(f"unhandled opcode {opcode:#x} at {index}")
 
         if not terminated and end <= len(self.program):
-            w.emit(indent, f"pc = {end}")
-            w.emit(indent, "continue")
+            self._flush_steps(w, indent)
+            if fallthrough:
+                w.emit(indent, f"pc = {end}")
+                w.emit(indent, "continue")
+        return terminated
 
     def _emit_cond_jump(self, w, indent, insn, index, klass) -> None:
         name = _JMP_NAMES[insn.opcode & 0xF0]
@@ -450,6 +550,7 @@ class _BlockEmitter:
                 w.emit(indent, f"{_reg(insn.dst)} = {_slot_var(insn.offset)}")
                 mirrors.bind(insn.dst, insn.offset)
             else:
+                self._flush_steps(w, indent)  # access may fault mid-block
                 self._mem_read(
                     w,
                     indent,
@@ -466,6 +567,7 @@ class _BlockEmitter:
                 w.emit(indent, f"{_slot_var(insn.offset)} = {_reg(insn.src)}")
                 mirrors.bind(insn.src, insn.offset)
             else:
+                self._flush_steps(w, indent)
                 self._mem_write(
                     w,
                     indent,
@@ -481,6 +583,7 @@ class _BlockEmitter:
             if old is not None:
                 self.mirrors._slot_of.pop(old, None)  # noqa: SLF001
         else:
+            self._flush_steps(w, indent)
             self._mem_write(
                 w,
                 indent,

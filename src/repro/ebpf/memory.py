@@ -71,10 +71,30 @@ class VmMemory:
     extension code finishes — :meth:`reset_heap` implements that.
     """
 
-    def __init__(self, heap_size: int = 1 << 16):
+    def __init__(
+        self,
+        heap_size: int = 1 << 16,
+        lazy_zero: bool = True,
+        fast_access: bool = True,
+    ):
         self.stack = MemoryRegion(STACK_BASE, STACK_SIZE, writable=True, label="stack")
         self._heap = MemoryRegion(HEAP_BASE, heap_size, writable=True, label="heap")
         self._heap_used = 0
+        #: High-watermark of bytes dirtied by *freed* allocations.  With
+        #: ``lazy_zero`` (the default) :meth:`reset_heap` only records
+        #: this watermark instead of memsetting the used span; the bytes
+        #: are re-zeroed lazily, on the first allocation that reuses
+        #: them.  The observable contract is unchanged — every
+        #: *allocated* block still reads as zeros until written — but a
+        #: run that allocates 200 bytes no longer pays to scrub the
+        #: previous run's span on every reset.
+        self._heap_dirty = 0
+        self._lazy_zero = lazy_zero
+        #: With ``fast_access`` (the default) the accessors below probe
+        #: the heap and stack directly before the general region walk;
+        #: off, every access pays the pre-overhaul ``_translate`` loop
+        #: (kept for the hot-path ablation's legacy arm).
+        self._fast_access = fast_access
         self._regions: List[MemoryRegion] = [self.stack, self._heap]
 
     # -- region management ---------------------------------------------
@@ -96,68 +116,162 @@ class VmMemory:
     # -- heap ------------------------------------------------------------
 
     def alloc(self, size: int) -> int:
-        """Bump-allocate ``size`` bytes of heap; return the VM address."""
+        """Bump-allocate ``size`` bytes of zeroed heap; return the VM address."""
         if size < 0:
             raise ValueError(f"negative allocation: {size}")
         aligned = (size + 7) & ~7
-        if self._heap_used + aligned > len(self._heap.data):
+        used = self._heap_used
+        new_used = used + aligned
+        data = self._heap.data
+        if new_used > len(data):
             raise SandboxViolation(
-                f"heap exhausted: {self._heap_used}+{aligned} "
-                f"> {len(self._heap.data)}"
+                f"heap exhausted: {used}+{aligned} > {len(data)}"
             )
-        address = self._heap.base + self._heap_used
-        self._heap_used += aligned
-        return address
+        dirty = self._heap_dirty
+        if dirty > used:
+            # Lazy zeroing: scrub only the part of this block a freed
+            # run dirtied (eager mode keeps dirty at 0, skipping this).
+            end = new_used if new_used < dirty else dirty
+            data[used:end] = bytes(end - used)
+        self._heap_used = new_used
+        return self._heap.base + used
 
     def alloc_bytes(self, payload: bytes) -> int:
-        """Allocate and fill a heap block; return its VM address."""
-        address = self.alloc(len(payload))
-        self.write_bytes(address, payload)
-        return address
+        """Allocate and fill a heap block; return its VM address.
+
+        Hot path for every helper that hands a struct to the extension
+        (``get_attr``, ``get_peer_info``…): writes straight into the
+        heap buffer, skipping region translation, and zeroes only the
+        alignment padding instead of the whole block.
+        """
+        size = len(payload)
+        aligned = (size + 7) & ~7
+        used = self._heap_used
+        new_used = used + aligned
+        data = self._heap.data
+        if new_used > len(data):
+            raise SandboxViolation(
+                f"heap exhausted: {used}+{aligned} > {len(data)}"
+            )
+        data[used : used + size] = payload
+        if size != aligned:
+            data[used + size : new_used] = bytes(aligned - size)
+        self._heap_used = new_used
+        return self._heap.base + used
 
     def reset_heap(self) -> None:
-        """Free all ephemeral allocations (end of extension execution)."""
-        self._heap.data[: self._heap_used] = bytes(self._heap_used)
-        self._heap_used = 0
+        """Free all ephemeral allocations (end of extension execution).
+
+        Lazy mode (default) is zero-fill-free: it just records the
+        dirty high-watermark and rewinds the bump pointer; freed bytes
+        are scrubbed on reuse by :meth:`alloc`.  Eager mode
+        (``lazy_zero=False``) memsets the used span, the pre-overhaul
+        behaviour kept for the hot-path ablation's legacy arm.
+        """
+        used = self._heap_used
+        if used:
+            if self._lazy_zero:
+                if used > self._heap_dirty:
+                    self._heap_dirty = used
+            else:
+                self._heap.data[:used] = bytes(used)
+            self._heap_used = 0
 
     @property
     def heap_used(self) -> int:
         return self._heap_used
 
+    @property
+    def heap_region(self) -> MemoryRegion:
+        """The heap region, for JIT fast paths.
+
+        Stable for the lifetime of this :class:`VmMemory`: resets and
+        lazy zeroing mutate ``heap_region.data`` in place and never
+        replace the bytearray, so translated code may close over the
+        buffer once and keep using it across runs.
+        """
+        return self._heap
+
     # -- access -----------------------------------------------------------
 
     def _translate(self, address: int, size: int, write: bool) -> Tuple[MemoryRegion, int]:
         for region in self._regions:
-            if region.contains(address, size):
+            base = region.base
+            if base <= address and address + size <= base + len(region.data):
                 if write and not region.writable:
                     raise SandboxViolation(
                         f"write to read-only {region.label} at {address:#x}"
                     )
-                return region, address - region.base
+                return region, address - base
         raise SandboxViolation(
             f"{'write' if write else 'read'} of {size} bytes at {address:#x} "
             "outside sandbox"
         )
 
+    # Heap and stack carry nearly all helper traffic (helper structs
+    # are heap-allocated, value buffers live on the stack), and both
+    # are always writable — so every accessor probes them directly
+    # before falling back to the general region walk.
+
     def read(self, address: int, size: int) -> int:
         """Load ``size`` bytes little-endian (eBPF is little-endian)."""
+        if self._fast_access:
+            heap = self._heap
+            offset = address - heap.base
+            if 0 <= offset and offset + size <= len(heap.data):
+                return int.from_bytes(heap.data[offset : offset + size], "little")
+            stack = self.stack
+            offset = address - stack.base
+            if 0 <= offset and offset + size <= len(stack.data):
+                return int.from_bytes(stack.data[offset : offset + size], "little")
         region, offset = self._translate(address, size, write=False)
         return int.from_bytes(region.data[offset : offset + size], "little")
 
     def write(self, address: int, size: int, value: int) -> None:
         """Store the low ``size`` bytes of ``value`` little-endian."""
+        payload = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+        if self._fast_access:
+            heap = self._heap
+            offset = address - heap.base
+            if 0 <= offset and offset + size <= len(heap.data):
+                heap.data[offset : offset + size] = payload
+                return
+            stack = self.stack
+            offset = address - stack.base
+            if 0 <= offset and offset + size <= len(stack.data):
+                stack.data[offset : offset + size] = payload
+                return
         region, offset = self._translate(address, size, write=True)
-        region.data[offset : offset + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
-            size, "little"
-        )
+        region.data[offset : offset + size] = payload
 
     def read_bytes(self, address: int, size: int) -> bytes:
+        if self._fast_access:
+            heap = self._heap
+            offset = address - heap.base
+            if 0 <= offset and offset + size <= len(heap.data):
+                return bytes(heap.data[offset : offset + size])
+            stack = self.stack
+            offset = address - stack.base
+            if 0 <= offset and offset + size <= len(stack.data):
+                return bytes(stack.data[offset : offset + size])
         region, offset = self._translate(address, size, write=False)
         return bytes(region.data[offset : offset + size])
 
     def write_bytes(self, address: int, payload: bytes) -> None:
-        region, offset = self._translate(address, len(payload), write=True)
-        region.data[offset : offset + len(payload)] = payload
+        size = len(payload)
+        if self._fast_access:
+            heap = self._heap
+            offset = address - heap.base
+            if 0 <= offset and offset + size <= len(heap.data):
+                heap.data[offset : offset + size] = payload
+                return
+            stack = self.stack
+            offset = address - stack.base
+            if 0 <= offset and offset + size <= len(stack.data):
+                stack.data[offset : offset + size] = payload
+                return
+        region, offset = self._translate(address, size, write=True)
+        region.data[offset : offset + size] = payload
 
     def read_cstring(self, address: int, limit: int = 4096) -> bytes:
         """Read a NUL-terminated string (for debug-print helpers)."""

@@ -82,6 +82,11 @@ class VirtualMachine:
         self.jit = jit
         self.trusted_layout = trusted_layout
         self._jit_run = None
+        #: Execution context / per-extension state, bound by the VMM
+        #: around each run.  Initialised here so helper implementations
+        #: can read them with plain attribute access.
+        self.ctx = None
+        self.program_state = None
 
     def prepare(self) -> None:
         """Eagerly translate (jit mode) so first run pays no compile cost."""
@@ -105,14 +110,18 @@ class VirtualMachine:
         :class:`HelperError` — the VMM treats all three as "extension
         code failed, fall back to native".
 
-        ``steps_executed`` and ``helper_calls`` report the finished
-        run's instruction/helper counts (best effort on faulting JIT
-        runs: budget blowouts report their step count, other JIT faults
-        leave whatever the caller reset them to).
+        ``steps_executed`` and ``helper_calls`` are reset here and
+        report this run's instruction/helper counts afterwards — on
+        returning, delegating (``next()``) and faulting runs alike, and
+        identically under both engines (a budget blowout under the JIT
+        reports the instructions executed before the block that blew
+        the budget).
 
         With ``jit=True`` the program runs as translated Python (same
         semantics, ~20-50x faster dispatch); see :mod:`repro.ebpf.jit`.
         """
+        self.steps_executed = 0
+        self.helper_calls = 0
         if self.jit:
             if self._jit_run is None:
                 self.prepare()

@@ -59,8 +59,11 @@ class FrrAttrs:
         "cluster_list",
         "extra",
         "_key",
+        "_hash",
         "_wire_cache",
         "_attr_cache",
+        "_packed_cache",
+        "_write_cache",
     )
 
     def __init__(
@@ -101,11 +104,21 @@ class FrrAttrs:
             cluster_list,
             self.extra,
         )
+        self._hash = hash(self._key)
         self._wire_cache: Optional[List[PathAttribute]] = None
         # Per-attribute neutral-form cache: FrrAttrs are immutable and
         # interned, so each host->wire conversion happens once (FRR
         # itself caches encoded attribute blobs the same way).
         self._attr_cache: Dict[int, Optional[PathAttribute]] = {}
+        # Per-attribute ``get_attr`` helper-struct cache (pack_attr
+        # header + payload), filled by the glue's get_attr_packed.
+        self._packed_cache: Dict[int, Optional[bytes]] = {}
+        # ``set_attr`` write cache: (code, flags, value) -> the interned
+        # result of applying that write to this set.  Extensions stamp
+        # the same value onto many routes sharing an attribute set (RR
+        # stamps one ORIGINATOR_ID per peer), so the parse + rebuild +
+        # intern happens once per (set, write) pair.
+        self._write_cache: Dict[Tuple[int, int, bytes], "FrrAttrs"] = {}
 
     def key(self):
         return self._key
@@ -116,7 +129,7 @@ class FrrAttrs:
         return self._key == other._key
 
     def __hash__(self) -> int:
-        return hash(self._key)
+        return self._hash
 
     # -- conversion: wire (neutral) -> host ------------------------------
 

@@ -15,6 +15,7 @@ from typing import Optional, Tuple
 
 from ..bgp.attributes import PathAttribute
 from ..bgp.prefix import Prefix
+from ..core.abi import pack_attr
 from ..core.context import ExecutionContext
 from ..core.host_interface import HostImplementation
 from ..igp.spf import UNREACHABLE
@@ -22,6 +23,8 @@ from .attrs_intern import FrrAttrs
 from .rib import FrrRoute
 
 __all__ = ["FrrHost"]
+
+_MISSING = object()
 
 
 class _AttrsBox:
@@ -41,6 +44,7 @@ class FrrHost(HostImplementation):
 
     def __init__(self, daemon):
         self.daemon = daemon
+        self.hot_path = getattr(daemon, "hot_path", True)
 
     # -- container plumbing ------------------------------------------------
 
@@ -53,7 +57,9 @@ class FrrHost(HostImplementation):
         return None
 
     def _replace_attrs(self, ctx: ExecutionContext, attrs: FrrAttrs) -> None:
-        interned = self.daemon.attr_pool.intern(attrs)
+        self._install_attrs(ctx, self.daemon.attr_pool.intern(attrs))
+
+    def _install_attrs(self, ctx: ExecutionContext, interned: FrrAttrs) -> None:
         container = ctx.route
         if isinstance(container, _AttrsBox):
             container.attrs = interned
@@ -69,10 +75,46 @@ class FrrHost(HostImplementation):
         # Host -> neutral conversion on every call.
         return attrs.attr_to_wire(code)
 
+    def get_attr_packed(self, ctx: ExecutionContext, code: int) -> Optional[bytes]:
+        if not self.hot_path:
+            return HostImplementation.get_attr_packed(self, ctx, code)
+        attrs = self._attrs_of(ctx)
+        if attrs is None:
+            return None
+        # FrrAttrs are immutable and interned, so the helper struct for
+        # a given code is computed once per attribute set, not once per
+        # route sharing it.
+        cache = attrs._packed_cache
+        packed = cache.get(code, _MISSING)
+        if packed is _MISSING:
+            attribute = attrs.attr_to_wire(code)
+            packed = (
+                None
+                if attribute is None
+                else pack_attr(attribute.type_code, attribute.flags, attribute.value)
+            )
+            cache[code] = packed
+        return packed
+
     def set_attr(self, ctx: ExecutionContext, code: int, flags: int, value: bytes) -> bool:
         attrs = self._attrs_of(ctx)
         if attrs is None:
             return False
+        if self.hot_path:
+            # Same write applied to the same (interned) set: reuse the
+            # interned result, skipping the wire parse and rebuild.
+            key = (code, flags, value)
+            interned = attrs._write_cache.get(key)
+            if interned is None:
+                try:
+                    interned = self.daemon.attr_pool.intern(
+                        attrs.with_attr_wire(code, flags, value)
+                    )
+                except (ValueError, IndexError):
+                    return False
+                attrs._write_cache[key] = interned
+            self._install_attrs(ctx, interned)
+            return True
         try:
             # Neutral -> host conversion (parse into struct attr form).
             self._replace_attrs(ctx, attrs.with_attr_wire(code, flags, value))

@@ -37,19 +37,28 @@ _DOWNSTREAM = "10.0.2.2"
 
 
 class Collector:
-    """The downstream router's receive side: counts prefixes."""
+    """The downstream router's receive side: counts prefixes.
 
-    def __init__(self) -> None:
+    ``eager_attributes`` forces a full path-attribute parse of every
+    received UPDATE, the behaviour every receiver had before
+    :class:`UpdateMessage` learned to decode attributes lazily — the
+    hot-path ablation's legacy arm restores that per-message cost.
+    """
+
+    def __init__(self, eager_attributes: bool = False) -> None:
         self.prefixes: set = set()
         self.withdrawn: set = set()
         self.updates = 0
         self._buffer = bytearray()
+        self._eager_attributes = eager_attributes
 
     def receive(self, data: bytes) -> None:
         self._buffer.extend(data)
         for message in split_stream(self._buffer):
             if isinstance(message, UpdateMessage):
                 self.updates += 1
+                if self._eager_attributes:
+                    message.attributes
                 for prefix in message.nlri:
                     self.prefixes.add(prefix)
                 for prefix in message.withdrawn:
@@ -79,6 +88,7 @@ class ConvergenceHarness:
         engine: str = "jit",
         telemetry: bool = True,
         quarantine=None,
+        hot_path: bool = True,
     ):
         if implementation not in DAEMONS:
             raise ValueError(f"unknown implementation {implementation!r}")
@@ -96,10 +106,14 @@ class ConvergenceHarness:
         self.roas = roas or []
         self.telemetry_enabled = telemetry
         self.quarantine = quarantine
+        #: False re-enables the pre-overhaul per-route work (eager heap
+        #: zeroing, no fast path, no marshalling/encode caches) — the
+        #: hot-path ablation's legacy arm.
+        self.hot_path = hot_path
         #: Telemetry snapshot of the most recent :meth:`run` (or None
         #: when the DUT runs uninstrumented).
         self.last_telemetry: Optional[Dict[str, object]] = None
-        self.collector = Collector()
+        self.collector = Collector(eager_attributes=not hot_path)
         self.dut = self._build_dut()
         self._wire()
         self.feed = self._build_feed(max_prefixes_per_update)
@@ -122,7 +136,10 @@ class ConvergenceHarness:
             engine=vm_engine,
             telemetry=self.telemetry_enabled,
             quarantine=self.quarantine,
+            fast_path=self.hot_path,
+            lazy_heap=self.hot_path,
         )
+        kwargs["hot_path"] = self.hot_path
         if self.feature == "route_reflection":
             kwargs["route_reflector"] = self.mode
         if self.feature == "origin_validation" and self.mode == "native":

@@ -123,6 +123,15 @@ class QuarantineEngine:
             self._states[key] = health
         return health
 
+    def discard(self, point: str, name: str) -> None:
+        """Forget the breaker state for one (point, extension).
+
+        Called when the extension is detached so a later re-attach under
+        the same name starts with a fresh (closed) breaker instead of
+        inheriting its predecessor's open circuit.
+        """
+        self._states.pop((point, name), None)
+
     def is_quarantined(self, point: str, name: str) -> bool:
         health = self._states.get((point, name))
         return health is not None and health.state == OPEN

@@ -56,6 +56,28 @@ class TraceRing:
         self._events.append(event)
         return event
 
+    def record_fast(
+        self, kind: str, point: str, extension: str
+    ) -> Dict[str, object]:
+        """Positional :meth:`record` for field-free hot-path events.
+
+        Produces exactly the event ``record(kind, point, extension)``
+        would, minus the keyword-argument machinery — the VMM emits a
+        few of these per route (``enter``, ``next``, ``skip``), which
+        made the generic form measurable on update replay.
+        """
+        self._seq = seq = self._seq + 1
+        event: Dict[str, object] = {
+            "seq": seq,
+            "kind": kind,
+            "point": point,
+            "extension": extension,
+        }
+        if self.timestamps:
+            event["ts"] = time.time()
+        self._events.append(event)
+        return event
+
     # -- inspection -------------------------------------------------------
 
     def __len__(self) -> int:

@@ -143,6 +143,29 @@ class TestMemory:
         assert memory.read_bytes(address, 5) == b"hello"
         memory.reset_heap()
         assert memory.heap_used == 0
+        # The contract is that *allocated* blocks read as zeros, not that
+        # freed memory is scrubbed at reset time (lazy zeroing defers it).
+        fresh = memory.alloc(8)
+        assert fresh == address
+        assert memory.read_bytes(fresh, 8) == b"\x00" * 8
+
+    def test_heap_lazy_zero_partial_reuse(self):
+        memory = VmMemory(heap_size=64)
+        memory.alloc_bytes(b"\xff" * 32)
+        memory.reset_heap()
+        # A smaller allocation only scrubs its own span; the rest of the
+        # dirty watermark is scrubbed when later allocations reach it.
+        first = memory.alloc(8)
+        assert memory.read_bytes(first, 8) == b"\x00" * 8
+        second = memory.alloc(24)
+        assert memory.read_bytes(second, 24) == b"\x00" * 24
+
+    def test_heap_eager_zero_mode(self):
+        memory = VmMemory(heap_size=64, lazy_zero=False)
+        address = memory.alloc_bytes(b"hello")
+        memory.reset_heap()
+        # Pre-overhaul behaviour, kept for the ablation's legacy arm:
+        # freed memory is scrubbed immediately.
         assert memory.read_bytes(address, 5) == b"\x00" * 5
 
     def test_heap_exhaustion(self):
