@@ -403,13 +403,25 @@ def split_stream(buffer: bytearray) -> List[BgpMessage]:
 
     Returns decoded messages; leaves any trailing partial message in the
     buffer.  Used by the asyncio transport.
+
+    A malformed frame raises only once it sits at the *head* of the
+    buffer: valid messages decoded earlier in the same batch are
+    returned first and the bad bytes stay put, so the next call raises.
+    Raising mid-batch instead would silently drop the already-consumed
+    messages, making delivery depend on how TCP happened to segment
+    the stream (found by the differential fuzzer's reassembly oracle).
     """
     messages: List[BgpMessage] = []
     while len(buffer) >= BGP_HEADER_SIZE:
         total, _ = struct.unpack_from("!HB", buffer, 16)
         if len(buffer) < total:
             break
-        message, consumed = decode_message(bytes(buffer[:total]))
+        try:
+            message, consumed = decode_message(bytes(buffer[:total]))
+        except ValueError:
+            if messages:
+                return messages
+            raise
         del buffer[:consumed]
         messages.append(message)
     return messages
