@@ -14,7 +14,11 @@ Subcommands:
 * ``loc``      — print the §2.1 glue-size report;
 * ``stats``    — drive one harness scenario and print the VMM's
   telemetry (per-insertion-point/extension counters, latency
-  histograms, quarantine state) as Prometheus text and/or JSON.
+  histograms, quarantine state) as Prometheus text and/or JSON;
+* ``fuzz``     — run a differential fuzzing campaign over the codec
+  round-trip, interpreter-vs-JIT and FRR-vs-BIRD oracles; prints a
+  JSON report, writes minimized divergences to a corpus directory,
+  exits non-zero if any divergence was found.
 """
 
 from __future__ import annotations
@@ -202,6 +206,41 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    """Run a differential fuzzing campaign (see repro.fuzz)."""
+    import json as _json
+
+    from .fuzz import FuzzRunner
+
+    oracles = tuple(part.strip() for part in args.oracles.split(",") if part.strip())
+    try:
+        runner = FuzzRunner(
+            seed=args.seed,
+            iterations=args.iterations,
+            time_budget=args.time_budget,
+            oracles=oracles,
+            corpus_dir=args.corpus,
+            minimize=not args.no_minimize,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"xbgp fuzz: {exc}")
+    report = runner.run()
+    rendered = _json.dumps(report, indent=2, sort_keys=True)
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(rendered + "\n")
+        print(f"# report written to {args.report}", file=sys.stderr)
+    print(rendered)
+    summary = (
+        f"# {report['iterations_run']} cases "
+        f"({', '.join(f'{k}={v}' for k, v in report['cases'].items())}) "
+        f"in {report['elapsed_seconds']}s: "
+        f"{len(report['divergences'])} unique divergence(s)"
+    )
+    print(summary, file=sys.stderr)
+    return 1 if report["divergences"] else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="xbgp", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -275,6 +314,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="also export the trace ring as JSON Lines",
     )
     p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser("fuzz", help="run a differential fuzzing campaign")
+    p.add_argument("--iterations", type=int, default=200, help="case budget")
+    p.add_argument("--seed", type=int, default=0, help="master seed")
+    p.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="stop starting new cases after this many seconds",
+    )
+    p.add_argument(
+        "--oracles", default="codec,engine,host",
+        help="comma-separated subset of codec,engine,host",
+    )
+    p.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="write minimized divergence entries to this directory",
+    )
+    p.add_argument("--report", default=None, metavar="FILE", help="also write the JSON report here")
+    p.add_argument(
+        "--no-minimize", action="store_true",
+        help="skip ddmin minimization of divergent cases",
+    )
+    p.set_defaults(fn=_cmd_fuzz)
 
     return parser
 

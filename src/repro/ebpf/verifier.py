@@ -12,6 +12,10 @@ Checks performed:
 * control flow: every jump lands on a real instruction boundary inside
   the program, execution cannot fall off the end, an ``exit`` is
   reachable;
+* stack bounds: direct ``[r10+off]`` dereferences must land inside the
+  512-byte frame (r10 points one past the top, so valid offsets are
+  ``-STACK_SIZE <= off`` and ``off + size <= 0``) — rejected statically
+  instead of faulting at run time;
 * termination: back-edges (loops) are rejected unless ``allow_loops``
   — in that case the interpreter's instruction budget bounds runtime;
 * calls: helper ids must belong to the allowed set (the manifest lists
@@ -40,10 +44,12 @@ from .isa import (
     OP_EXIT,
     OP_JA,
     OP_LDDW,
+    SIZE_BYTES,
     Instruction,
     class_of,
     is_load_store,
 )
+from .memory import STACK_SIZE
 
 __all__ = ["VerifierError", "verify", "VerifierConfig"]
 
@@ -133,6 +139,16 @@ def _check_opcodes(program, lddw_seconds, config) -> None:
                 raise VerifierError(index, "load writes to bad register")
             if instruction.src > 10 or instruction.dst > 10:
                 raise VerifierError(index, "register out of range")
+            pointer = instruction.src if klass == BPF_LDX else instruction.dst
+            if pointer == 10:
+                size = SIZE_BYTES[opcode & 0x18]
+                offset = instruction.offset
+                if offset < -STACK_SIZE or offset + size > 0:
+                    raise VerifierError(
+                        index,
+                        f"stack access out of bounds: [r10{offset:+d}] "
+                        f"size {size} outside [-{STACK_SIZE}, 0)",
+                    )
             continue
         if klass in (BPF_ALU, BPF_ALU64):
             operation = opcode & 0xF0

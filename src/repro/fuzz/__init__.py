@@ -1,0 +1,43 @@
+"""Differential fuzzing & conformance subsystem.
+
+PR 2 forked every hot-path component into legacy/fast arms; the paper's
+§2.1 claim is that the *same* bytecode behaves identically on FRR and
+BIRD.  Both give the fuzzer free oracles:
+
+* **codec** — decode → re-encode round trips (lazy verbatim re-encode
+  vs eager attribute rebuild, plus stream-reassembly determinism);
+* **engine** — interpreter vs JIT on generated programs: same result,
+  helper-call sequence, step counts, and memory effects, under both
+  lazy-zero and eager heap arms;
+* **host** — the same plugin manifest on FRR and BIRD over the same
+  event stream → identical Loc-RIB and export sets, with
+  ``VmmConfig(fast_path/lazy_heap)`` on vs off.
+
+:mod:`repro.fuzz.gen` produces the seeded-random inputs,
+:mod:`repro.fuzz.oracles` runs the comparisons,
+:mod:`repro.fuzz.runner` drives campaigns (dedup + ddmin minimisation),
+and :mod:`repro.fuzz.corpus` persists minimized divergences as JSON
+regression seeds under ``tests/fuzz_corpus/``.
+"""
+
+from .gen import CodecCase, EngineCase, HostCase, gen_codec_case, gen_engine_case, gen_host_case
+from .oracles import Divergence, run_codec_case, run_engine_case, run_host_case
+from .corpus import load_entry, replay_entry, save_entry
+from .runner import FuzzRunner
+
+__all__ = [
+    "CodecCase",
+    "EngineCase",
+    "HostCase",
+    "Divergence",
+    "FuzzRunner",
+    "gen_codec_case",
+    "gen_engine_case",
+    "gen_host_case",
+    "run_codec_case",
+    "run_engine_case",
+    "run_host_case",
+    "save_entry",
+    "load_entry",
+    "replay_entry",
+]

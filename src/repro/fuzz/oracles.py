@@ -1,0 +1,483 @@
+"""The three differential oracles.
+
+Every oracle returns ``None`` (no divergence) or a :class:`Divergence`
+carrying a *stable signature* — the dedup key a campaign uses to group
+repeated findings — plus human-oriented detail.  Unexpected exceptions
+anywhere in an oracle are themselves findings (``*:crash:*``), never
+silent skips.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bgp.messages import UpdateMessage, decode_message, split_stream
+from ..bgp.prefix import parse_ipv4
+from ..core.vmm import VmmConfig
+from ..ebpf.helpers import HelperError, HelperTable
+from ..ebpf.isa import decode_program
+from ..ebpf.memory import SandboxViolation, VmMemory
+from ..ebpf.vm import ExecutionError, VirtualMachine
+from ..plugins import geoloc, origin_validation, route_reflector
+from ..sim.harness import DAEMONS, Collector
+from .gen import FUZZ_HELPER_IDS, HALLOC_BLOCK, CodecCase, EngineCase, HostCase
+
+__all__ = [
+    "Divergence",
+    "make_fuzz_helpers",
+    "run_codec_case",
+    "run_engine_case",
+    "run_host_case",
+]
+
+_M64 = (1 << 64) - 1
+
+_UPSTREAM = "10.0.1.2"
+_DUT = "10.0.0.1"
+_DOWNSTREAM = "10.0.2.2"
+
+
+class Divergence:
+    """One oracle disagreement (or crash), dedup-keyed by signature."""
+
+    __slots__ = ("oracle", "signature", "detail")
+
+    def __init__(self, oracle: str, signature: str, detail: str):
+        self.oracle = oracle
+        self.signature = signature
+        self.detail = detail
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"oracle": self.oracle, "signature": self.signature, "detail": self.detail}
+
+    def __repr__(self) -> str:
+        return f"Divergence({self.signature!r})"
+
+
+def _crash(oracle: str, where: str, exc: BaseException) -> Divergence:
+    return Divergence(
+        oracle,
+        f"{oracle}:crash:{where}:{type(exc).__name__}",
+        f"unexpected {type(exc).__name__} in {where}: {exc}",
+    )
+
+
+# -- codec oracle ------------------------------------------------------
+
+
+def _attr_key(attribute) -> Tuple[int, int, bytes]:
+    return (attribute.type_code, attribute.flags, attribute.value)
+
+
+def _check_update_frame(frame: bytes, strict: bool) -> Optional[Divergence]:
+    """Round-trip one frame through the lazy and eager codec paths."""
+    try:
+        message, consumed = decode_message(frame)
+    except ValueError:
+        return None  # deterministic rejection is an acceptable outcome
+    wire = frame[:consumed]
+
+    if not isinstance(message, UpdateMessage):
+        # Non-UPDATE types: require encode/decode to reach a fixpoint.
+        reencoded = message.encode()
+        second, _ = decode_message(reencoded)
+        if second.encode() != reencoded:
+            return Divergence(
+                "codec",
+                f"codec:fixpoint:{type(message).__name__}",
+                f"{type(message).__name__} re-encode is not a fixpoint",
+            )
+        return None
+
+    # Lazy path: a decoded UPDATE re-emits its attribute bytes verbatim.
+    lazy = message.encode()
+    if lazy != wire:
+        if strict:
+            return Divergence(
+                "codec",
+                "codec:lazy-roundtrip",
+                f"valid frame not byte-identical after decode/encode "
+                f"(in {len(wire)}B, out {len(lazy)}B)",
+            )
+        # Mutated frames may legitimately normalise (prefix trailing
+        # bits are masked) — but normalisation must reach a fixpoint
+        # with identical semantics.
+        try:
+            second, _ = decode_message(lazy)
+        except ValueError as exc:
+            return Divergence(
+                "codec",
+                "codec:normalized-reject",
+                f"re-encoded frame no longer decodes: {exc}",
+            )
+        if second.encode() != lazy:
+            return Divergence("codec", "codec:fixpoint:UpdateMessage", "normalisation is not a fixpoint")
+        if second.withdrawn != message.withdrawn or second.nlri != message.nlri:
+            return Divergence("codec", "codec:normalized-semantics", "prefixes changed across re-encode")
+
+    # Eager path: parse attributes, rebuild the message from them.
+    try:
+        attributes = message.attributes
+    except ValueError:
+        # Attribute *content* errors surface lazily by design; the
+        # failed parse must not corrupt the verbatim re-encode.
+        if message.encode() != lazy:
+            return Divergence(
+                "codec",
+                "codec:lazy-cache-corruption",
+                "encode() changed after a failed attribute parse",
+            )
+        return None
+
+    rebuilt = UpdateMessage(message.withdrawn, attributes, message.nlri)
+    eager = rebuilt.encode()
+    try:
+        third, _ = decode_message(eager)
+        reparsed = third.attributes
+    except ValueError as exc:
+        return Divergence(
+            "codec",
+            "codec:eager-reject",
+            f"eagerly rebuilt frame no longer decodes: {exc}",
+        )
+    if (
+        third.withdrawn != message.withdrawn
+        or third.nlri != message.nlri
+        or sorted(map(_attr_key, reparsed)) != sorted(map(_attr_key, attributes))
+    ):
+        return Divergence(
+            "codec",
+            "codec:eager-semantics",
+            "lazy and eager paths disagree on message semantics",
+        )
+    if third.encode() != eager:
+        return Divergence("codec", "codec:eager-fixpoint", "eager re-encode is not a fixpoint")
+    return None
+
+
+def _drain(stream: bytes, chunks: Sequence[int]) -> Tuple[tuple, Optional[str]]:
+    """Feed ``stream`` through :func:`split_stream` in ``chunks``-sized
+    pieces (cycled); return (message summaries, error class or None)."""
+    buffer = bytearray()
+    seen: List[tuple] = []
+    error: Optional[str] = None
+    offset = 0
+    index = 0
+    while offset < len(stream):
+        size = chunks[index % len(chunks)]
+        index += 1
+        buffer.extend(stream[offset : offset + size])
+        offset += size
+        try:
+            for message in split_stream(buffer):
+                if isinstance(message, UpdateMessage):
+                    seen.append(
+                        ("update", message.withdrawn, message.nlri, message._attrs_wire)
+                    )
+                else:
+                    seen.append((type(message).__name__, message.encode()))
+        except ValueError as exc:
+            error = type(exc).__name__
+            break
+    if error is None:
+        # A malformed frame at the head of the buffer only raises on
+        # the *next* split_stream call; flush it so the error surfaces
+        # regardless of how the chunk plan aligned with frame ends.
+        try:
+            split_stream(buffer)
+        except ValueError as exc:
+            error = type(exc).__name__
+    return tuple(seen), error
+
+
+def run_codec_case(case: CodecCase) -> Optional[Divergence]:
+    try:
+        for position, frame in enumerate(case.frames):
+            divergence = _check_update_frame(frame, strict=not case.mutated)
+            if divergence is not None:
+                divergence.detail = f"frame {position}: {divergence.detail}"
+                return divergence
+        stream = b"".join(case.frames)
+        whole = _drain(stream, (len(stream) or 1,))
+        chunked = _drain(stream, case.chunks)
+        if whole != chunked:
+            return Divergence(
+                "codec",
+                "codec:reassembly",
+                f"split_stream outcome depends on chunking "
+                f"(whole={len(whole[0])} msgs err={whole[1]}, "
+                f"chunked={len(chunked[0])} msgs err={chunked[1]})",
+            )
+    except Exception as exc:  # noqa: BLE001 — crashes are findings
+        return _crash("codec", "codec-oracle", exc)
+    return None
+
+
+# -- engine oracle -----------------------------------------------------
+
+
+def make_fuzz_helpers(calls: list) -> HelperTable:
+    """A tiny self-contained helper table recording its call sequence.
+
+    ``probe`` mixes its five arguments (and the call ordinal) into a
+    deterministic value, ``halloc`` hands out :data:`HALLOC_BLOCK`-byte
+    heap blocks, ``peek`` reads VM memory (and can fault), ``checkz``
+    raises :class:`HelperError` on a zero argument — covering the
+    return/abort paths the xBGP helper glue exercises.
+    """
+    table = HelperTable()
+
+    def probe(vm, r1, r2, r3, r4, r5):
+        calls.append(("probe", r1, r2, r3, r4, r5))
+        mixed = (r1 ^ (r2 << 1) ^ (r3 << 2) ^ (r4 << 3) ^ (r5 << 4) ^ (len(calls) * 0x9E37)) & _M64
+        return (mixed * 0x9E3779B97F4A7C15) & _M64
+
+    def halloc(vm, r1, r2, r3, r4, r5):
+        address = vm.memory.alloc(HALLOC_BLOCK)
+        calls.append(("halloc", address))
+        return address
+
+    def peek(vm, r1, r2, r3, r4, r5):
+        size = 1 + (r2 % 8)
+        value = vm.memory.read(r1, size)
+        calls.append(("peek", r1, size, value))
+        return value
+
+    def checkz(vm, r1, r2, r3, r4, r5):
+        calls.append(("checkz", r1))
+        if r1 == 0:
+            raise HelperError("checkz: zero argument")
+        return r1
+
+    table.register(FUZZ_HELPER_IDS["probe"], "probe", probe)
+    table.register(FUZZ_HELPER_IDS["halloc"], "halloc", halloc)
+    table.register(FUZZ_HELPER_IDS["peek"], "peek", peek)
+    table.register(FUZZ_HELPER_IDS["checkz"], "checkz", checkz)
+    return table
+
+
+def _engine_outcome(vm: VirtualMachine, memory: VmMemory, calls: list, inputs) -> tuple:
+    """One VMM-style invocation: reset the heap, run, normalise.
+
+    Budget blowouts are normalised to a bare marker: the JIT checks the
+    budget per *block* while the interpreter checks per step, so the
+    faulting pc / step counts legitimately differ (documented in
+    ``VirtualMachine.run``); everything else must match exactly.
+    """
+    calls.clear()
+    memory.reset_heap()
+    try:
+        result = vm.run(*inputs)
+    except ExecutionError as exc:
+        if "budget" in str(exc):
+            return ("budget",)
+        return ("exec-error", str(exc), vm.steps_executed, vm.helper_calls, tuple(calls))
+    except SandboxViolation as exc:
+        return ("sandbox", str(exc), vm.steps_executed, vm.helper_calls, tuple(calls))
+    except HelperError as exc:
+        return ("helper-error", str(exc), vm.steps_executed, vm.helper_calls, tuple(calls))
+    # The stack bytes are deliberately NOT part of the outcome: the JIT
+    # promotes private 8-byte stack slots to Python locals (they never
+    # materialise in ``stack.data``), and that privacy is the point —
+    # registers are observable through the epilogue fold into r0, heap
+    # blocks through the helper traffic below.
+    return (
+        "return",
+        result,
+        vm.steps_executed,
+        vm.helper_calls,
+        tuple(calls),
+        memory.heap_used,
+        bytes(memory.heap_region.data[: memory.heap_used]),
+    )
+
+
+_ENGINE_ARMS = tuple(
+    (engine, fast) for engine in ("interp", "jit") for fast in (True, False)
+)
+
+
+def run_engine_case(case: EngineCase) -> Optional[Divergence]:
+    try:
+        program = decode_program(case.program)
+        outcomes: Dict[Tuple[str, bool], tuple] = {}
+        for engine, fast in _ENGINE_ARMS:
+            calls: list = []
+            memory = VmMemory(heap_size=4096, lazy_zero=fast, fast_access=fast)
+            vm = VirtualMachine(
+                program,
+                helpers=make_fuzz_helpers(calls),
+                memory=memory,
+                step_budget=case.step_budget,
+                jit=(engine == "jit"),
+            )
+            # Two back-to-back invocations: the second reuses the dirty
+            # heap span, exercising the lazy-zero high-watermark reset.
+            first = _engine_outcome(vm, memory, calls, case.inputs)
+            second = _engine_outcome(vm, memory, calls, case.inputs)
+            outcomes[(engine, fast)] = (first, second)
+        baseline_arm = _ENGINE_ARMS[0]
+        for run_index in (0, 1):
+            per_arm = {arm: outcomes[arm][run_index] for arm in _ENGINE_ARMS}
+            if any(outcome[0] == "budget" for outcome in per_arm.values()):
+                # The JIT checks the budget per *block* (at the leader),
+                # the interpreter per step — so near the budget one arm
+                # may report the blowout while the other faults first
+                # inside that block.  All arms must still abort; and the
+                # partially-executed state afterwards legitimately
+                # differs, so later runs are not compared.
+                returned = [arm for arm, o in per_arm.items() if o[0] == "return"]
+                if returned:
+                    return Divergence(
+                        "engine",
+                        "engine:budget-vs-return",
+                        f"run {run_index}: arms {returned} returned while "
+                        f"others exhausted the instruction budget",
+                    )
+                break
+            baseline = per_arm[baseline_arm]
+            for arm, outcome in per_arm.items():
+                if outcome != baseline:
+                    return Divergence(
+                        "engine",
+                        f"engine:outcome:{baseline_arm[0]}-vs-{arm[0]}:"
+                        f"fast{int(baseline_arm[1])}-vs-fast{int(arm[1])}:"
+                        f"{baseline[0]}/{outcome[0]}",
+                        f"run {run_index}: arms {baseline_arm} and {arm} disagree: "
+                        f"{_outcome_diff((baseline,), (outcome,))}",
+                    )
+    except Exception as exc:  # noqa: BLE001
+        return _crash("engine", "engine-oracle", exc)
+    return None
+
+
+def _outcome_diff(left: tuple, right: tuple) -> str:
+    for run_index, (a, b) in enumerate(zip(left, right)):
+        if a != b:
+            for field_index, (x, y) in enumerate(zip(a, b)):
+                if x != y:
+                    return f"run {run_index} field {field_index}: {x!r} != {y!r}"
+            return f"run {run_index}: {a!r} != {b!r}"
+    return "outcome tuples differ in length"
+
+
+# -- host oracle -------------------------------------------------------
+
+
+def _build_daemon(case: HostCase, implementation: str, hot: bool):
+    kwargs = {
+        "asn": 65001,
+        "router_id": _DUT,
+        "local_address": _DUT,
+        "vmm_config": VmmConfig(
+            engine=case.engine,
+            telemetry=False,
+            fast_path=hot,
+            lazy_heap=hot,
+        ),
+        "hot_path": hot,
+    }
+    if case.plugin == "geoloc" and case.coord is not None:
+        kwargs["xtra"] = {"coord": geoloc.coord_bytes(*case.coord)}
+    daemon = DAEMONS[implementation](**kwargs)
+    if case.plugin == "route_reflector":
+        daemon.attach_manifest(route_reflector.build_manifest())
+    elif case.plugin == "origin_validation":
+        daemon.attach_manifest(origin_validation.build_manifest(list(case.roas)))
+    elif case.plugin == "geoloc":
+        daemon.attach_manifest(geoloc.build_manifest())
+    return daemon
+
+
+def _normalise_snapshot(snapshot) -> Dict[str, tuple]:
+    return {
+        str(prefix): tuple(
+            sorted((a.type_code, a.flags, a.value.hex()) for a in attributes)
+        )
+        for prefix, attributes in snapshot.items()
+    }
+
+
+def _run_host_arm(case: HostCase, implementation: str, hot: bool) -> Dict[str, object]:
+    daemon = _build_daemon(case, implementation, hot)
+    collector = Collector()
+    downstream_bytes: List[bytes] = []
+
+    def downstream_send(data: bytes) -> None:
+        downstream_bytes.append(data)
+        collector.receive(data)
+
+    ibgp = case.session == "ibgp"
+    upstream = daemon.add_neighbor(_UPSTREAM, 65001 if ibgp else 65100, lambda data: None)
+    downstream = daemon.add_neighbor(_DOWNSTREAM, 65001 if ibgp else 65200, downstream_send)
+    if case.plugin == "route_reflector":
+        upstream.rr_client = True
+        downstream.rr_client = True
+    for address in (_UPSTREAM, _DOWNSTREAM):
+        daemon._established[parse_ipv4(address)] = True
+        daemon.neighbors[parse_ipv4(address)].established = True
+
+    peers = {"upstream": upstream, "downstream": downstream}
+    for event in case.events:
+        if event[0] == "frame":
+            daemon.receive_raw(_UPSTREAM, event[1])
+        else:
+            _, role, field, value = event
+            setattr(peers[role], field, value)
+
+    return {
+        "snapshot": _normalise_snapshot(daemon.loc_rib_snapshot()),
+        "downstream": b"".join(downstream_bytes),
+        "prefixes": frozenset(str(p) for p in collector.prefixes),
+        "withdrawn": frozenset(str(p) for p in collector.withdrawn),
+        "stats": dict(daemon.stats),
+        "fallbacks": daemon.vmm.fallbacks,
+    }
+
+
+#: Keys compared across *implementations* (FRR vs BIRD).  Export
+#: batching and stats naming are host-specific, so the cross-host
+#: contract is the Loc-RIB, the reachable export set and the absence
+#: of extension fallbacks — §2.1's observable behaviour.
+_CROSS_KEYS = ("snapshot", "prefixes", "withdrawn", "fallbacks")
+#: Keys compared between the fast and legacy arms of one
+#: implementation — these must match bit-for-bit, wire bytes included.
+_ARM_KEYS = ("snapshot", "downstream", "prefixes", "withdrawn", "stats", "fallbacks")
+
+
+def _first_key_diff(left: dict, right: dict, keys) -> Optional[str]:
+    for key in keys:
+        if left[key] != right[key]:
+            return key
+    return None
+
+
+def run_host_case(case: HostCase) -> Optional[Divergence]:
+    try:
+        arms = {
+            (implementation, hot): _run_host_arm(case, implementation, hot)
+            for implementation in DAEMONS
+            for hot in (True, False)
+        }
+        for implementation in DAEMONS:
+            key = _first_key_diff(
+                arms[(implementation, True)], arms[(implementation, False)], _ARM_KEYS
+            )
+            if key is not None:
+                return Divergence(
+                    "host",
+                    f"host:fast-legacy:{implementation}:{key}:{case.plugin}",
+                    f"{implementation} fast vs legacy arm disagree on {key!r} "
+                    f"(plugin={case.plugin}, engine={case.engine})",
+                )
+        key = _first_key_diff(arms[("frr", True)], arms[("bird", True)], _CROSS_KEYS)
+        if key is not None:
+            return Divergence(
+                "host",
+                f"host:cross:{key}:{case.plugin}",
+                f"FRR and BIRD disagree on {key!r} "
+                f"(plugin={case.plugin}, engine={case.engine})",
+            )
+    except Exception as exc:  # noqa: BLE001
+        return _crash("host", "host-oracle", exc)
+    return None

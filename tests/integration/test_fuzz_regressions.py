@@ -1,0 +1,58 @@
+"""Tier-1 replay of the checked-in fuzz regression corpus.
+
+Every entry in ``tests/fuzz_corpus/`` is a minimized reproduction of a
+divergence the differential fuzzer once found.  Replay is deterministic
+(the case is stored verbatim — no random generation happens here) and
+must come back clean: a non-``None`` replay means the originally fixed
+bug regressed.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.corpus import (
+    CORPUS_VERSION,
+    entry_filename,
+    iter_entries,
+    load_entry,
+    replay_entry,
+)
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "fuzz_corpus"
+
+ENTRIES = list(iter_entries(CORPUS_DIR))
+
+
+def test_corpus_is_not_empty():
+    assert ENTRIES, f"no corpus entries under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+def test_corpus_entry_replays_clean(path):
+    entry = load_entry(path)
+    divergence = replay_entry(entry)
+    assert divergence is None, (
+        f"regression: {entry['signature']} (seed {entry['seed']}) "
+        f"diverges again: {divergence.detail if divergence else ''}"
+    )
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+def test_corpus_entry_hygiene(path):
+    entry = load_entry(path)
+    assert entry["version"] == CORPUS_VERSION
+    for field in ("oracle", "signature", "detail", "seed", "case"):
+        assert field in entry, f"{path.name} missing {field!r}"
+    # Filenames are derived from oracle + signature hash so entries
+    # never collide and renames are detectable.
+    assert path.name == entry_filename(entry)
+
+
+def test_known_regressions_present():
+    # The two founding entries: the split_stream mid-batch loss and the
+    # stale peer-info cache sentinel.  Their signatures document what
+    # the corpus protects; removing one should be a deliberate act.
+    signatures = {load_entry(path)["signature"] for path in ENTRIES}
+    assert "codec:reassembly" in signatures
+    assert "host:fast-legacy:frr:downstream:route_reflector" in signatures

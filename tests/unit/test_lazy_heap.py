@@ -1,0 +1,105 @@
+"""Lazy-zero heap semantics: freed bytes read as zero after reuse.
+
+``reset_heap`` in lazy mode records a dirty high-watermark instead of
+memsetting; the observable contract — every allocated block reads as
+zeros until written — must be indistinguishable from the eager memset.
+"""
+
+import pytest
+
+from repro.ebpf.memory import HEAP_BASE, SandboxViolation, VmMemory
+
+
+def _dirty(memory: VmMemory, size: int, fill: int = 0xAB) -> int:
+    address = memory.alloc(size)
+    memory.write_bytes(address, bytes([fill]) * size)
+    return address
+
+
+def test_alloc_reads_zero_after_dirty_reset():
+    memory = VmMemory(heap_size=256, lazy_zero=True)
+    _dirty(memory, 128)
+    memory.reset_heap()
+    # The raw buffer still holds the old bytes (that's the point of the
+    # lazy reset)...
+    assert any(memory.heap_region.data[:128])
+    # ...but a fresh allocation over the dirty span reads as zeros.
+    address = memory.alloc(128)
+    assert memory.read_bytes(address, 128) == bytes(128)
+
+
+def test_high_watermark_survives_shallow_runs():
+    memory = VmMemory(heap_size=256, lazy_zero=True)
+    _dirty(memory, 200)
+    memory.reset_heap()
+    # A shallow run dirties less than the watermark; the watermark must
+    # keep covering the deep run's leftovers.
+    _dirty(memory, 24, fill=0xCD)
+    memory.reset_heap()
+    address = memory.alloc(200)
+    assert memory.read_bytes(address, 200) == bytes(200)
+
+
+def test_partial_reuse_scrubs_only_per_alloc():
+    memory = VmMemory(heap_size=256, lazy_zero=True)
+    _dirty(memory, 192)
+    memory.reset_heap()
+    first = memory.alloc(64)
+    second = memory.alloc(64)
+    third = memory.alloc(64)
+    for address in (first, second, third):
+        assert memory.read_bytes(address, 64) == bytes(64)
+
+
+def test_alloc_beyond_watermark_needs_no_scrub():
+    memory = VmMemory(heap_size=256, lazy_zero=True)
+    _dirty(memory, 32)
+    memory.reset_heap()
+    # Allocation crossing from dirty into never-used territory: the
+    # dirty prefix is scrubbed, the clean tail was never written.
+    address = memory.alloc(96)
+    assert memory.read_bytes(address, 96) == bytes(96)
+
+
+def test_alloc_bytes_zeroes_alignment_padding():
+    memory = VmMemory(heap_size=256, lazy_zero=True)
+    _dirty(memory, 64)
+    memory.reset_heap()
+    address = memory.alloc_bytes(b"\x11" * 13)  # aligned up to 16
+    assert memory.read_bytes(address, 13) == b"\x11" * 13
+    assert memory.read_bytes(address + 13, 3) == bytes(3)
+
+
+@pytest.mark.parametrize("sizes", [(8, 16, 200), (240, 8), (1, 1, 1, 1)])
+def test_lazy_and_eager_modes_observably_equivalent(sizes):
+    lazy = VmMemory(heap_size=256, lazy_zero=True)
+    eager = VmMemory(heap_size=256, lazy_zero=False)
+    for memory in (lazy, eager):
+        _dirty(memory, 248)
+        memory.reset_heap()
+    for size in sizes:
+        a = lazy.alloc(size)
+        b = eager.alloc(size)
+        assert a == b == HEAP_BASE + (a - HEAP_BASE)
+        assert lazy.read_bytes(a, size) == eager.read_bytes(b, size) == bytes(size)
+    assert lazy.heap_used == eager.heap_used
+
+
+def test_heap_region_identity_stable_across_resets():
+    memory = VmMemory(heap_size=256, lazy_zero=True)
+    buffer = memory.heap_region.data
+    _dirty(memory, 64)
+    memory.reset_heap()
+    memory.alloc(32)
+    # JIT fast paths close over the bytearray once; resets must mutate
+    # it in place, never swap in a new one.
+    assert memory.heap_region.data is buffer
+
+
+def test_exhaustion_unchanged_by_lazy_mode():
+    memory = VmMemory(heap_size=64, lazy_zero=True)
+    _dirty(memory, 64)
+    memory.reset_heap()
+    memory.alloc(64)
+    with pytest.raises(SandboxViolation, match="heap exhausted"):
+        memory.alloc(8)

@@ -1,0 +1,106 @@
+"""Verifier stack-bounds checks, driven by the fuzz generators.
+
+The static verifier rejects any direct ``[r10+off]`` access that falls
+outside the 512-byte frame *at verification time*; runtime pointer
+escapes (a heap pointer walked out of its region) pass the verifier and
+must instead fault identically on both engines.
+"""
+
+import pytest
+
+from repro.ebpf.assembler import assemble
+from repro.ebpf.memory import STACK_SIZE, SandboxViolation, VmMemory
+from repro.ebpf.verifier import VerifierConfig, VerifierError, verify
+from repro.ebpf.vm import VirtualMachine
+from repro.fuzz.gen import (
+    FUZZ_HELPER_IDS,
+    gen_engine_case,
+    gen_oob_pointer_source,
+    gen_oob_stack_source,
+)
+from repro.fuzz.oracles import make_fuzz_helpers
+
+_CONFIG = VerifierConfig(
+    max_instructions=4096,
+    allow_loops=True,
+    allowed_helpers=set(FUZZ_HELPER_IDS.values()),
+)
+
+
+def _verify(source: str) -> None:
+    verify(assemble(source, FUZZ_HELPER_IDS), _CONFIG)
+
+
+# -- hand-written boundary cases ----------------------------------------
+
+
+@pytest.mark.parametrize(
+    "line",
+    [
+        "stxdw [r10-512], r1",  # bottom of the frame, exactly in bounds
+        "stxb [r10-1], r1",     # top byte of the frame
+        "stxw [r10-4], r1",     # word ending exactly at r10
+        "ldxdw r0, [r10-8]",
+        "ldxb r0, [r10-512]",
+    ],
+)
+def test_boundary_accesses_accepted(line):
+    _verify(f"mov r1, 1\n{line}\nmov r0, 0\nexit")
+
+
+@pytest.mark.parametrize(
+    "line",
+    [
+        "stxdw [r10+0], r1",    # at/above r10 is out of frame
+        "stxb [r10+8], r1",
+        f"stxdw [r10-{STACK_SIZE + 8}], r1",  # below the frame
+        "ldxdw r0, [r10-4]",    # 8-byte load straddling the top
+        "stxw [r10-2], r1",     # 4-byte store straddling the top
+        f"ldxb r0, [r10-{STACK_SIZE + 1}]",
+    ],
+)
+def test_out_of_frame_accesses_rejected(line):
+    with pytest.raises(VerifierError, match="stack access out of bounds"):
+        _verify(f"mov r1, 1\n{line}\nmov r0, 0\nexit")
+
+
+# -- generator-produced programs ----------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_generated_oob_stack_programs_rejected(seed):
+    source = gen_oob_stack_source(seed)
+    with pytest.raises(VerifierError, match="stack access out of bounds"):
+        _verify(source)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_generated_valid_programs_verify(seed):
+    # gen_engine_case verifies internally; re-assert on the shipped source
+    # so a verifier regression can't hide behind the generator's retries.
+    case = gen_engine_case(seed)
+    _verify(case.source)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_oob_pointer_passes_verifier_faults_at_runtime(seed):
+    # Pointer escapes are a *runtime* property: the verifier can't see
+    # them (the offset lives in a register), the sandbox must.
+    source = gen_oob_pointer_source(seed)
+    program = assemble(source, FUZZ_HELPER_IDS)
+    verify(program, _CONFIG)
+
+    outcomes = []
+    for jit in (False, True):
+        calls = []
+        vm = VirtualMachine(
+            program,
+            helpers=make_fuzz_helpers(calls),
+            memory=VmMemory(heap_size=4096),
+            step_budget=4096,
+            jit=jit,
+        )
+        with pytest.raises(SandboxViolation) as excinfo:
+            vm.run()
+        outcomes.append((str(excinfo.value), vm.steps_executed, tuple(calls)))
+    assert outcomes[0] == outcomes[1]
