@@ -21,7 +21,7 @@ ROUTES = 400
 SEED = 20200604
 
 
-def make_run(telemetry):
+def make_run(telemetry, provenance=False):
     routes = RibGenerator(n_routes=ROUTES, seed=SEED).generate()
 
     def run():
@@ -32,6 +32,7 @@ def make_run(telemetry):
             routes,
             engine="jit",
             telemetry=telemetry,
+            provenance=provenance,
         )
         return harness.run()
 
@@ -66,3 +67,53 @@ def test_telemetry_overhead_is_bounded(benchmark):
     # Generous bound: the documented figure is ~10-20%; anything past
     # 50% means the hot path regressed (e.g. registry lookups per run).
     assert overhead < 0.50
+
+
+@pytest.mark.parametrize(
+    "arm", ["telemetry-only", "provenance"], ids=["telemetry", "provenance"]
+)
+def test_provenance_arm_cost(benchmark, arm):
+    run = make_run(True, provenance=(arm == "provenance"))
+    benchmark.pedantic(run, rounds=5, iterations=1, warmup_rounds=1)
+
+
+def test_provenance_off_keeps_fast_path(benchmark):
+    """The flag itself must be free: a provenance-off harness runs the
+    PR 2 pre-bound closures, byte-identical to never mentioning it."""
+    routes = RibGenerator(n_routes=50, seed=SEED).generate()
+    harness = ConvergenceHarness(
+        "frr", "route_reflection", "extension", routes, provenance=False
+    )
+    assert harness.dut.provenance is None
+    assert harness.dut.vmm._fast  # pre-bound closures still installed
+    benchmark.pedantic(harness.run, rounds=1, iterations=1)
+
+
+def test_provenance_overhead_measured(benchmark):
+    """Provenance-on vs telemetry-only, interleaved to cancel drift.
+
+    Provenance records every API call, extension outcome, decision
+    elimination, RIB change and export per route — and disqualifies
+    the fast path — so its overhead is expectedly much larger than
+    bare telemetry's.  The printed figure feeds EXPERIMENTS.md; the
+    bound only guards against pathological regressions (e.g. stories
+    growing unbounded).
+    """
+    baseline = make_run(True, provenance=False)
+    traced = make_run(True, provenance=True)
+    baseline_times, traced_times = [], []
+    baseline()
+    traced()  # warm both arms (JIT translation, allocator)
+    for _ in range(5):
+        baseline_times.append(min(timeit.repeat(baseline, number=1, repeat=2)))
+        traced_times.append(min(timeit.repeat(traced, number=1, repeat=2)))
+    benchmark.pedantic(traced, rounds=3, iterations=1, warmup_rounds=1)
+    baseline_time = statistics.median(baseline_times)
+    traced_time = statistics.median(traced_times)
+    overhead = traced_time / baseline_time - 1.0
+    print(
+        f"\nprovenance overhead: {overhead * 100:+.1f}% "
+        f"(telemetry-only {baseline_time * 1000:.1f} ms, "
+        f"provenance {traced_time * 1000:.1f} ms, {ROUTES} routes)"
+    )
+    assert overhead < 4.0

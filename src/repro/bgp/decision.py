@@ -24,7 +24,14 @@ from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 from .rib import RouteView
 
-__all__ = ["DecisionConfig", "best_route", "rank_routes", "compare_routes"]
+__all__ = [
+    "DecisionConfig",
+    "best_route",
+    "best_route_explained",
+    "rank_routes",
+    "compare_routes",
+    "compare_routes_explain",
+]
 
 R = TypeVar("R", bound=RouteView)
 
@@ -84,6 +91,44 @@ def compare_routes(a: RouteView, b: RouteView, config: DecisionConfig) -> int:
     return 0
 
 
+def compare_routes_explain(
+    a: RouteView, b: RouteView, config: DecisionConfig
+) -> "tuple[int, str]":
+    """:func:`compare_routes` plus the name of the deciding ladder step.
+
+    Kept separate from the plain comparator so the decision hot path
+    pays nothing for explainability; provenance-enabled daemons call
+    this variant instead.  Returns ``(cmp, step)`` where ``step`` is one
+    of ``local_pref``, ``as_path_length``, ``origin``, ``med``,
+    ``ebgp_over_ibgp``, ``igp_metric``, ``originator_id``,
+    ``cluster_list``, ``peer_address`` or ``tie``.
+    """
+    if a.local_pref() != b.local_pref():
+        return b.local_pref() - a.local_pref(), "local_pref"
+    if a.as_path_length() != b.as_path_length():
+        return a.as_path_length() - b.as_path_length(), "as_path_length"
+    if a.origin() != b.origin():
+        return a.origin() - b.origin(), "origin"
+    same_neighbor = a.neighbor_asn() == b.neighbor_asn()
+    if (config.always_compare_med or same_neighbor) and a.med() != b.med():
+        return a.med() - b.med(), "med"
+    if a.from_ebgp() != b.from_ebgp():
+        return (-1 if a.from_ebgp() else 1), "ebgp_over_ibgp"
+    metric_a = config.metric_to(a.next_hop())
+    metric_b = config.metric_to(b.next_hop())
+    if metric_a != metric_b:
+        return (-1 if metric_a < metric_b else 1), "igp_metric"
+    if a.originator_or_router_id() != b.originator_or_router_id():
+        return (
+            -1 if a.originator_or_router_id() < b.originator_or_router_id() else 1
+        ), "originator_id"
+    if a.cluster_list_length() != b.cluster_list_length():
+        return a.cluster_list_length() - b.cluster_list_length(), "cluster_list"
+    if a.peer_address() != b.peer_address():
+        return (-1 if a.peer_address() < b.peer_address() else 1), "peer_address"
+    return 0, "tie"
+
+
 def best_route(candidates: Sequence[R], config: Optional[DecisionConfig] = None) -> Optional[R]:
     """Select the single best route among ``candidates``.
 
@@ -98,6 +143,31 @@ def best_route(candidates: Sequence[R], config: Optional[DecisionConfig] = None)
     for route in candidates[1:]:
         if compare_routes(route, best, config) < 0:
             best = route
+    return best
+
+
+def best_route_explained(
+    candidates: Sequence[R],
+    config: Optional[DecisionConfig] = None,
+    on_step: Optional[Callable[..., None]] = None,
+) -> Optional[R]:
+    """:func:`best_route` that narrates each pairwise elimination.
+
+    ``on_step(step, eliminated=..., kept=...)`` fires once per losing
+    candidate with the ladder step that decided the pair.
+    """
+    if not candidates:
+        return None
+    config = config or DecisionConfig()
+    best = candidates[0]
+    for route in candidates[1:]:
+        verdict, step = compare_routes_explain(route, best, config)
+        if verdict < 0:
+            if on_step is not None:
+                on_step(step, eliminated=best, kept=route)
+            best = route
+        elif on_step is not None:
+            on_step(step, eliminated=route, kept=best)
     return best
 
 

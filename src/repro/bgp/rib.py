@@ -90,6 +90,28 @@ class RouteView:
     def peer_address(self) -> int:
         return self.source.peer_address if self.source is not None else 0
 
+    # -- provenance -----------------------------------------------------
+
+    def story_key(self):
+        """Hashable identity of this route's *content* (peer + attrs).
+
+        The provenance flap/oscillation detector compares successive
+        best routes by this key: two routes with the same learning peer
+        and byte-identical attribute sets are the same path, however
+        many times the object was rebuilt.  Vendor route classes
+        override this with cheaper keys (interned attribute sets,
+        eattr-list cache keys).
+        """
+        return (
+            self.peer_address(),
+            tuple(
+                sorted(
+                    (int(attr.type_code), attr.flags, bytes(attr.value))
+                    for attr in self.attribute_list()
+                )
+            ),
+        )
+
 
 class AdjRibIn(Generic[R]):
     """Per-peer table of accepted incoming routes."""
@@ -134,14 +156,24 @@ class LocRib(Generic[R]):
 
     def __init__(self) -> None:
         self._routes: Dict[Prefix, R] = {}
+        #: Optional observer ``fn(action, prefix, route, previous)``
+        #: with action in {"install", "replace", "remove"}; the
+        #: provenance tracker hooks it to watch best-route churn.
+        self.on_change = None
 
     def install(self, route: R) -> Optional[R]:
         previous = self._routes.get(route.prefix)
         self._routes[route.prefix] = route
+        if self.on_change is not None:
+            action = "replace" if previous is not None else "install"
+            self.on_change(action, route.prefix, route, previous)
         return previous
 
     def remove(self, prefix: Prefix) -> Optional[R]:
-        return self._routes.pop(prefix, None)
+        removed = self._routes.pop(prefix, None)
+        if removed is not None and self.on_change is not None:
+            self.on_change("remove", prefix, None, removed)
+        return removed
 
     def lookup(self, prefix: Prefix) -> Optional[R]:
         return self._routes.get(prefix)

@@ -33,7 +33,13 @@ from ..bgp.constants import (
     RouteOriginValidity,
     WellKnownCommunity,
 )
-from ..bgp.decision import DecisionConfig, best_route, compare_routes
+from ..bgp.decision import (
+    DecisionConfig,
+    best_route,
+    best_route_explained,
+    compare_routes,
+    compare_routes_explain,
+)
 from ..bgp.messages import (
     BgpMessage,
     RouteRefreshMessage,
@@ -42,7 +48,7 @@ from ..bgp.messages import (
 )
 from ..bgp.peer import Neighbor
 from ..bgp.policy import FilterChain
-from ..bgp.prefix import Prefix, parse_ipv4
+from ..bgp.prefix import Prefix, format_ipv4, parse_ipv4
 from ..bgp.rib import AdjRibIn, AdjRibOut, LocRib
 from ..bgp.roa import HashRoaTable, RoaTable
 from ..core.context import ExecutionContext
@@ -51,6 +57,7 @@ from ..core.manifest import Manifest
 from ..core.vmm import VirtualMachineManager, VmmConfig
 from ..core.abi import FILTER_ACCEPT, FILTER_REJECT
 from ..igp.spf import UNREACHABLE, IgpView
+from ..telemetry import ProvenanceTracker
 from .eattrs import EattrList
 from .rib import BirdRoute
 from .xbgp_glue import BirdHost
@@ -99,6 +106,7 @@ class BirdDaemon:
         xtra: Optional[Dict[str, bytes]] = None,
         vmm_config: Optional[VmmConfig] = None,
         hot_path: bool = True,
+        provenance: bool = False,
     ):
         if route_reflector not in (None, "native", "extension"):
             raise ValueError(f"bad route_reflector mode {route_reflector!r}")
@@ -140,6 +148,41 @@ class BirdDaemon:
 
         self.host = BirdHost(self)
         self.vmm = VirtualMachineManager(self.host, vmm_config)
+
+        #: The provenance tracker, or None when provenance is off.
+        self.provenance: Optional[ProvenanceTracker] = None
+        if provenance:
+            self.enable_provenance()
+
+    # -- provenance --------------------------------------------------------
+
+    def enable_provenance(
+        self, tracker: Optional[ProvenanceTracker] = None
+    ) -> ProvenanceTracker:
+        """Turn on per-route provenance and causal tracing.
+
+        Installs the tracker on the host glue (VMM + helper hooks) and
+        on the Loc-RIB (best-path observer), then rebinds the VMM's
+        insertion-point chains: provenance disqualifies the single-code
+        fast-path closures, so they must be rebuilt either way the
+        toggle goes.
+        """
+        if tracker is None:
+            tracker = ProvenanceTracker(
+                router=format_ipv4(self.router_id),
+                implementation=self.implementation,
+            )
+        self.provenance = tracker
+        self.host.provenance = tracker
+        self.loc_rib.on_change = tracker.rib_changed
+        self.vmm.rebind_all()
+        return tracker
+
+    def disable_provenance(self) -> None:
+        self.provenance = None
+        self.host.provenance = None
+        self.loc_rib.on_change = None
+        self.vmm.rebind_all()
 
     # -- wiring ------------------------------------------------------------
 
@@ -255,9 +298,19 @@ class BirdDaemon:
                 make_as_path(AsPath()),
                 make_next_hop(next_hop if next_hop else self.local_address),
             ]
-        route = BirdRoute(prefix, None, EattrList.from_wire(attributes))
-        self._local_routes[prefix] = route
-        self._run_decision(prefix)
+        prov = self.provenance
+        if prov is not None:
+            # Root a fresh trace here: everything this origination
+            # triggers — local decision, exports, and the processing on
+            # every router the advert reaches — hangs off this span.
+            prov.begin_update(None, kind="originate", prefix=str(prefix))
+        try:
+            route = BirdRoute(prefix, None, EattrList.from_wire(attributes))
+            self._local_routes[prefix] = route
+            self._run_decision(prefix)
+        finally:
+            if prov is not None:
+                prov.end_update()
 
     def withdraw_local(self, prefix: Prefix) -> None:
         if self._local_routes.pop(prefix, None) is not None:
@@ -265,13 +318,27 @@ class BirdDaemon:
 
     # -- receive path ------------------------------------------------------------
 
-    def receive_raw(self, peer_address: str, data: bytes) -> None:
-        """Feed raw TCP bytes from a peer (reassembles messages)."""
-        address = parse_ipv4(peer_address)
-        buffer = self._rx_buffers[address]
-        buffer.extend(data)
-        for message in split_stream(buffer):
-            self.receive_message(peer_address, message)
+    def receive_raw(
+        self, peer_address: str, data: bytes, parent=None
+    ) -> None:
+        """Feed raw TCP bytes from a peer (reassembles messages).
+
+        ``parent`` is an optional (trace, span) ref the transport
+        shipped with the bytes; the UPDATE span opened while processing
+        them adopts it, extending the sender's causal trace here.
+        """
+        prov = self.provenance
+        if prov is not None:
+            prov.pending_parent = parent
+        try:
+            address = parse_ipv4(peer_address)
+            buffer = self._rx_buffers[address]
+            buffer.extend(data)
+            for message in split_stream(buffer):
+                self.receive_message(peer_address, message)
+        finally:
+            if prov is not None:
+                prov.pending_parent = None
 
     def receive_message(self, peer_address: str, message: BgpMessage) -> None:
         address = parse_ipv4(peer_address)
@@ -289,6 +356,22 @@ class BirdDaemon:
         if update.is_end_of_rib():
             self.stats["eor_received"] += 1
             return
+
+        prov = self.provenance
+        if prov is not None:
+            prov.begin_update(
+                neighbor,
+                prefixes=len(update.nlri),
+                withdrawn=len(update.withdrawn),
+            )
+        try:
+            self._process_update_body(neighbor, update)
+        finally:
+            if prov is not None:
+                prov.end_update()
+
+    def _process_update_body(self, neighbor: Neighbor, update: UpdateMessage) -> None:
+        prov = self.provenance
         eattrs = EattrList.from_wire(update.attributes)
 
         # Insertion point 1: BGP_RECEIVE_MESSAGE — extension code may
@@ -309,6 +392,8 @@ class BirdDaemon:
         for prefix in update.withdrawn:
             if self.adj_rib_in.withdraw(neighbor.peer_address, prefix) is not None:
                 dirty.append(prefix)
+                if prov is not None:
+                    prov.record_withdraw(prefix, neighbor)
 
         if update.nlri:
             for prefix in update.nlri:
@@ -320,11 +405,16 @@ class BirdDaemon:
 
     def _import_route(self, neighbor: Neighbor, prefix: Prefix, eattrs: EattrList) -> bool:
         """Run import processing for one NLRI; returns True if RIB changed."""
+        prov = self.provenance
+        if prov is not None:
+            prov.begin_route(prefix, neighbor)
         route = BirdRoute(prefix, neighbor, eattrs)
 
         # Mandatory RFC 4271 sanity: AS-path loop detection.
         if neighbor.is_ebgp() and route.as_path().contains(self.asn):
             self.stats["loop_rejected"] += 1
+            if prov is not None:
+                prov.record_filter(prefix, "loop_rejected")
             return self._treat_as_withdraw(neighbor, prefix)
 
         # Insertion point 2: BGP_INBOUND_FILTER.
@@ -340,6 +430,8 @@ class BirdDaemon:
 
         if verdict == FILTER_REJECT:
             self.stats["import_rejected"] += 1
+            if prov is not None:
+                prov.record_filter(prefix, "import_rejected")
             return self._treat_as_withdraw(neighbor, prefix)
 
         # Native origin validation (BIRD style: one hash probe chain).
@@ -395,6 +487,7 @@ class BirdDaemon:
         if not candidates:
             return None
         config = self._decision_config()
+        prov = self.provenance
         if self.vmm.attached_codes(InsertionPoint.BGP_DECISION):
             best = candidates[0]
             for candidate in candidates[1:]:
@@ -405,14 +498,51 @@ class BirdDaemon:
                     best_route=best,
                     prefix=candidate.prefix,
                 )
-                native = (
-                    lambda c=candidate, b=best: 1
-                    if compare_routes(c, b, config) < 0
-                    else 2
+                if prov is None:
+                    native = (
+                        lambda c=candidate, b=best: 1
+                        if compare_routes(c, b, config) < 0
+                        else 2
+                    )
+                    if self.vmm.run(ctx, native) == 1:
+                        best = candidate
+                    continue
+                # When explaining, the native default notes which RFC
+                # 4271 ladder step decided — absent that note, the
+                # verdict came from the extension chain.
+                step_note: Dict[str, str] = {}
+                def native(c=candidate, b=best, note=step_note):
+                    verdict, step = compare_routes_explain(c, b, config)
+                    note["step"] = step
+                    return 1 if verdict < 0 else 2
+                picked_new = self.vmm.run(ctx, native) == 1
+                winner, loser = (
+                    (candidate, best) if picked_new else (best, candidate)
                 )
-                if self.vmm.run(ctx, native) == 1:
+                prov.record_elimination(
+                    candidate.prefix,
+                    step_note.get("step", "extension"),
+                    loser,
+                    winner,
+                    by="native" if "step" in step_note else "extension",
+                )
+                if picked_new:
                     best = candidate
             return best
+        if prov is not None:
+            if len(candidates) == 1:
+                prov.record_elimination(
+                    candidates[0].prefix, "only_candidate", None, candidates[0]
+                )
+                return candidates[0]
+            prefix = candidates[0].prefix
+            return best_route_explained(
+                candidates,
+                config,
+                on_step=lambda step, eliminated, kept: prov.record_elimination(
+                    prefix, step, eliminated, kept
+                ),
+            )
         return best_route(candidates, config)
 
     def _run_decision(self, prefix: Prefix) -> None:
@@ -420,19 +550,27 @@ class BirdDaemon:
         local = self._local_routes.get(prefix)
         if local is not None:
             candidates.append(local)
+        prov = self.provenance
+        phase = prov.begin_phase("decision", prefix) if prov is not None else None
         best = self._select_best(candidates)
         previous = self.loc_rib.lookup(prefix)
         if best is previous:
+            if phase is not None:
+                prov.end_phase(phase, changed=False)
             return
         if best is None:
             self.loc_rib.remove(prefix)
         else:
             self.loc_rib.install(best)
+        if phase is not None:
+            prov.end_phase(phase, changed=True)
         self._export_prefix(prefix)
 
     # -- export path ------------------------------------------------------------------
 
     def _export_prefix(self, prefix: Prefix, only_peers: Optional[List[int]] = None) -> None:
+        prov = self.provenance
+        phase = prov.begin_phase("export", prefix) if prov is not None else None
         best = self.loc_rib.lookup(prefix)
         peers = only_peers if only_peers is not None else list(self.neighbors)
         for address in peers:
@@ -448,11 +586,17 @@ class BirdDaemon:
                 continue
             export_route = self._export_filter(best, neighbor)
             if export_route is None:
+                if prov is not None:
+                    prov.record_export(prefix, address, "suppress")
                 self._withdraw_from(neighbor, prefix)
                 continue
             export_route = self._apply_export_mechanics(export_route, neighbor)
             self.adj_rib_out.advertise(address, export_route)
             self._send_route(neighbor, export_route)
+            if prov is not None:
+                prov.record_export(prefix, address, "advertise")
+        if phase is not None:
+            prov.end_phase(phase)
 
     def _export_filter(self, route: BirdRoute, neighbor: Neighbor) -> Optional[BirdRoute]:
         """Insertion point 4: BGP_OUTBOUND_FILTER around native export."""
@@ -609,6 +753,8 @@ class BirdDaemon:
     def _withdraw_from(self, neighbor: Neighbor, prefix: Prefix) -> None:
         if self.adj_rib_out.withdraw(neighbor.peer_address, prefix) is None:
             return
+        if self.provenance is not None:
+            self.provenance.record_export(prefix, neighbor.peer_address, "withdraw")
         update = UpdateMessage(withdrawn=[prefix])
         self._send_update(neighbor.peer_address, update)
 

@@ -15,6 +15,11 @@ Subcommands:
 * ``stats``    — drive one harness scenario and print the VMM's
   telemetry (per-insertion-point/extension counters, latency
   histograms, quarantine state) as Prometheus text and/or JSON;
+* ``explain``  — drive a provenance-enabled route-reflection scenario
+  and reconstruct the full causal chain behind a prefix: peer →
+  extension runs → attribute deltas → decision verdict → exports;
+* ``spans``    — same scenario, but print the cross-router span tree
+  (or export it as JSON Lines);
 * ``fuzz``     — run a differential fuzzing campaign over the codec
   round-trip, interpreter-vs-JIT and FRR-vs-BIRD oracles; prints a
   JSON report, writes minimized divergences to a corpus directory,
@@ -185,8 +190,9 @@ def _cmd_stats(args) -> int:
     if args.trace_out:
         count = telemetry.trace.export_jsonl(args.trace_out)
         print(f"# wrote {count} trace events to {args.trace_out}", file=sys.stderr)
+    sections: List[str] = []
     if args.format in ("prom", "both"):
-        sys.stdout.write(telemetry.render_prometheus())
+        sections.append(telemetry.render_prometheus())
     if args.format in ("json", "both"):
         snapshot = telemetry.snapshot()
         snapshot["run"] = {
@@ -202,7 +208,82 @@ def _cmd_stats(args) -> int:
                 "quarantined": harness.dut.vmm.quarantined_codes(),
             },
         }
-        print(_json.dumps(snapshot, indent=2))
+        sections.append(_json.dumps(snapshot, indent=2) + "\n")
+    output = "".join(sections)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(output)
+        print(f"# stats written to {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(output)
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    """Reconstruct the causal chain behind one prefix (provenance)."""
+    import json as _json
+
+    from .bgp.prefix import Prefix
+    from .sim.harness import build_explain_scenario
+
+    try:
+        prefix = Prefix.parse(args.prefix)
+    except ValueError as exc:
+        raise SystemExit(f"xbgp explain: bad prefix {args.prefix!r}: {exc}")
+    network, up, dut, down = build_explain_scenario(
+        args.implementation, prefix, engine=args.engine
+    )
+    routers = {"up": up, "dut": dut, "down": down}
+    tracker = routers[args.router].provenance
+    if args.output:
+        count = tracker.export_jsonl(args.output)
+        print(f"# wrote {count} provenance records to {args.output}", file=sys.stderr)
+    if args.json:
+        print(_json.dumps(tracker.explain(prefix), indent=2))
+    else:
+        print(tracker.render_explain(prefix))
+    return 0
+
+
+def _cmd_spans(args) -> int:
+    """Print (or export) the cross-router span tree for one prefix."""
+    from .bgp.prefix import Prefix
+    from .sim.harness import build_explain_scenario
+
+    try:
+        prefix = Prefix.parse(args.prefix)
+    except ValueError as exc:
+        raise SystemExit(f"xbgp spans: bad prefix {args.prefix!r}: {exc}")
+    network, up, dut, down = build_explain_scenario(
+        args.implementation, prefix, engine=args.engine
+    )
+    routers = (("up", up), ("dut", dut), ("down", down))
+    if args.output:
+        import json as _json
+
+        total = 0
+        with open(args.output, "w") as handle:
+            for name, daemon in routers:
+                for span in daemon.provenance.spans.spans():
+                    handle.write(_json.dumps({"node": name, **span}) + "\n")
+                    total += 1
+        print(f"# wrote {total} spans to {args.output}", file=sys.stderr)
+        return 0
+    for name, daemon in routers:
+        recorder = daemon.provenance.spans
+        print(f"{name} ({daemon.provenance.router}): {len(recorder)} span(s)")
+        for span in recorder.spans():
+            duration = span.get("end", span["start"]) - span["start"]
+            detail = " ".join(
+                f"{key}={span[key]}"
+                for key in ("peer", "prefix", "point", "extension", "outcome")
+                if span.get(key) is not None
+            )
+            print(
+                f"  [{span['trace']}] {span['span']} "
+                f"<- {span['parent'] or 'root'} {span['kind']} "
+                f"({duration * 1000:.3f}ms){' ' + detail if detail else ''}"
+            )
     return 0
 
 
@@ -313,7 +394,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", metavar="FILE", default=None,
         help="also export the trace ring as JSON Lines",
     )
+    p.add_argument(
+        "-o", "--output", metavar="FILE", default=None,
+        help="write the exposition to FILE instead of stdout",
+    )
     p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser(
+        "explain", help="reconstruct why a prefix is (not) in the Loc-RIB"
+    )
+    p.add_argument("prefix", help="prefix to explain, e.g. 198.51.100.0/24")
+    p.add_argument("--implementation", choices=["frr", "bird"], default="frr")
+    p.add_argument("--engine", choices=["jit", "interp", "pyext"], default="jit")
+    p.add_argument(
+        "--router", choices=["up", "dut", "down"], default="dut",
+        help="whose provenance to read (default: the route reflector DUT)",
+    )
+    p.add_argument("--json", action="store_true", help="emit JSON, not text")
+    p.add_argument(
+        "-o", "--output", metavar="FILE", default=None,
+        help="also export the router's full provenance as JSON Lines",
+    )
+    p.set_defaults(fn=_cmd_explain)
+
+    p = sub.add_parser("spans", help="print the cross-router span tree")
+    p.add_argument("prefix", help="prefix to trace, e.g. 198.51.100.0/24")
+    p.add_argument("--implementation", choices=["frr", "bird"], default="frr")
+    p.add_argument("--engine", choices=["jit", "interp", "pyext"], default="jit")
+    p.add_argument(
+        "-o", "--output", metavar="FILE", default=None,
+        help="export every router's spans as JSON Lines instead of text",
+    )
+    p.set_defaults(fn=_cmd_spans)
 
     p = sub.add_parser("fuzz", help="run a differential fuzzing campaign")
     p.add_argument("--iterations", type=int, default=200, help="case budget")

@@ -114,6 +114,9 @@ def build_helper_table() -> HelperTable:
     def get_attr(vm, code, *args) -> int:
         ctx = _ctx(vm)
         packed = ctx.host.get_attr_packed(ctx, int(code))
+        prov = ctx.host.provenance
+        if prov is not None:
+            prov.record_api(ctx, "get_attr", code=int(code), found=packed is not None)
         if packed is None:
             return 0
         return vm.memory.alloc_bytes(packed)
@@ -121,22 +124,39 @@ def build_helper_table() -> HelperTable:
     def set_attr(vm, code, flags, data_ptr, length, *args) -> int:
         ctx = _ctx(vm)
         value = vm.memory.read_bytes(data_ptr, length) if length else b""
-        return 1 if ctx.host.set_attr(ctx, int(code), int(flags), value) else 0
+        ok = ctx.host.set_attr(ctx, int(code), int(flags), value)
+        prov = ctx.host.provenance
+        if prov is not None:
+            prov.record_api(ctx, "set_attr", code=int(code), value=value, ok=ok)
+        return 1 if ok else 0
 
     def add_attr(vm, code, flags, data_ptr, length, *args) -> int:
         ctx = _ctx(vm)
         value = vm.memory.read_bytes(data_ptr, length) if length else b""
-        return 1 if ctx.host.add_attr(ctx, int(code), int(flags), value) else 0
+        ok = ctx.host.add_attr(ctx, int(code), int(flags), value)
+        prov = ctx.host.provenance
+        if prov is not None:
+            prov.record_api(ctx, "add_attr", code=int(code), value=value, ok=ok)
+        return 1 if ok else 0
 
     def remove_attr(vm, code, *args) -> int:
         ctx = _ctx(vm)
-        return 1 if ctx.host.remove_attr(ctx, int(code)) else 0
+        ok = ctx.host.remove_attr(ctx, int(code))
+        prov = ctx.host.provenance
+        if prov is not None:
+            prov.record_api(ctx, "remove_attr", code=int(code), ok=ok)
+        return 1 if ok else 0
 
     # -- topology / configuration -------------------------------------------
 
     def get_nexthop(vm, *args) -> int:
         ctx = _ctx(vm)
         address, metric, reachable = ctx.host.get_nexthop(ctx)
+        prov = ctx.host.provenance
+        if prov is not None:
+            prov.record_api(
+                ctx, "get_nexthop", address=address, metric=metric, reachable=reachable
+            )
         return vm.memory.alloc_bytes(pack_nexthop_info(address, metric, reachable))
 
     def get_xtra(vm, key_ptr, *args) -> int:
@@ -155,6 +175,9 @@ def build_helper_table() -> HelperTable:
             raise HelperError("write_buf outside BGP_ENCODE_MESSAGE")
         if length:
             ctx.out_buffer.extend(vm.memory.read_bytes(data_ptr, length))
+        prov = ctx.host.provenance
+        if prov is not None:
+            prov.record_api(ctx, "write_buf", length=int(length))
         return int(length)
 
     # -- memory utilities -----------------------------------------------------
@@ -190,7 +213,11 @@ def build_helper_table() -> HelperTable:
             prefix, _ = Prefix.decode(raw)
         except PrefixDecodeError as exc:
             raise HelperError(f"rib_announce: {exc}") from exc
-        return 1 if ctx.host.rib_announce(ctx, prefix, int(next_hop)) else 0
+        ok = ctx.host.rib_announce(ctx, prefix, int(next_hop))
+        prov = ctx.host.provenance
+        if prov is not None:
+            prov.record_api(ctx, "rib_announce", prefix=str(prefix), ok=ok)
+        return 1 if ok else 0
 
     # -- maps --------------------------------------------------------------------
 

@@ -58,6 +58,7 @@ class ExecutionContext:
         "next_requested",
         "error",
         "faulted_extension",
+        "span",
     )
 
     def __init__(
@@ -88,6 +89,11 @@ class ExecutionContext:
         #: and traces can attribute the failure without parsing
         #: ``error``'s flattened string.
         self.faulted_extension: Optional[str] = None
+        #: (trace, span) ref of the extension run currently executing
+        #: against this context — set by the VMM when the host's
+        #: provenance tracker is on, None otherwise.  Helpers and glue
+        #: can use it to tie their own records into the causal chain.
+        self.span = None
 
     def __repr__(self) -> str:
         return (

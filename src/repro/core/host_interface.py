@@ -38,6 +38,13 @@ class HostImplementation(ABC):
     #: the default.
     hot_path: bool = True
 
+    #: Per-route provenance tracker
+    #: (:class:`repro.telemetry.provenance.ProvenanceTracker`), or None
+    #: when provenance is off.  Installed by the daemon's
+    #: ``enable_provenance``; the VMM and the helper layer record
+    #: through it with a single None check per hook site.
+    provenance = None
+
     # -- attribute access (neutral representation in/out) ---------------
 
     @abstractmethod

@@ -283,15 +283,36 @@ class VirtualMachineManager:
             self._rebind(point)
 
     def _rebind(self, point: InsertionPoint) -> None:
-        """Rebuild (or drop) the specialized closure for ``point``."""
+        """Rebuild (or drop) the specialized closure for ``point``.
+
+        Provenance disqualifies the fast path: the specialized closures
+        deliberately do not consult the tracker per run (that is what
+        keeps the off state free), so while a tracker is installed the
+        general loop — which carries the provenance hooks — must run.
+        """
         chain = self._chains.get(point)
-        if not self.config.fast_path or not chain or len(chain) != 1:
+        if (
+            not self.config.fast_path
+            or not chain
+            or len(chain) != 1
+            or self.host.provenance is not None
+        ):
             self._fast.pop(point, None)
             return
         if self.telemetry is not None:
             self._fast[point] = self._bind_traced_fast(chain, chain[0])
         else:
             self._fast[point] = self._bind_plain_fast(chain, chain[0])
+
+    def rebind_all(self) -> None:
+        """Re-evaluate every specialized closure.
+
+        Called after anything the pre-bound closures do not re-check per
+        run changes — today that is toggling the host's provenance
+        tracker on or off.
+        """
+        for point in list(self._chains):
+            self._rebind(point)
 
     def attached_codes(self, point: InsertionPoint) -> List[str]:
         """Names of the codes attached to ``point``, in execution order."""
@@ -392,27 +413,55 @@ class VirtualMachineManager:
         default_fn: Callable[[], int],
     ) -> int:
         """Uninstrumented execution (seed semantics, no telemetry cost)."""
+        prov = self.host.provenance
+        point = ctx.insertion_point.value
         for item in chain:
             item.executions += 1
             ctx.next_requested = False
+            if prov is not None:
+                prov.vmm_enter(ctx, point, item.code.name)
             if item.code.is_native:
                 try:
-                    return item.code.fn(ctx, self.host)
+                    result = item.code.fn(ctx, self.host)
                 except NextRequested:
+                    if prov is not None:
+                        prov.vmm_exit(ctx, point, item.code.name, "next")
                     continue
                 except Exception as exc:  # noqa: BLE001 - must never crash the host
                     self._note_fallback(item, ctx, exc)
+                    if prov is not None:
+                        prov.vmm_exit(ctx, point, item.code.name, "error", error=str(exc))
+                        prov.vmm_fallback(ctx, point, item.code.name, str(exc))
                     return default_fn()
+                if prov is not None:
+                    prov.vmm_exit(
+                        ctx, point, item.code.name, "return",
+                        verdict=result if isinstance(result, int) else None,
+                    )
+                return result
             vm = item.vm
             vm.ctx = ctx
             vm.memory.reset_heap()
             try:
-                return vm.run(r1=0)
+                result = vm.run(r1=0)
             except NextRequested:
+                if prov is not None:
+                    prov.vmm_exit(ctx, point, item.code.name, "next")
                 continue
             except (SandboxViolation, ExecutionError, HelperError) as exc:
                 self._note_fallback(item, ctx, exc)
+                if prov is not None:
+                    prov.vmm_exit(ctx, point, item.code.name, "error", error=str(exc))
+                    prov.vmm_fallback(ctx, point, item.code.name, str(exc))
                 return default_fn()
+            if prov is not None:
+                prov.vmm_exit(
+                    ctx, point, item.code.name, "return",
+                    verdict=result if isinstance(result, int) else None,
+                )
+            return result
+        if prov is not None:
+            prov.vmm_native(ctx, point)
         return default_fn()
 
     def _run_traced(
@@ -425,16 +474,21 @@ class VirtualMachineManager:
         telemetry = self.telemetry
         trace = telemetry.trace
         health_engine = telemetry.health
+        prov = self.host.provenance
         point = ctx.insertion_point.value
         for item in chain:
             health = item.health
             if health.state != "closed" and not health_engine.allow(health):
                 trace.record("skip", point, item.code.name, reason="quarantined")
+                if prov is not None:
+                    prov.vmm_skip(ctx, point, item.code.name)
                 continue
             item.executions += 1
             item.m_exec.inc()
             ctx.next_requested = False
             trace.record("enter", point, item.code.name)
+            if prov is not None:
+                prov.vmm_enter(ctx, point, item.code.name)
             vm = item.vm
             if vm is not None:
                 vm.ctx = ctx
@@ -455,6 +509,8 @@ class VirtualMachineManager:
                 health_engine.record_success(health)
                 trace.record("next", point, item.code.name)
                 trace.record("exit", point, item.code.name, outcome="next")
+                if prov is not None:
+                    prov.vmm_exit(ctx, point, item.code.name, "next")
                 continue
             except Exception as exc:  # noqa: BLE001 - must never crash the host
                 if vm is not None and not isinstance(
@@ -476,6 +532,9 @@ class VirtualMachineManager:
                 trace.record(
                     "fallback", point, item.code.name, error=ctx.error
                 )
+                if prov is not None:
+                    prov.vmm_exit(ctx, point, item.code.name, "error", error=str(exc))
+                    prov.vmm_fallback(ctx, point, item.code.name, str(exc))
                 telemetry.registry.counter(
                     "xbgp_vmm_fallbacks", "chain fallbacks to native", point=point
                 ).inc()
@@ -493,8 +552,15 @@ class VirtualMachineManager:
                 outcome="return",
                 verdict=result if isinstance(result, int) else None,
             )
+            if prov is not None:
+                prov.vmm_exit(
+                    ctx, point, item.code.name, "return",
+                    verdict=result if isinstance(result, int) else None,
+                )
             return result
         trace.record("default", point)
+        if prov is not None:
+            prov.vmm_native(ctx, point)
         return default_fn()
 
     # -- single-code fast path ---------------------------------------------

@@ -101,5 +101,10 @@ class FrrRoute(RouteView):
     def path_contains(self, asn: int) -> bool:
         return any(asn in asns for _, asns in self.attrs.as_path)
 
+    def story_key(self):
+        # FrrAttrs is interned and hashable; no need to re-serialize
+        # the attribute set the way the generic RouteView key does.
+        return (self.peer_address(), self.attrs)
+
     def __repr__(self) -> str:
         return f"FrrRoute({self.prefix}, from={self.source!r})"

@@ -1,0 +1,130 @@
+"""A deliberately divergent BGP_DECISION extension (BAD GADGET).
+
+Griffin & Wilfong's BAD GADGET: three ASes around a ring, each
+preferring the route *through its clockwise neighbour* (a two-hop path
+to the origin) over its own direct one-hop path.  No stable assignment
+exists — whenever a node gets its wish, it withdraws the direct path
+its counter-clockwise neighbour's wish depends on — so BGP's decision
+process never quiesces.  Godfrey et al. showed essentially any such
+policy tweak can break convergence, which is exactly the risk xBGP's
+programmable decision point introduces; this plugin exists so the
+provenance layer's oscillation detector has a true positive to catch.
+
+The rule must be stated carefully: "prefer anything whose first hop is
+AS X" *does* converge once AS-path loop detection drops the looped
+re-advertisements.  The gadget's preference is narrower — prefer a
+candidate only when its first-hop ASN is the configured neighbour
+**and** the AS path is exactly two hops (the neighbour's *direct*
+route, not some longer detour) — and that is what makes every stable
+state self-defeating.
+
+Per-router configuration rides in ``xtra["prefer"]``: the preferred
+neighbour's ASN as 4 network-order bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..core.manifest import Manifest
+
+__all__ = ["SOURCE", "build_manifest", "prefer_xtra"]
+
+SOURCE = """
+// AS_PATH summary of a wire-form attribute block: (hops << 32) | first
+// ASN of the first AS_SEQUENCE.  0 when the path is absent or empty.
+u64 path_info(u64 arg) {
+    u64 len = *(u32 *)(arg);
+    u64 p = arg + 4;
+    u64 end = p + len;
+    while (p + 3 <= end) {
+        u64 flags = *(u8 *)(p);
+        u64 t = *(u8 *)(p + 1);
+        u64 alen = 0;
+        u64 hdr = 3;
+        if (flags & 16) {
+            alen = htons(*(u16 *)(p + 2));
+            hdr = 4;
+        } else {
+            alen = *(u8 *)(p + 2);
+        }
+        if (t == 2) {
+            u64 q = p + hdr;
+            u64 send = q + alen;
+            u64 hops = 0;
+            u64 first = 0;
+            while (q + 2 <= send) {
+                u64 kind = *(u8 *)(q);
+                u64 count = *(u8 *)(q + 1);
+                q = q + 2;
+                if (kind == 2) {
+                    if (first == 0) {
+                        if (0 < count) {
+                            first = htonl(*(u32 *)(q));
+                        }
+                    }
+                    hops = hops + count;
+                } else {
+                    hops = hops + 1;
+                }
+                q = q + count * 4;
+            }
+            return hops * 4294967296 + first;
+        }
+        p = p + hdr + alen;
+    }
+    return 0;
+}
+
+// 1 when info describes the gadget-preferred path: exactly two hops,
+// entered via the configured neighbour.
+u64 is_preferred(u64 info, u64 preferred) {
+    u64 hops = info / 4294967296;
+    u64 first = info - hops * 4294967296;
+    if (hops == 2) {
+        if (first == preferred) {
+            return 1;
+        }
+    }
+    return 0;
+}
+
+u64 prefer_gadget(u64 args) {
+    u64 conf = get_xtra("prefer");
+    if (conf == 0) { next(); }
+    u64 preferred = htonl(*(u32 *)(conf + 4));
+    u64 candidate = get_arg(ARG_ROUTE_NEW);
+    u64 best = get_arg(ARG_ROUTE_BEST);
+    if (candidate == 0 || best == 0) { next(); }
+    u64 c_pref = is_preferred(path_info(candidate), preferred);
+    u64 b_pref = is_preferred(path_info(best), preferred);
+    if (c_pref == 1) {
+        if (b_pref == 0) { return 1; }
+    }
+    if (b_pref == 1) {
+        if (c_pref == 0) { return 2; }
+    }
+    next(); // neither (or both) preferred: native ranking decides
+}
+"""
+
+
+def prefer_xtra(preferred_asn: int) -> bytes:
+    """The ``xtra["prefer"]`` payload selecting ``preferred_asn``."""
+    return struct.pack("!I", preferred_asn)
+
+
+def build_manifest() -> Manifest:
+    """The BAD GADGET preference on BGP_DECISION."""
+    return Manifest(
+        name="bad_gadget",
+        codes=[
+            {
+                "name": "prefer_gadget",
+                "insertion_point": "BGP_DECISION",
+                "seq": 0,
+                "helpers": ["next", "get_arg", "get_xtra"],
+                "source": SOURCE,
+            }
+        ],
+    )

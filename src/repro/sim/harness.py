@@ -27,7 +27,12 @@ from ..bgp.roa import HashRoaTable, Roa, TrieRoaTable
 from ..plugins import origin_validation, route_reflector
 from ..workload.rib_gen import RouteSpec, build_updates
 
-__all__ = ["Collector", "ConvergenceHarness", "DAEMONS"]
+__all__ = [
+    "Collector",
+    "ConvergenceHarness",
+    "DAEMONS",
+    "build_explain_scenario",
+]
 
 DAEMONS = {"frr": FrrDaemon, "bird": BirdDaemon}
 
@@ -89,6 +94,7 @@ class ConvergenceHarness:
         telemetry: bool = True,
         quarantine=None,
         hot_path: bool = True,
+        provenance: bool = False,
     ):
         if implementation not in DAEMONS:
             raise ValueError(f"unknown implementation {implementation!r}")
@@ -110,6 +116,9 @@ class ConvergenceHarness:
         #: zeroing, no fast path, no marshalling/encode caches) — the
         #: hot-path ablation's legacy arm.
         self.hot_path = hot_path
+        #: True turns on the DUT's per-route provenance tracking — the
+        #: observability-overhead ablation's "on" arm.
+        self.provenance = provenance
         #: Telemetry snapshot of the most recent :meth:`run` (or None
         #: when the DUT runs uninstrumented).
         self.last_telemetry: Optional[Dict[str, object]] = None
@@ -140,6 +149,7 @@ class ConvergenceHarness:
             lazy_heap=self.hot_path,
         )
         kwargs["hot_path"] = self.hot_path
+        kwargs["provenance"] = self.provenance
         if self.feature == "route_reflection":
             kwargs["route_reflector"] = self.mode
         if self.feature == "origin_validation" and self.mode == "native":
@@ -223,3 +233,62 @@ class ConvergenceHarness:
             return None
         self.dut.update_telemetry_gauges()
         return telemetry.snapshot()
+
+    def convergence_report(self) -> Optional[Dict[str, object]]:
+        """The DUT's provenance convergence report, or None when the
+        harness runs without provenance."""
+        tracker = self.dut.provenance
+        if tracker is None:
+            return None
+        return tracker.convergence_report()
+
+
+def build_explain_scenario(
+    implementation: str, prefix: Prefix, engine: str = "jit"
+):
+    """A small provenance-enabled route-reflection network for ``xbgp
+    explain`` and the cross-implementation provenance tests.
+
+    Topology: client ``up`` (BIRD) → RR DUT (``implementation``,
+    running the route-reflector *extension*) → client ``down`` (BIRD),
+    all iBGP.  ``up`` originates ``prefix`` after sessions settle, so
+    the DUT's provenance holds the full causal chain: peer →
+    extension runs → attribute writes → decision → export.
+
+    Returns ``(network, up, dut, down)``.
+    """
+    from ..core.vmm import VmmConfig
+    from ..plugins import pynative
+    from ..plugins import route_reflector as rr_plugin
+    from .network import Network
+
+    if implementation not in DAEMONS:
+        raise ValueError(f"unknown implementation {implementation!r}")
+    if engine not in ("jit", "interp", "pyext"):
+        raise ValueError(f"unknown engine {engine!r}")
+    network = Network()
+    up = BirdDaemon(asn=65001, router_id="10.0.1.1", provenance=True)
+    vm_engine = engine if engine in ("jit", "interp") else "jit"
+    dut = DAEMONS[implementation](
+        asn=65001,
+        router_id="10.0.0.1",
+        route_reflector="extension",
+        vmm_config=VmmConfig(engine=vm_engine),
+        provenance=True,
+    )
+    down = BirdDaemon(asn=65001, router_id="10.0.2.2", provenance=True)
+    if engine == "pyext":
+        dut.attach_program(pynative.route_reflector_program())
+    else:
+        dut.attach_manifest(rr_plugin.build_manifest())
+    network.add_router("up", up)
+    network.add_router("dut", dut)
+    network.add_router("down", down)
+    network.connect("up", "10.0.1.1", "dut", "10.0.0.1")
+    network.connect("dut", "10.0.0.1", "down", "10.0.2.2")
+    network.neighbor_config("dut", "10.0.1.1").rr_client = True
+    network.neighbor_config("dut", "10.0.2.2").rr_client = True
+    network.establish_all()
+    up.originate(prefix)
+    network.run()
+    return network, up, dut, down

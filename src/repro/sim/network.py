@@ -60,6 +60,10 @@ class Network:
         self._routers[name] = daemon
         self._address_owner[daemon.local_address] = name
         self._address_owner[daemon.router_id] = name
+        tracker = getattr(daemon, "provenance", None)
+        if tracker is not None:
+            # Provenance timestamps should be in simulated seconds.
+            tracker.set_clock(lambda: self.scheduler.now)
 
     def router(self, name: str):
         return self._routers[name]
@@ -108,24 +112,44 @@ class Network:
             if not link.up:
                 return  # bytes lost on a failed link
             if side == "a":
-                target, source_address = self._routers[link.b_name], link.a_address
+                origin_name, source_address = link.a_name, link.a_address
+                target = self._routers[link.b_name]
             else:
-                target, source_address = self._routers[link.a_name], link.b_address
-            self.scheduler.schedule(
-                link.latency,
-                lambda: target.receive_raw(format_ipv4(source_address), data),
-            )
+                origin_name, source_address = link.b_name, link.b_address
+                target = self._routers[link.a_name]
+            # Ship the sender's active span ref with the bytes: the
+            # receiver's UPDATE span adopts it as parent, so one trace
+            # follows the route across routers.
+            tracker = getattr(self._routers.get(origin_name), "provenance", None)
+            parent = tracker.active_ref() if tracker is not None else None
+            if parent is not None:
+                self.scheduler.schedule(
+                    link.latency,
+                    lambda: target.receive_raw(
+                        format_ipv4(source_address), data, parent=parent
+                    ),
+                )
+            else:
+                self.scheduler.schedule(
+                    link.latency,
+                    lambda: target.receive_raw(format_ipv4(source_address), data),
+                )
 
         return send
 
     # -- session control -----------------------------------------------------
 
-    def establish_all(self) -> None:
-        """Bring every session up (both directions) and settle."""
+    def establish_all(self, max_events: Optional[int] = None) -> None:
+        """Bring every session up (both directions) and settle.
+
+        ``max_events`` bounds the settling run — needed for topologies
+        that never converge (the oscillation tests), where an unbounded
+        drain would spin forever.
+        """
         for link in self._links:
             if link.up:
                 self._establish(link)
-        self.run()
+        self.run(max_events)
 
     def _establish(self, link: Link) -> None:
         self._routers[link.a_name].session_up(format_ipv4(link.b_address))
@@ -151,6 +175,44 @@ class Network:
             if names == {a_name, b_name}:
                 return link
         raise KeyError(f"no link {a_name} <-> {b_name}")
+
+    # -- provenance --------------------------------------------------------------
+
+    def enable_provenance(self) -> None:
+        """Turn on provenance tracking on every router, with all
+        trackers reading the simulated clock."""
+        for daemon in self._routers.values():
+            tracker = getattr(daemon, "provenance", None)
+            if tracker is None:
+                tracker = daemon.enable_provenance()
+            tracker.set_clock(lambda: self.scheduler.now)
+
+    def convergence_report(self) -> Dict[str, object]:
+        """Network-wide convergence observability, aggregated from the
+        per-router provenance trackers (routers without one are
+        skipped): total flap counts per prefix, the union of
+        oscillating prefixes, and time-to-quiescence (simulated clock
+        of the last best-path change anywhere)."""
+        flaps: Dict[str, int] = {}
+        oscillating: set = set()
+        quiescence = 0.0
+        per_router: Dict[str, object] = {}
+        for name, daemon in self._routers.items():
+            tracker = getattr(daemon, "provenance", None)
+            if tracker is None:
+                continue
+            report = tracker.convergence_report()
+            per_router[name] = report
+            for prefix, count in report["flaps"].items():
+                flaps[prefix] = flaps.get(prefix, 0) + count
+            oscillating.update(report["oscillating"])
+            quiescence = max(quiescence, report["time_of_last_change"])
+        return {
+            "flaps": flaps,
+            "oscillating": sorted(oscillating),
+            "time_to_quiescence": quiescence,
+            "routers": per_router,
+        }
 
     # -- data plane --------------------------------------------------------------
 

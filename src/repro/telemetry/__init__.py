@@ -32,6 +32,8 @@ from .metrics import (
     log_buckets,
     render_prometheus,
 )
+from .provenance import DEFAULT_STORIES_PER_PREFIX, ProvenanceTracker
+from .spans import DEFAULT_SPAN_CAPACITY, SpanRecorder
 from .trace import DEFAULT_TRACE_CAPACITY, TraceRing
 
 __all__ = [
@@ -43,6 +45,10 @@ __all__ = [
     "render_prometheus",
     "TraceRing",
     "DEFAULT_TRACE_CAPACITY",
+    "SpanRecorder",
+    "DEFAULT_SPAN_CAPACITY",
+    "ProvenanceTracker",
+    "DEFAULT_STORIES_PER_PREFIX",
     "ExtensionHealth",
     "QuarantineEngine",
     "QuarantinePolicy",

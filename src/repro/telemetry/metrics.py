@@ -261,6 +261,12 @@ def _escape(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _escape_help(value: str) -> str:
+    # Exposition format: HELP text escapes backslash and newline only
+    # (double quotes are legal there, unlike in label values).
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _labels_text(names: Sequence[str], values: Sequence[str], extra: str = "") -> str:
     parts = [f'{name}="{_escape(value)}"' for name, value in zip(names, values)]
     if extra:
@@ -273,7 +279,7 @@ def render_prometheus(registry: MetricsRegistry) -> str:
     lines: List[str] = []
     for family in registry.families():
         if family.help:
-            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
         lines.append(f"# TYPE {family.name} {family.kind}")
         for values in sorted(family.children):
             child = family.children[values]

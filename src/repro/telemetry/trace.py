@@ -26,6 +26,10 @@ class TraceRing:
     """Fixed-capacity ring buffer of event dicts."""
 
     def __init__(self, capacity: int = DEFAULT_TRACE_CAPACITY, timestamps: bool = False):
+        """``timestamps=True`` stamps every event (``record`` and
+        ``record_fast`` alike) with ``time.monotonic()`` — monotonic so
+        inter-event deltas survive wall-clock adjustments; the stamps
+        ride along into :meth:`export_jsonl`."""
         if capacity < 1:
             raise ValueError("trace capacity must be >= 1")
         self.capacity = capacity
@@ -50,7 +54,7 @@ class TraceRing:
         if extension is not None:
             event["extension"] = extension
         if self.timestamps:
-            event["ts"] = time.time()
+            event["ts"] = time.monotonic()
         if fields:
             event.update(fields)
         self._events.append(event)
@@ -74,7 +78,7 @@ class TraceRing:
             "extension": extension,
         }
         if self.timestamps:
-            event["ts"] = time.time()
+            event["ts"] = time.monotonic()
         self._events.append(event)
         return event
 

@@ -1,0 +1,201 @@
+"""Integration: the oscillation detector against divergent policy.
+
+True positive: Griffin & Wilfong's BAD GADGET — three ASes in a ring,
+each running a BGP_DECISION extension preferring the two-hop path via
+its clockwise neighbour — has no stable route assignment, and the
+detector must flag the prefix (the best path keeps returning to
+previously abandoned paths).  True negatives: the paper's five use
+cases (route reflection, origin validation, GeoLoc, valley-free,
+closest-exit) all converge, and the detector must stay silent on every
+one of them.
+"""
+
+import pytest
+
+from repro.bgp import Prefix
+from repro.bgp.attributes import make_as_path, make_geoloc, make_next_hop, make_origin
+from repro.bgp.aspath import AsPath
+from repro.bgp.constants import Origin
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.prefix import parse_ipv4
+from repro.bgp.roa import make_roas_for_prefixes
+from repro.bird import BirdDaemon
+from repro.frr import FrrDaemon
+from repro.plugins import bad_gadget, closest_exit, geoloc
+from repro.sim import Network
+from repro.sim.fabrics import build_clos
+from repro.sim.harness import ConvergenceHarness
+from repro.workload import RibGenerator, origins_of
+
+PREFIX = Prefix.parse("203.0.113.0/24")
+
+#: Event budget for the divergent runs: far beyond what any converging
+#: topology of this size needs, so exhausting it means divergence.
+BUDGET = 4000
+
+
+def build_gadget(daemon_cls):
+    """Origin AS plus a three-AS ring, every ring member running the
+    BAD GADGET preference (prefer the two-hop path via the clockwise
+    neighbour)."""
+    network = Network()
+    origin = BirdDaemon(asn=65000, router_id="10.9.0.1", provenance=True)
+    network.add_router("origin", origin)
+    clockwise = {"a": 65002, "b": 65003, "c": 65001}
+    for index, name in enumerate(("a", "b", "c"), start=1):
+        daemon = daemon_cls(
+            asn=65000 + index,
+            router_id=f"10.9.{index}.1",
+            provenance=True,
+            xtra={"prefer": bad_gadget.prefer_xtra(clockwise[name])},
+        )
+        daemon.attach_manifest(bad_gadget.build_manifest())
+        network.add_router(name, daemon)
+    # Spokes: the origin feeds each ring member directly.
+    network.connect("origin", "10.8.1.1", "a", "10.8.1.2")
+    network.connect("origin", "10.8.2.1", "b", "10.8.2.2")
+    network.connect("origin", "10.8.3.1", "c", "10.8.3.2")
+    # The ring itself.
+    network.connect("a", "10.7.1.1", "b", "10.7.1.2")
+    network.connect("b", "10.7.2.1", "c", "10.7.2.2")
+    network.connect("c", "10.7.3.1", "a", "10.7.3.2")
+    network.establish_all(max_events=200)
+    origin.originate(PREFIX)
+    return network
+
+
+@pytest.mark.parametrize("daemon_cls", [FrrDaemon, BirdDaemon], ids=["frr", "bird"])
+class TestBadGadget:
+    def test_detector_flags_the_divergent_prefix(self, daemon_cls):
+        network = build_gadget(daemon_cls)
+        consumed = network.run(max_events=BUDGET)
+        # The run exhausted its budget: the gadget never quiesces.
+        assert consumed == BUDGET
+        report = network.convergence_report()
+        assert str(PREFIX) in report["oscillating"]
+        # The churn is real, not a couple of start-up flaps.
+        assert report["flaps"][str(PREFIX)] > 100
+        # Every ring member individually sees the revisiting best path.
+        for name in ("a", "b", "c"):
+            router_report = report["routers"][name]
+            assert router_report["revisits"][str(PREFIX)] >= 2, name
+
+    def test_explain_shows_the_gadget_deciding(self, daemon_cls):
+        network = build_gadget(daemon_cls)
+        network.run(max_events=BUDGET)
+        tracker = network.router("a").provenance
+        report = tracker.explain(PREFIX)
+        assert report["oscillating"] is True
+        events = [
+            event
+            for story in report["stories"]
+            for event in story["events"]
+            if event["op"] == "decision"
+        ]
+        # The divergent verdicts are attributed to the extension by name.
+        assert any(
+            event["by"] == "extension:prefer_gadget" for event in events
+        )
+
+
+def quiescent(report):
+    """True when nothing oscillates anywhere in the report."""
+    return report["oscillating"] == []
+
+
+class TestPaperUseCasesStaySilent:
+    """The five paper use cases converge: no false positives."""
+
+    @pytest.mark.parametrize("feature", ["route_reflection", "origin_validation"])
+    def test_harness_features(self, feature):
+        routes = RibGenerator(n_routes=120, seed=7).generate()
+        roas = None
+        if feature == "origin_validation":
+            roas = make_roas_for_prefixes(origins_of(routes), 0.75, seed=7)
+        harness = ConvergenceHarness(
+            "frr", feature, "extension", routes, roas, provenance=True
+        )
+        harness.run()
+        report = harness.convergence_report()
+        assert report["oscillating"] == []
+
+    def test_valley_free_fabric(self):
+        network = build_clos("xbgp")
+        network.enable_provenance()
+        network.establish_all()
+        network.router("L13").originate(Prefix.parse("192.168.13.0/24"))
+        consumed = network.run(max_events=BUDGET)
+        assert consumed < BUDGET  # converged well inside the budget
+        report = network.convergence_report()
+        assert quiescent(report)
+        assert report["time_to_quiescence"] > 0.0
+
+    def test_valley_free_survives_link_failure_without_flagging(self):
+        # Failures cause legitimate best-path changes (flaps); the
+        # detector must not confuse recovery with oscillation.
+        network = build_clos("xbgp")
+        network.enable_provenance()
+        network.establish_all()
+        network.router("L13").originate(Prefix.parse("192.168.13.0/24"))
+        network.run()
+        network.fail_link("L10", "S1")
+        network.restore_link("L10", "S1")
+        assert quiescent(network.convergence_report())
+
+    def test_geoloc(self):
+        network = Network()
+        feeder = BirdDaemon(asn=65100, router_id="9.9.9.9", provenance=True)
+        dut = FrrDaemon(
+            asn=65001,
+            router_id="1.1.1.1",
+            xtra={"coord": geoloc.coord_bytes(50.85, 4.35)},
+            provenance=True,
+        )
+        peer = BirdDaemon(asn=65001, router_id="2.2.2.2", provenance=True)
+        dut.attach_manifest(geoloc.build_manifest(max_distance_km=20000))
+        network.add_router("feeder", feeder)
+        network.add_router("dut", dut)
+        network.add_router("peer", peer)
+        network.connect("feeder", "10.0.0.9", "dut", "10.0.0.1")
+        network.connect("dut", "10.0.0.1", "peer", "10.0.0.2")
+        network.establish_all()
+        feeder.originate(PREFIX)
+        consumed = network.run(max_events=BUDGET)
+        assert consumed < BUDGET
+        assert peer.loc_rib.lookup(PREFIX) is not None
+        assert quiescent(network.convergence_report())
+
+    def test_closest_exit(self):
+        # A custom BGP_DECISION extension — the same insertion point the
+        # gadget abuses — converging cleanly: the detector must not
+        # flag custom decision logic per se, only divergence.
+        daemon = FrrDaemon(
+            asn=65001,
+            router_id="1.1.1.1",
+            xtra={"coord": geoloc.coord_bytes(50.85, 4.35)},
+            provenance=True,
+        )
+        daemon.attach_manifest(closest_exit.build_manifest())
+        for address, asn in (("10.0.0.8", 65100), ("10.0.0.9", 65200)):
+            daemon.add_neighbor(address, asn, lambda data: None)
+            daemon._established[parse_ipv4(address)] = True
+        for address, asn, coord in (
+            ("10.0.0.8", 65100, (-33.86, 151.21)),  # Sydney exit
+            ("10.0.0.9", 65200, (48.85, 2.35)),  # Paris exit, closer
+        ):
+            daemon.receive_message(
+                address,
+                UpdateMessage(
+                    attributes=[
+                        make_origin(Origin.IGP),
+                        make_as_path(AsPath.from_sequence([asn])),
+                        make_next_hop(parse_ipv4(address)),
+                        make_geoloc(*coord),
+                    ],
+                    nlri=[PREFIX],
+                ),
+            )
+        assert daemon.loc_rib.lookup(PREFIX).source.peer_asn == 65200
+        assert daemon.provenance.oscillating() == []
+        # The best path moved once (Sydney -> Paris): a flap, no revisit.
+        assert daemon.provenance.flap_counts() == {str(PREFIX): 1}

@@ -171,3 +171,107 @@ class TestStats:
         assert {event["kind"] for event in events} <= {
             "enter", "exit", "next", "default", "skip", "fallback", "quarantine",
         }
+
+    def test_stats_output_file_honors_every_format(self, tmp_path, capsys):
+        # --output diverts the exposition to a file: stdout stays empty
+        # and the file holds exactly what --format selects.
+        import json
+
+        for fmt in ("prom", "json", "both"):
+            out = tmp_path / f"stats.{fmt}"
+            code, piped = run_cli(
+                [
+                    "stats", "--routes", "20", "--format", fmt,
+                    "--output", str(out),
+                ],
+                capsys,
+            )
+            assert code == 0 and piped == ""
+            written = out.read_text()
+            has_prom = "# TYPE xbgp_extension_executions counter" in written
+            has_json = '"elapsed_seconds"' in written
+            assert has_prom == (fmt in ("prom", "both"))
+            assert has_json == (fmt in ("json", "both"))
+        # The json arm parses cleanly on its own.
+        snapshot = json.loads((tmp_path / "stats.json").read_text())
+        assert snapshot["run"]["routes"] == 20
+        assert snapshot["run"]["vmm"]["codes"]["rr_import"]["executions"] == 20
+
+
+class TestExplainAndSpans:
+    def test_explain_reconstructs_causal_chain(self, capsys):
+        # Bytecode engine: attribute writes flow through the recorded
+        # xBGP API, so the chain shows the RR stamping its attributes.
+        code, output = run_cli(["explain", "198.51.100.0/24"], capsys)
+        assert code == 0
+        assert "198.51.100.0/24 on 10.0.0.1" in output
+        assert "learned from 10.0.1.1 (ibgp)" in output
+        assert "set_attr(ORIGINATOR_ID)" in output
+        assert "export -> 10.0.2.2: advertise" in output
+
+    def test_explain_json_and_jsonl_export(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "prov.jsonl"
+        code, output = run_cli(
+            [
+                "explain", "198.51.100.0/24", "--engine", "pyext",
+                "--json", "--output", str(out),
+            ],
+            capsys,
+        )
+        assert code == 0
+        report = json.loads(output)
+        assert report["prefix"] == "198.51.100.0/24"
+        assert report["stories"]
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        assert {record["type"] for record in records} == {
+            "story", "span", "convergence",
+        }
+
+    def test_explain_downstream_router_view(self, capsys):
+        code, output = run_cli(
+            [
+                "explain", "198.51.100.0/24", "--engine", "pyext",
+                "--router", "down",
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "198.51.100.0/24 on 10.0.2.2" in output
+        # The downstream story rides the originator's trace.
+        assert "[trace 10.0.1.1#" in output
+
+    def test_explain_rejects_bad_prefix(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["explain", "not-a-prefix"])
+
+    def test_spans_share_one_trace_across_routers(self, capsys):
+        code, output = run_cli(
+            ["spans", "198.51.100.0/24", "--engine", "pyext"], capsys
+        )
+        assert code == 0
+        for node in ("up (10.0.1.1)", "dut (10.0.0.1)", "down (10.0.2.2)"):
+            assert node in output
+        trace_ids = {
+            line.split("]")[0].split("[")[1]
+            for line in output.splitlines()
+            if "[" in line
+        }
+        assert trace_ids == {"10.0.1.1#1"}
+
+    def test_spans_jsonl_export(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "spans.jsonl"
+        code, _ = run_cli(
+            [
+                "spans", "198.51.100.0/24", "--engine", "pyext",
+                "--output", str(out),
+            ],
+            capsys,
+        )
+        assert code == 0
+        spans = [json.loads(line) for line in out.read_text().splitlines()]
+        assert {span["node"] for span in spans} == {"up", "dut", "down"}
+        assert {span["trace"] for span in spans} == {"10.0.1.1#1"}

@@ -133,6 +133,40 @@ class TestPrometheusRendering:
         text = render_prometheus(registry)
         assert 'ext="quo\\"te\\nnl"' in text
 
+    def test_help_text_escaped(self):
+        # Exposition format: HELP escapes backslash and newline (but
+        # not quotes, which are legal there unlike in label values).
+        registry = MetricsRegistry()
+        registry.counter("esc", 'line1\nline2 back\\slash "quoted"').inc()
+        text = render_prometheus(registry)
+        assert '# HELP esc line1\\nline2 back\\\\slash "quoted"' in text
+        assert "\nline2" not in text  # no raw newline leaks into HELP
+
+    def test_golden_exposition_output(self):
+        # Pin the full rendering of a hostile registry: multi-line help,
+        # label values with every escapable character, and a histogram.
+        registry = MetricsRegistry()
+        registry.counter("xbgp_runs", "runs\nby extension", ext='a"b\\c\nd').inc(2)
+        registry.gauge("xbgp_depth", "chain depth").set(3)
+        hist = registry.histogram("xbgp_lat", "latency", buckets=[1.0, 2.0], ext="x")
+        hist.observe(0.5)
+        hist.observe(9.0)
+        assert render_prometheus(registry) == (
+            "# HELP xbgp_depth chain depth\n"
+            "# TYPE xbgp_depth gauge\n"
+            "xbgp_depth 3\n"
+            "# HELP xbgp_lat latency\n"
+            "# TYPE xbgp_lat histogram\n"
+            'xbgp_lat_bucket{ext="x",le="1"} 1\n'
+            'xbgp_lat_bucket{ext="x",le="2"} 1\n'
+            'xbgp_lat_bucket{ext="x",le="+Inf"} 2\n'
+            'xbgp_lat_sum{ext="x"} 9.5\n'
+            'xbgp_lat_count{ext="x"} 2\n'
+            "# HELP xbgp_runs runs\\nby extension\n"
+            "# TYPE xbgp_runs counter\n"
+            'xbgp_runs_total{ext="a\\"b\\\\c\\nd"} 2\n'
+        )
+
 
 class TestTraceRing:
     def test_eviction_keeps_newest_and_counts_losses(self):
@@ -180,6 +214,35 @@ class TestTraceRing:
     def test_zero_capacity_rejected(self):
         with pytest.raises(ValueError):
             TraceRing(capacity=0)
+
+    def test_timestamps_off_by_default(self):
+        ring = TraceRing()
+        ring.record("enter", "p", "a")
+        ring.record_fast("next", "p", "a")
+        assert all("ts" not in event for event in ring.events())
+
+    def test_timestamps_are_monotonic_on_both_record_paths(self):
+        import time
+
+        ring = TraceRing(timestamps=True)
+        floor = time.monotonic()
+        ring.record("enter", "p", "a")
+        ring.record_fast("next", "p", "a")  # the hot path stamps too
+        ring.record("exit", "p", "a", outcome="next")
+        ceiling = time.monotonic()
+        stamps = [event["ts"] for event in ring.events()]
+        assert len(stamps) == 3
+        assert stamps == sorted(stamps)
+        assert all(floor <= ts <= ceiling for ts in stamps)
+
+    def test_timestamps_survive_jsonl_export(self, tmp_path):
+        ring = TraceRing(timestamps=True)
+        ring.record("enter", "p", "a")
+        ring.record_fast("exit", "p", "a")
+        path = tmp_path / "trace.jsonl"
+        ring.export_jsonl(str(path))
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert all(isinstance(event["ts"], float) for event in events)
 
 
 class TestQuarantineEngine:
