@@ -21,7 +21,7 @@ ROUTES = 400
 SEED = 20200604
 
 
-def make_run(telemetry, provenance=False):
+def make_run(telemetry, provenance=False, profiling=False):
     routes = RibGenerator(n_routes=ROUTES, seed=SEED).generate()
 
     def run():
@@ -33,6 +33,7 @@ def make_run(telemetry, provenance=False):
             engine="jit",
             telemetry=telemetry,
             provenance=provenance,
+            profiling=profiling,
         )
         return harness.run()
 
@@ -117,3 +118,89 @@ def test_provenance_overhead_measured(benchmark):
         f"provenance {traced_time * 1000:.1f} ms, {ROUTES} routes)"
     )
     assert overhead < 4.0
+
+
+@pytest.mark.parametrize(
+    "arm", ["telemetry-only", "profiling"], ids=["telemetry", "profiling"]
+)
+def test_profiling_arm_cost(benchmark, arm):
+    run = make_run(True, profiling=(arm == "profiling"))
+    benchmark.pedantic(run, rounds=5, iterations=1, warmup_rounds=1)
+
+
+def test_profiling_off_keeps_fast_path(benchmark):
+    """Like provenance, the profiling flag itself must be free: a
+    profiling-off harness runs the PR 2 pre-bound closures,
+    byte-identical to never mentioning it."""
+    routes = RibGenerator(n_routes=50, seed=SEED).generate()
+    harness = ConvergenceHarness(
+        "frr", "route_reflection", "extension", routes, profiling=False
+    )
+    assert harness.dut.profiler is None
+    assert harness.dut.vmm._fast  # pre-bound closures still installed
+    benchmark.pedantic(harness.run, rounds=1, iterations=1)
+
+
+def test_profiling_overhead_measured(benchmark):
+    """Profiling-on vs telemetry-only, interleaved to cancel drift.
+
+    Profiling times every phase, attributes wall clock to helpers,
+    counts every executed PC (interp) or block (JIT) and disqualifies
+    the fast path — so like provenance it is expected to cost real
+    multiples of bare telemetry.  The printed figure feeds
+    EXPERIMENTS.md; the bound only guards pathological regressions.
+    """
+    baseline = make_run(True, profiling=False)
+    traced = make_run(True, profiling=True)
+    baseline_times, traced_times = [], []
+    baseline()
+    traced()  # warm both arms (JIT translation, allocator)
+    for _ in range(5):
+        baseline_times.append(min(timeit.repeat(baseline, number=1, repeat=2)))
+        traced_times.append(min(timeit.repeat(traced, number=1, repeat=2)))
+    benchmark.pedantic(traced, rounds=3, iterations=1, warmup_rounds=1)
+    baseline_time = statistics.median(baseline_times)
+    traced_time = statistics.median(traced_times)
+    overhead = traced_time / baseline_time - 1.0
+    print(
+        f"\nprofiling overhead: {overhead * 100:+.1f}% "
+        f"(telemetry-only {baseline_time * 1000:.1f} ms, "
+        f"profiling {traced_time * 1000:.1f} ms, {ROUTES} routes)"
+    )
+    assert overhead < 6.0
+
+
+def test_record_route_reflection_scenario(benchmark, bench_recorder):
+    """The continuous-tracking record for the ablation's headline
+    scenario.  With ``--bench-record`` this writes
+    ``BENCH_route-reflection-frr-jit.json``; without, it is just one
+    more measured convergence run."""
+    routes = RibGenerator(n_routes=ROUTES, seed=SEED).generate()
+
+    def run():
+        harness = ConvergenceHarness(
+            "frr", "route_reflection", "extension", routes, engine="jit"
+        )
+        harness.run()
+        return harness
+
+    warm = run()  # warm (JIT translation, allocator)
+    wall, harness = [], warm
+    for _ in range(5):
+        harness = ConvergenceHarness(
+            "frr", "route_reflection", "extension", routes, engine="jit"
+        )
+        wall.append(harness.run())
+    benchmark.pedantic(lambda: run() and None, rounds=1, iterations=1)
+    snapshot = harness.telemetry_snapshot()
+    series = snapshot["metrics"].get("xbgp_extension_instructions", {}).get("series", [])
+    instructions = sum(int(s["value"]) for s in series)
+    path = bench_recorder.record(
+        "route-reflection-frr-jit",
+        wall,
+        ROUTES,
+        instructions=instructions,
+        extra={"implementation": "frr", "engine": "jit", "seed": SEED},
+    )
+    if path is not None:
+        print(f"\nwrote {path}")

@@ -25,7 +25,7 @@ from repro.sim.harness import ConvergenceHarness
 @pytest.mark.parametrize("implementation", ["frr", "bird"])
 @pytest.mark.parametrize("engine", ["pyext", "jit"])
 def test_fig4_origin_validation(
-    benchmark, implementation, engine, fig4_routes, fig4_roas, fig4_params
+    benchmark, implementation, engine, fig4_routes, fig4_roas, fig4_params, bench_recorder
 ):
     result = fig4.run_cell(
         implementation,
@@ -52,6 +52,25 @@ def test_fig4_origin_validation(
         iterations=1,
         warmup_rounds=0,
     )
+
+    if bench_recorder.enabled:
+        wall = [
+            ConvergenceHarness(
+                implementation,
+                "origin_validation",
+                "extension",
+                fig4_routes,
+                fig4_roas,
+                engine=engine,
+            ).run()
+            for _ in range(3)
+        ]
+        bench_recorder.record(
+            f"origin-validation-{implementation}-{engine}",
+            wall,
+            fig4_params["routes"],
+            extra={"implementation": implementation, "engine": engine},
+        )
 
     if engine == "pyext":
         if implementation == "frr":

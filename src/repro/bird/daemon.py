@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import struct
 from collections import Counter
+from time import perf_counter
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..bgp.attributes import (
@@ -57,7 +58,7 @@ from ..core.manifest import Manifest
 from ..core.vmm import VirtualMachineManager, VmmConfig
 from ..core.abi import FILTER_ACCEPT, FILTER_REJECT
 from ..igp.spf import UNREACHABLE, IgpView
-from ..telemetry import ProvenanceTracker
+from ..telemetry import Profiler, ProvenanceTracker
 from .eattrs import EattrList
 from .rib import BirdRoute
 from .xbgp_glue import BirdHost
@@ -107,6 +108,7 @@ class BirdDaemon:
         vmm_config: Optional[VmmConfig] = None,
         hot_path: bool = True,
         provenance: bool = False,
+        profiling: bool = False,
     ):
         if route_reflector not in (None, "native", "extension"):
             raise ValueError(f"bad route_reflector mode {route_reflector!r}")
@@ -154,6 +156,11 @@ class BirdDaemon:
         if provenance:
             self.enable_provenance()
 
+        #: The profiler, or None when profiling is off.
+        self.profiler: Optional[Profiler] = None
+        if profiling:
+            self.enable_profiling()
+
     # -- provenance --------------------------------------------------------
 
     def enable_provenance(
@@ -183,6 +190,26 @@ class BirdDaemon:
         self.host.provenance = None
         self.loc_rib.on_change = None
         self.vmm.rebind_all()
+
+    # -- profiling ---------------------------------------------------------
+
+    def enable_profiling(self, profiler: Optional[Profiler] = None) -> Profiler:
+        """Turn on phase + PC-level profiling (daemon phases and VM
+        hotspots both).  Mirrors the provenance toggle: profiling
+        disqualifies the single-code fast-path closures, so the VMM
+        rebinds its chains either way the toggle goes."""
+        if profiler is None:
+            profiler = Profiler(
+                router=format_ipv4(self.router_id),
+                implementation=self.implementation,
+            )
+        self.profiler = profiler
+        self.vmm.enable_profiling(profiler)
+        return profiler
+
+    def disable_profiling(self) -> None:
+        self.profiler = None
+        self.vmm.disable_profiling()
 
     # -- wiring ------------------------------------------------------------
 
@@ -372,13 +399,20 @@ class BirdDaemon:
 
     def _process_update_body(self, neighbor: Neighbor, update: UpdateMessage) -> None:
         prov = self.provenance
-        eattrs = EattrList.from_wire(update.attributes)
+        prof = self.profiler
+        if prof is not None:
+            started = perf_counter()
+            eattrs = EattrList.from_wire(update.attributes)
+            prof.phase("decode", perf_counter() - started)
+        else:
+            eattrs = EattrList.from_wire(update.attributes)
 
         # Insertion point 1: BGP_RECEIVE_MESSAGE — extension code may
         # rewrite the UPDATE's attributes before import processing.
         # With nothing attached the chain reduces to the no-op default,
         # so the hot path skips context construction and re-encoding.
         if not self.hot_path or self.vmm.active(InsertionPoint.BGP_RECEIVE_MESSAGE):
+            started = perf_counter() if prof is not None else 0.0
             ctx = ExecutionContext(
                 self.host,
                 InsertionPoint.BGP_RECEIVE_MESSAGE,
@@ -387,6 +421,8 @@ class BirdDaemon:
                 message=update.encode(),
             )
             self.vmm.run(ctx, lambda: 0)
+            if prof is not None:
+                prof.phase("bgp_receive_message", perf_counter() - started)
 
         dirty: List[Prefix] = []
         for prefix in update.withdrawn:
@@ -397,7 +433,13 @@ class BirdDaemon:
 
         if update.nlri:
             for prefix in update.nlri:
-                if self._import_route(neighbor, prefix, eattrs):
+                if prof is not None:
+                    started = perf_counter()
+                    imported = self._import_route(neighbor, prefix, eattrs)
+                    prof.phase("bgp_inbound_filter", perf_counter() - started)
+                else:
+                    imported = self._import_route(neighbor, prefix, eattrs)
+                if imported:
                     dirty.append(prefix)
 
         for prefix in dirty:
@@ -552,7 +594,13 @@ class BirdDaemon:
             candidates.append(local)
         prov = self.provenance
         phase = prov.begin_phase("decision", prefix) if prov is not None else None
-        best = self._select_best(candidates)
+        prof = self.profiler
+        if prof is not None:
+            started = perf_counter()
+            best = self._select_best(candidates)
+            prof.phase("bgp_decision", perf_counter() - started)
+        else:
+            best = self._select_best(candidates)
         previous = self.loc_rib.lookup(prefix)
         if best is previous:
             if phase is not None:
@@ -584,7 +632,13 @@ class BirdDaemon:
                 # Never advertise a route back to the peer it came from.
                 self._withdraw_from(neighbor, prefix)
                 continue
-            export_route = self._export_filter(best, neighbor)
+            prof = self.profiler
+            if prof is not None:
+                started = perf_counter()
+                export_route = self._export_filter(best, neighbor)
+                prof.phase("bgp_outbound_filter", perf_counter() - started)
+            else:
+                export_route = self._export_filter(best, neighbor)
             if export_route is None:
                 if prov is not None:
                     prov.record_export(prefix, address, "suppress")
@@ -737,7 +791,13 @@ class BirdDaemon:
         return blob
 
     def _send_route(self, neighbor: Neighbor, route: BirdRoute) -> None:
-        attrs_blob = self._encode_attributes(route, neighbor)
+        prof = self.profiler
+        if prof is not None:
+            started = perf_counter()
+            attrs_blob = self._encode_attributes(route, neighbor)
+            prof.phase("bgp_encode_message", perf_counter() - started)
+        else:
+            attrs_blob = self._encode_attributes(route, neighbor)
         body = (
             struct.pack("!H", 0)
             + struct.pack("!H", len(attrs_blob))

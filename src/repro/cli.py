@@ -23,7 +23,13 @@ Subcommands:
 * ``fuzz``     — run a differential fuzzing campaign over the codec
   round-trip, interpreter-vs-JIT and FRR-vs-BIRD oracles; prints a
   JSON report, writes minimized divergences to a corpus directory,
-  exits non-zero if any divergence was found.
+  exits non-zero if any divergence was found;
+* ``profile``  — drive one scenario with the profiler on and print the
+  hot-path phase breakdown plus per-extension PC/block-level hotspots
+  (optionally a collapsed-stack file for speedscope/flamegraph.pl);
+* ``bench``    — run one scenario as a benchmark; ``--record`` writes
+  a schema'd ``BENCH_<scenario>.json``, ``--compare`` diffs against a
+  committed baseline and exits non-zero past the noise threshold.
 """
 
 from __future__ import annotations
@@ -187,6 +193,26 @@ def _cmd_stats(args) -> int:
     )
     elapsed = harness.run()
     telemetry = harness.dut.vmm.telemetry
+    if args.health:
+        # Quarantine / circuit-breaker state only (ExtensionHealth).
+        rows = telemetry.health.snapshot()
+        if not rows:
+            print("no extensions attached")
+            return 0
+        header = f"{'POINT':<24} {'EXTENSION':<20} {'STATE':<10} {'ERRS':>5} {'SKIPPED':>8} {'QUARANTINES':>12}"
+        print(header)
+        for row in rows:
+            print(
+                f"{row['point']:<24} {row['extension']:<20} {row['state']:<10} "
+                f"{row['consecutive_errors']:>5} {row['skipped']:>8} "
+                f"{row['quarantine_count']:>12}"
+            )
+        quarantined = harness.dut.vmm.quarantined_codes()
+        print(
+            f"# {len(rows)} extension(s), {len(quarantined)} quarantined"
+            + (f": {', '.join(map(str, quarantined))}" if quarantined else "")
+        )
+        return 0
     if args.trace_out:
         count = telemetry.trace.export_jsonl(args.trace_out)
         print(f"# wrote {count} trace events to {args.trace_out}", file=sys.stderr)
@@ -322,6 +348,130 @@ def _cmd_fuzz(args) -> int:
     return 1 if report["divergences"] else 0
 
 
+_SCENARIO_FEATURES = {
+    "route-reflection": "route_reflection",
+    "origin-validation": "origin_validation",
+}
+
+
+def _scenario_harness(args, profiling=False):
+    """Build a ConvergenceHarness for a profile/bench scenario slug."""
+    from .bgp.roa import make_roas_for_prefixes
+    from .sim.harness import ConvergenceHarness
+    from .workload import RibGenerator, origins_of
+
+    feature = _SCENARIO_FEATURES[args.scenario]
+    routes = RibGenerator(n_routes=args.routes, seed=args.seed).generate()
+    roas = None
+    if feature == "origin_validation":
+        roas = make_roas_for_prefixes(origins_of(routes), 0.75, seed=args.seed)
+    return ConvergenceHarness(
+        args.impl,
+        feature,
+        "extension",
+        routes,
+        roas,
+        engine=args.engine,
+        profiling=profiling,
+    )
+
+
+def _cmd_profile(args) -> int:
+    """Profile one scenario: phases, hotspots, collapsed stacks."""
+    import json as _json
+
+    harness = _scenario_harness(args, profiling=True)
+    elapsed = harness.run()
+    profiler = harness.dut.profiler
+    if args.flamegraph:
+        count = profiler.export_collapsed(args.flamegraph, weights=args.weights)
+        print(
+            f"# wrote {count} collapsed-stack lines to {args.flamegraph}",
+            file=sys.stderr,
+        )
+    if args.format == "json":
+        report = profiler.report(top=args.top)
+        report["run"] = {
+            "scenario": args.scenario,
+            "implementation": args.impl,
+            "engine": args.engine,
+            "routes": args.routes,
+            "elapsed_seconds": elapsed,
+        }
+        # The VMM's own instruction counters, for cross-checking that
+        # profile sums match what telemetry already counted.
+        snapshot = harness.telemetry_snapshot()
+        series = (
+            snapshot["metrics"].get("xbgp_extension_instructions", {}).get("series", [])
+        )
+        report["telemetry_instructions"] = {
+            f"{s['labels']['point']}/{s['labels']['extension']}": s["value"]
+            for s in series
+        }
+        print(_json.dumps(report, indent=2))
+    else:
+        print(profiler.render(top=args.top))
+        if args.listing:
+            for profile in profiler.profiles():
+                print()
+                print(f"== {profile.point}/{profile.extension} ({profile.engine}) ==")
+                print(profiler.annotated_listing(profile.point, profile.extension))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    """Run one scenario as a benchmark; record and/or compare."""
+    import json as _json
+    import os as _os
+    from datetime import datetime, timezone
+
+    from .eval import bench
+
+    scenario = f"{args.scenario}-{args.impl}-{args.engine}"
+    wall = []
+    _scenario_harness(args).run()  # warm (JIT translation, allocator)
+    harness = None
+    for _ in range(args.runs):
+        harness = _scenario_harness(args)
+        wall.append(harness.run())
+    snapshot = harness.telemetry_snapshot()
+    series = (
+        snapshot["metrics"].get("xbgp_extension_instructions", {}).get("series", [])
+        if snapshot is not None
+        else []
+    )
+    instructions = sum(int(s["value"]) for s in series)
+    record = bench.make_record(
+        scenario,
+        wall,
+        args.routes,
+        instructions=instructions,
+        timestamp=datetime.now(timezone.utc).isoformat(),
+        extra={"implementation": args.impl, "engine": args.engine, "seed": args.seed},
+    )
+    print(_json.dumps(record, indent=2, sort_keys=True))
+    if args.record is not None:
+        path = bench.write_record(record, args.record)
+        print(f"# wrote {path}", file=sys.stderr)
+    if args.compare is not None:
+        baseline_path = args.compare
+        if _os.path.isdir(baseline_path):
+            baseline_path = _os.path.join(baseline_path, bench.bench_filename(scenario))
+        try:
+            baseline = bench.load_record(baseline_path)
+        except FileNotFoundError:
+            raise SystemExit(f"xbgp bench: no baseline at {baseline_path}")
+        except ValueError as exc:
+            raise SystemExit(f"xbgp bench: {exc}")
+        try:
+            result = bench.compare(record, baseline, threshold=args.threshold)
+        except ValueError as exc:
+            raise SystemExit(f"xbgp bench: {exc}")
+        print(bench.render_compare(result), file=sys.stderr)
+        return 1 if result["regression"] else 0
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="xbgp", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -391,6 +541,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="quarantine an extension after N consecutive errors (0: never)",
     )
     p.add_argument(
+        "--health", action="store_true",
+        help="print only quarantine/circuit-breaker state per extension",
+    )
+    p.add_argument(
         "--trace-out", metavar="FILE", default=None,
         help="also export the trace ring as JSON Lines",
     )
@@ -448,6 +602,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip ddmin minimization of divergent cases",
     )
     p.set_defaults(fn=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "profile", help="profile one scenario: phases, hotspots, flamegraph"
+    )
+    p.add_argument(
+        "--scenario", choices=sorted(_SCENARIO_FEATURES), default="route-reflection"
+    )
+    p.add_argument("--impl", choices=["frr", "bird"], default="frr")
+    p.add_argument("--engine", choices=["jit", "interp"], default="jit")
+    p.add_argument("--routes", type=int, default=400)
+    p.add_argument("--seed", type=int, default=20200604)
+    p.add_argument("--top", type=int, default=10, help="hotspots per extension")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument(
+        "--listing", action="store_true",
+        help="append the full annotated disassembly per extension (text mode)",
+    )
+    p.add_argument(
+        "--flamegraph", metavar="FILE", default=None,
+        help="write a collapsed-stack file (speedscope / flamegraph.pl)",
+    )
+    p.add_argument(
+        "--weights", choices=["instructions", "time"], default="instructions",
+        help="collapsed-stack weights (default: instructions)",
+    )
+    p.set_defaults(fn=_cmd_profile)
+
+    p = sub.add_parser(
+        "bench", help="benchmark one scenario; record/compare BENCH_*.json"
+    )
+    p.add_argument(
+        "--scenario", choices=sorted(_SCENARIO_FEATURES), default="route-reflection"
+    )
+    p.add_argument("--impl", choices=["frr", "bird"], default="frr")
+    p.add_argument("--engine", choices=["jit", "interp"], default="jit")
+    p.add_argument("--routes", type=int, default=400)
+    p.add_argument("--runs", type=int, default=5)
+    p.add_argument("--seed", type=int, default=20200604)
+    p.add_argument(
+        "--record", nargs="?", const=".", default=None, metavar="DIR",
+        help="write BENCH_<scenario>.json into DIR (default: .)",
+    )
+    p.add_argument(
+        "--compare", metavar="PATH", default=None,
+        help="baseline BENCH_*.json file (or directory holding it); "
+        "exits 1 on regression",
+    )
+    p.add_argument(
+        "--threshold", type=float, default=0.5,
+        help="regression threshold as a fraction over baseline (default 0.5)",
+    )
+    p.set_defaults(fn=_cmd_bench)
 
     return parser
 

@@ -47,6 +47,25 @@ class AttachError(Exception):
     """A program could not be attached (verification or lookup failed)."""
 
 
+def _timed_run(run_fn, observe):
+    """The single timing seam for monitored extension runs.
+
+    Every path that measures a run — the general traced loop, the
+    pre-bound fast closures, and profiled execution — funnels through
+    here: ``observe`` is composed once at attach/enable time (histogram
+    update, profiler ``note_run``), so adding an observer never touches
+    the run sites.  The ``finally`` also times exceptions that re-raise
+    out of the VMM (internal bugs on the bytecode path) — a deliberate
+    simplification over raise-before-observe, keeping the fast and
+    general paths symmetric.
+    """
+    start = perf_counter()
+    try:
+        return run_fn()
+    finally:
+        observe(perf_counter() - start)
+
+
 class VmmConfig:
     """Resource limits applied to every attached extension code.
 
@@ -121,6 +140,8 @@ class _Attached:
         "m_insns",
         "m_helpers",
         "hist",
+        "observe",
+        "profile",
     )
 
     def __init__(self, code, vm: Optional[VirtualMachine], state: ProgramState):
@@ -138,6 +159,12 @@ class _Attached:
         self.m_insns = None
         self.m_helpers = None
         self.hist = None
+        #: The composed per-run observer passed to :func:`_timed_run`
+        #: (histogram observe, plus profiler bookkeeping while a
+        #: profiler is enabled).  ``None`` means the run is not timed.
+        self.observe = None
+        #: The extension's VmProfile while a profiler is enabled.
+        self.profile = None
 
 
 class VirtualMachineManager:
@@ -163,6 +190,10 @@ class VirtualMachineManager:
         self._programs: Dict[str, XbgpProgram] = {}
         self.fallbacks = 0
         self._point_fallbacks: Dict[InsertionPoint, int] = {}
+        #: The active Profiler, or None.  Like provenance, a profiler
+        #: disqualifies the fast path while installed and is free when
+        #: absent; see :meth:`enable_profiling`.
+        self.profiler = None
         if telemetry is not None:
             self.telemetry = telemetry
         elif self.config.telemetry:
@@ -223,6 +254,8 @@ class VirtualMachineManager:
         for item in attached:
             if self.telemetry is not None:
                 self._instrument(item)
+            if self.profiler is not None:
+                self._profile_item(item)
             chain = self._chains.setdefault(item.code.insertion_point, [])
             chain.append(item)
             chain.sort(key=lambda entry: entry.code.seq)
@@ -259,6 +292,7 @@ class VirtualMachineManager:
         item.hist = registry.histogram(
             "xbgp_extension_run_seconds", "per-run latency", **labels
         )
+        item.observe = item.hist.observe
 
     def detach_program(self, name: str) -> None:
         """Remove every extension code of program ``name``.
@@ -285,10 +319,11 @@ class VirtualMachineManager:
     def _rebind(self, point: InsertionPoint) -> None:
         """Rebuild (or drop) the specialized closure for ``point``.
 
-        Provenance disqualifies the fast path: the specialized closures
-        deliberately do not consult the tracker per run (that is what
-        keeps the off state free), so while a tracker is installed the
-        general loop — which carries the provenance hooks — must run.
+        Provenance and profiling disqualify the fast path: the
+        specialized closures deliberately do not consult the tracker or
+        profiler per run (that is what keeps the off state free), so
+        while either is installed the general loop — which carries
+        their hooks — must run.
         """
         chain = self._chains.get(point)
         if (
@@ -296,6 +331,7 @@ class VirtualMachineManager:
             or not chain
             or len(chain) != 1
             or self.host.provenance is not None
+            or self.profiler is not None
         ):
             self._fast.pop(point, None)
             return
@@ -308,11 +344,84 @@ class VirtualMachineManager:
         """Re-evaluate every specialized closure.
 
         Called after anything the pre-bound closures do not re-check per
-        run changes — today that is toggling the host's provenance
-        tracker on or off.
+        run changes — toggling the host's provenance tracker or this
+        manager's profiler on or off.
         """
         for point in list(self._chains):
             self._rebind(point)
+
+    # -- profiling ---------------------------------------------------------
+
+    def enable_profiling(self, profiler) -> None:
+        """Install ``profiler`` and route runs through the profiled seam.
+
+        Creates one :class:`~repro.telemetry.profiler.VmProfile` per
+        attached code (swapping each VM onto its profiled execution
+        path), composes the per-run observer to also feed the profile,
+        and rebinds every specialized closure away — the same gating
+        discipline as ``enable_provenance``: on pays for what it
+        measures, off is free.
+        """
+        if profiler is None:
+            raise ValueError("enable_profiling requires a Profiler")
+        self.profiler = profiler
+        for chain in self._chains.values():
+            for item in chain:
+                self._profile_item(item)
+        self.rebind_all()
+
+    def disable_profiling(self) -> None:
+        """Remove the profiler and restore the fast path."""
+        if self.profiler is None:
+            return
+        self.profiler = None
+        for chain in self._chains.values():
+            for item in chain:
+                item.profile = None
+                item.observe = item.hist.observe if item.hist is not None else None
+                if item.vm is not None:
+                    item.vm.set_profile(None)
+        self.rebind_all()
+
+    def _profile_item(self, item: _Attached) -> None:
+        """Bind ``item`` to its profile and compose its run observer.
+
+        The observer samples the heap bump pointer *after* the run
+        (``reset_heap`` precedes each run, so ``heap_used`` at observe
+        time is exactly this run's allocation high watermark).
+        """
+        point = item.code.insertion_point.value
+        profile = self.profiler.profile_for(point, item.code.name, item.vm)
+        item.profile = profile
+        note_run = profile.note_run
+        base = item.hist.observe if item.hist is not None else None
+        if item.vm is not None:
+            item.vm.set_profile(profile)
+            memory = item.vm.memory
+            if base is not None:
+
+                def observe(elapsed, _base=base, _note=note_run, _memory=memory):
+                    _base(elapsed)
+                    _note(elapsed, _memory.heap_used)
+
+            else:
+
+                def observe(elapsed, _note=note_run, _memory=memory):
+                    _note(elapsed, _memory.heap_used)
+
+        else:
+            if base is not None:
+
+                def observe(elapsed, _base=base, _note=note_run):
+                    _base(elapsed)
+                    _note(elapsed, 0)
+
+            else:
+
+                def observe(elapsed, _note=note_run):
+                    _note(elapsed, 0)
+
+        item.observe = observe
 
     def attached_codes(self, point: InsertionPoint) -> List[str]:
         """Names of the codes attached to ``point``, in execution order."""
@@ -412,17 +521,28 @@ class VirtualMachineManager:
         ctx: ExecutionContext,
         default_fn: Callable[[], int],
     ) -> int:
-        """Uninstrumented execution (seed semantics, no telemetry cost)."""
+        """Uninstrumented execution (seed semantics, no telemetry cost).
+
+        When a profiler is enabled without telemetry, ``item.observe``
+        still carries the profile bookkeeping, so runs are timed through
+        the :func:`_timed_run` seam; otherwise no clock is read.
+        """
         prov = self.host.provenance
         point = ctx.insertion_point.value
+        host = self.host
         for item in chain:
             item.executions += 1
             ctx.next_requested = False
+            observe = item.observe
             if prov is not None:
                 prov.vmm_enter(ctx, point, item.code.name)
             if item.code.is_native:
                 try:
-                    result = item.code.fn(ctx, self.host)
+                    if observe is not None:
+                        fn = item.code.fn
+                        result = _timed_run(lambda: fn(ctx, host), observe)
+                    else:
+                        result = item.code.fn(ctx, self.host)
                 except NextRequested:
                     if prov is not None:
                         prov.vmm_exit(ctx, point, item.code.name, "next")
@@ -443,7 +563,10 @@ class VirtualMachineManager:
             vm.ctx = ctx
             vm.memory.reset_heap()
             try:
-                result = vm.run(r1=0)
+                if observe is not None:
+                    result = _timed_run(vm.run, observe)
+                else:
+                    result = vm.run(r1=0)
             except NextRequested:
                 if prov is not None:
                     prov.vmm_exit(ctx, point, item.code.name, "next")
@@ -470,12 +593,19 @@ class VirtualMachineManager:
         ctx: ExecutionContext,
         default_fn: Callable[[], int],
     ) -> int:
-        """Instrumented execution: metrics, trace and quarantine."""
+        """Instrumented execution: metrics, trace and quarantine.
+
+        Timing goes through :func:`_timed_run` with the observer
+        composed at attach/enable time (``item.observe``): histogram
+        only in plain telemetry, histogram + profile bookkeeping while
+        a profiler is enabled.
+        """
         telemetry = self.telemetry
         trace = telemetry.trace
         health_engine = telemetry.health
         prov = self.host.provenance
         point = ctx.insertion_point.value
+        host = self.host
         for item in chain:
             health = item.health
             if health.state != "closed" and not health_engine.allow(health):
@@ -493,15 +623,13 @@ class VirtualMachineManager:
             if vm is not None:
                 vm.ctx = ctx
                 vm.memory.reset_heap()
-            start = perf_counter()
+                run_fn = vm.run
+            else:
+                fn = item.code.fn
+                run_fn = lambda: fn(ctx, host)  # noqa: E731 - bound per item run
             try:
-                if vm is None:
-                    result = item.code.fn(ctx, self.host)
-                else:
-                    result = vm.run(r1=0)
+                result = _timed_run(run_fn, item.observe)
             except NextRequested:
-                elapsed = perf_counter() - start
-                item.hist.observe(elapsed)
                 item.m_next.inc()
                 if vm is not None:
                     item.m_insns.inc(vm.steps_executed)
@@ -517,8 +645,6 @@ class VirtualMachineManager:
                     exc, (SandboxViolation, ExecutionError, HelperError)
                 ):
                     raise  # bytecode path: only sandbox faults are absorbed
-                elapsed = perf_counter() - start
-                item.hist.observe(elapsed)
                 item.m_err.inc()
                 item.m_fallback.inc()
                 if vm is not None:
@@ -539,8 +665,6 @@ class VirtualMachineManager:
                     "xbgp_vmm_fallbacks", "chain fallbacks to native", point=point
                 ).inc()
                 return default_fn()
-            elapsed = perf_counter() - start
-            item.hist.observe(elapsed)
             if vm is not None:
                 item.m_insns.inc(vm.steps_executed)
                 item.m_helpers.inc(vm.helper_calls)
@@ -637,7 +761,15 @@ class VirtualMachineManager:
         point = item.code.insertion_point.value
         name = item.code.name
         hist = item.hist
-        hist_observe = hist.observe
+        boundaries = hist.boundaries
+
+        def observe(elapsed: float) -> None:
+            # Histogram.observe inlined once per binding: the single
+            # hist-update site both closures hand to _timed_run.
+            hist.counts[bisect_left(boundaries, elapsed)] += 1
+            hist.sum += elapsed
+            hist.count += 1
+
         m_exec = item.m_exec
         m_err = item.m_err
         m_fallback = item.m_fallback
@@ -667,14 +799,9 @@ class VirtualMachineManager:
                 m_exec.value += 1
                 ctx.next_requested = False
                 trace_fast("enter", point, name)
-                start = perf_counter()
                 try:
-                    result = fn(ctx, host)
+                    result = _timed_run(lambda: fn(ctx, host), observe)
                 except NextRequested:
-                    elapsed = perf_counter() - start
-                    hist.counts[bisect_left(hist.boundaries, elapsed)] += 1
-                    hist.sum += elapsed
-                    hist.count += 1
                     m_next.value += 1
                     health_engine.record_success(health)
                     trace_fast("next", point, name)
@@ -682,7 +809,6 @@ class VirtualMachineManager:
                     trace_record("default", point)
                     return default_fn()
                 except Exception as exc:  # noqa: BLE001 - must never crash the host
-                    hist_observe(perf_counter() - start)
                     m_err.inc()
                     m_fallback.inc()
                     note_fallback(item, ctx, exc)
@@ -691,10 +817,6 @@ class VirtualMachineManager:
                     trace_record("fallback", point, name, error=ctx.error)
                     fallback_inc()
                     return default_fn()
-                elapsed = perf_counter() - start
-                hist.counts[bisect_left(hist.boundaries, elapsed)] += 1
-                hist.sum += elapsed
-                hist.count += 1
                 health_engine.record_success(health)
                 event = trace_fast("exit", point, name)
                 event["outcome"] = "return"
@@ -729,14 +851,9 @@ class VirtualMachineManager:
             trace_fast("enter", point, name)
             vm.ctx = ctx
             reset_heap()
-            start = perf_counter()
             try:
-                result = vm_run()
+                result = _timed_run(vm_run, observe)
             except NextRequested:
-                elapsed = perf_counter() - start
-                hist.counts[bisect_left(hist.boundaries, elapsed)] += 1
-                hist.sum += elapsed
-                hist.count += 1
                 m_next.value += 1
                 m_insns.value += vm.steps_executed
                 m_helpers.value += vm.helper_calls
@@ -746,7 +863,6 @@ class VirtualMachineManager:
                 trace_record("default", point)
                 return default_fn()
             except (SandboxViolation, ExecutionError, HelperError) as exc:
-                hist_observe(perf_counter() - start)
                 m_err.inc()
                 m_fallback.inc()
                 m_insns.inc(vm.steps_executed)
@@ -759,7 +875,6 @@ class VirtualMachineManager:
                 return default_fn()
             except budget_error as exc:
                 wrapped = ExecutionError(exc.pc, budget_message)
-                hist_observe(perf_counter() - start)
                 m_err.inc()
                 m_fallback.inc()
                 m_insns.inc(vm.steps_executed)
@@ -770,10 +885,6 @@ class VirtualMachineManager:
                 trace_record("fallback", point, name, error=ctx.error)
                 fallback_inc()
                 return default_fn()
-            elapsed = perf_counter() - start
-            hist.counts[bisect_left(hist.boundaries, elapsed)] += 1
-            hist.sum += elapsed
-            hist.count += 1
             m_insns.value += vm.steps_executed
             m_helpers.value += vm.helper_calls
             health_engine.record_success(health)

@@ -233,6 +233,7 @@ def translate(
     step_budget: int,
     vm,
     trusted_layout: bool = False,
+    profile=None,
 ) -> Callable[..., int]:
     """Translate ``program`` into a Python ``run(r1..r5) -> r0``.
 
@@ -240,9 +241,17 @@ def translate(
     and ``vm.memory``).  ``trusted_layout`` asserts the xc frame
     convention (scalars above ``-SCALAR_LIMIT``, blocks below), enabling
     scalar-slot promotion in programs that take stack addresses.
+
+    With a ``profile`` (:class:`repro.telemetry.profiler.VmProfile`)
+    the generated code additionally maintains per-block entry and
+    instruction counters (incremented exactly where ``steps`` flushes,
+    so their sum equals ``steps_executed`` at every observable point),
+    times each helper call, and tracks the stack high watermark.  Slot
+    promotion is disabled in profiled translations so stack traffic is
+    observable; step accounting is identical either way.
     """
     leaders = _leaders(program)
-    slots = _promotable_slots(program, trusted_layout)
+    slots = _promotable_slots(program, trusted_layout) if profile is None else set()
     count = len(program)
 
     # Direct heap/stack views: VmMemory guarantees these regions'
@@ -270,11 +279,22 @@ def translate(
     for helper_id in helpers.ids():
         helper = helpers.get(helper_id)
         namespace[f"H{helper_id}"] = helper.fn
+    if profile is not None:
+        from time import perf_counter
+
+        namespace["PB"] = profile.block_entries
+        namespace["PI"] = profile.block_insns
+        namespace["HT"] = profile.helper_seconds
+        namespace["HK"] = profile.helper_count
+        namespace["PSL"] = profile.stack_low
+        namespace["perf"] = perf_counter
 
     # With promoted slots, computed addresses are almost always heap
     # pointers (helper results); without promotion, the stack spill
     # traffic dominates.  Pick the fast-path order accordingly.
-    emitter = _BlockEmitter(program, slots, heap_first=bool(slots))
+    emitter = _BlockEmitter(
+        program, slots, heap_first=bool(slots), profiled=profile is not None
+    )
 
     w = _Writer()
     w.emit(0, "def run(r1=0, r2=0, r3=0, r4=0, r5=0):")
@@ -308,6 +328,11 @@ def translate(
                 indent,
                 f"if steps + {block_insns} > {step_budget}: raise ExecBudget({leader})",
             )
+            if profile is not None:
+                # Entry counter after the budget check: entries count
+                # blocks that actually started executing.
+                w.emit(indent, f"PB[{leader}] += 1")
+            emitter.block_leader = leader
             last = (
                 index + 1 >= len(leaders)
                 or index - block_index >= _FALLTHROUGH_INLINE_MAX
@@ -364,10 +389,20 @@ def _sx(expr: str, bits: int) -> str:
 
 
 class _BlockEmitter:
-    def __init__(self, program: Sequence[Instruction], slots: Set[int], heap_first: bool):
+    def __init__(
+        self,
+        program: Sequence[Instruction],
+        slots: Set[int],
+        heap_first: bool,
+        profiled: bool = False,
+    ):
         self.program = program
         self.slots = slots
         self.heap_first = heap_first
+        self.profiled = profiled
+        #: Leader of the block currently being emitted; maintained by
+        #: the caller so profiled step flushes charge the right block.
+        self.block_leader = 0
         self.mirrors = _Mirrors()
         #: Steps accrued since the last flush.  Straight-line ALU work
         #: batches into one ``steps += n``; a flush is forced before any
@@ -378,7 +413,16 @@ class _BlockEmitter:
 
     def _flush_steps(self, w: _Writer, indent: int) -> None:
         if self._pending:
-            w.emit(indent, f"steps += {self._pending}")
+            if self.profiled:
+                # Mirror every steps flush into the per-block counter so
+                # sum(PI) == steps at each observable point.
+                w.emit(
+                    indent,
+                    f"steps += {self._pending}; "
+                    f"PI[{self.block_leader}] += {self._pending}",
+                )
+            else:
+                w.emit(indent, f"steps += {self._pending}")
             self._pending = 0
 
     # -- memory fast paths ------------------------------------------------
@@ -393,10 +437,14 @@ class _BlockEmitter:
         w.emit(indent, f"_o = _a - {base1}")
         w.emit(indent, f"if 0 <= _o and _o + {size} <= {size1}:")
         w.emit(indent + 1, self._read_expr(dst, buf1, size))
+        if self.profiled and buf1 == "stk":
+            w.emit(indent + 1, "if _o < PSL[0]: PSL[0] = _o")
         w.emit(indent, "else:")
         w.emit(indent + 1, f"_o = _a - {base2}")
         w.emit(indent + 1, f"if 0 <= _o and _o + {size} <= {size2}:")
         w.emit(indent + 2, self._read_expr(dst, buf2, size))
+        if self.profiled and buf2 == "stk":
+            w.emit(indent + 2, "if _o < PSL[0]: PSL[0] = _o")
         w.emit(indent + 1, "else:")
         w.emit(indent + 2, f"{dst} = mem_read(_a, {size})")
 
@@ -417,10 +465,14 @@ class _BlockEmitter:
         w.emit(indent, f"_o = _a - {base1}")
         w.emit(indent, f"if 0 <= _o and _o + {size} <= {size1}:")
         w.emit(indent + 1, self._write_stmt(buf1, size))
+        if self.profiled and buf1 == "stk":
+            w.emit(indent + 1, "if _o < PSL[0]: PSL[0] = _o")
         w.emit(indent, "else:")
         w.emit(indent + 1, f"_o = _a - {base2}")
         w.emit(indent + 1, f"if 0 <= _o and _o + {size} <= {size2}:")
         w.emit(indent + 2, self._write_stmt(buf2, size))
+        if self.profiled and buf2 == "stk":
+            w.emit(indent + 2, "if _o < PSL[0]: PSL[0] = _o")
         w.emit(indent + 1, "else:")
         w.emit(indent + 2, f"mem_write(_a, {size}, _v)")
 
@@ -477,7 +529,17 @@ class _BlockEmitter:
             if opcode == OP_CALL:
                 self._flush_steps(w, indent)
                 w.emit(indent, "hc += 1")
-                w.emit(indent, f"r0 = H{insn.imm}(vm, r1, r2, r3, r4, r5) & {_M64}")
+                if self.profiled:
+                    w.emit(indent, "_t = perf()")
+                    w.emit(
+                        indent, f"r0 = H{insn.imm}(vm, r1, r2, r3, r4, r5) & {_M64}"
+                    )
+                    w.emit(indent, f"HT[{insn.imm}] += perf() - _t")
+                    w.emit(indent, f"HK[{insn.imm}] += 1")
+                else:
+                    w.emit(
+                        indent, f"r0 = H{insn.imm}(vm, r1, r2, r3, r4, r5) & {_M64}"
+                    )
                 w.emit(indent, "r1 = r2 = r3 = r4 = r5 = 0")
                 mirrors.kill_regs(range(0, 6))
                 index += 1

@@ -1,0 +1,180 @@
+"""repro.eval.bench — continuous benchmark recording and regression gates.
+
+The paper's evaluation (Fig. 4, the ablations) is a set of wall-clock
+numbers measured once; this module makes them *trackable*: every
+benchmark scenario can be recorded to a small schema'd JSON file
+(``BENCH_<scenario>.json``) carrying the median/p95 wall time, the
+derived routes-per-second throughput, the VMM's instruction counters
+and enough provenance (git SHA, timestamp, workload parameters) to
+compare apples to apples across commits.
+
+``compare()`` is the regression gate: given a current record and a
+committed baseline it flags a regression when the current median wall
+time exceeds the baseline by more than a noise threshold (default
+50% — generous because these are single-machine wall-clock numbers,
+but a real slowdown like an accidentally disabled marshalling cache
+is a 2-10x cliff, far past any plausible noise).  ``xbgp bench
+--compare`` turns a regression into a nonzero exit for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import subprocess
+from typing import Dict, List, Optional
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "bench_filename",
+    "compare",
+    "git_sha",
+    "load_record",
+    "make_record",
+    "render_compare",
+    "write_record",
+]
+
+SCHEMA_VERSION = 1
+
+#: Default regression threshold: current median more than 50% above the
+#: baseline median counts as a regression.
+DEFAULT_THRESHOLD = 0.50
+
+
+def git_sha(repo_dir: Optional[str] = None) -> str:
+    """The current commit SHA, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_dir,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile; robust for the small n used here."""
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def make_record(
+    scenario: str,
+    wall_seconds: List[float],
+    routes: int,
+    instructions: int = 0,
+    timestamp: Optional[str] = None,
+    sha: Optional[str] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Build one schema'd benchmark record from raw per-run wall times."""
+    if not wall_seconds:
+        raise ValueError("need at least one wall-clock sample")
+    median = statistics.median(wall_seconds)
+    record: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "scenario": scenario,
+        "runs": len(wall_seconds),
+        "routes": routes,
+        "median_wall_seconds": median,
+        "p95_wall_seconds": _percentile(wall_seconds, 0.95),
+        "min_wall_seconds": min(wall_seconds),
+        "routes_per_second": (routes / median) if median > 0 else 0.0,
+        "instructions": instructions,
+        "git_sha": sha if sha is not None else git_sha(),
+        "timestamp": timestamp or "",
+    }
+    if extra:
+        record.update(extra)
+    return record
+
+
+def bench_filename(scenario: str) -> str:
+    return f"BENCH_{scenario}.json"
+
+
+def write_record(record: Dict[str, object], directory: str = ".") -> str:
+    """Write ``BENCH_<scenario>.json``; returns the path written."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, bench_filename(str(record["scenario"])))
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_record(path: str) -> Dict[str, object]:
+    with open(path) as fh:
+        record = json.load(fh)
+    version = record.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {version!r}, expected {SCHEMA_VERSION}"
+        )
+    return record
+
+
+def compare(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Dict[str, object]:
+    """Current vs baseline medians; ``regression`` True past threshold.
+
+    The ratio is wall-clock median over wall-clock median, so >1 means
+    slower.  Instruction counts are compared exactly when both records
+    carry them — a changed count isn't a regression by itself (the
+    workload may legitimately change), but it is reported so a wall
+    time shift can be told apart from an instruction-mix shift.
+    """
+    if current.get("scenario") != baseline.get("scenario"):
+        raise ValueError(
+            f"scenario mismatch: {current.get('scenario')!r} vs "
+            f"{baseline.get('scenario')!r}"
+        )
+    current_median = float(current["median_wall_seconds"])
+    baseline_median = float(baseline["median_wall_seconds"])
+    ratio = (current_median / baseline_median) if baseline_median > 0 else float("inf")
+    return {
+        "scenario": current.get("scenario"),
+        "baseline_median_wall_seconds": baseline_median,
+        "current_median_wall_seconds": current_median,
+        "ratio": ratio,
+        "threshold": threshold,
+        "regression": ratio > 1.0 + threshold,
+        "baseline_instructions": baseline.get("instructions", 0),
+        "current_instructions": current.get("instructions", 0),
+        "baseline_sha": baseline.get("git_sha", "unknown"),
+        "current_sha": current.get("git_sha", "unknown"),
+    }
+
+
+def render_compare(result: Dict[str, object]) -> str:
+    """Human-readable one-scenario comparison."""
+    ratio = float(result["ratio"])
+    verdict = "REGRESSION" if result["regression"] else "ok"
+    lines = [
+        f"{result['scenario']}: {verdict}",
+        f"  baseline  {float(result['baseline_median_wall_seconds']) * 1000:.2f} ms"
+        f"  ({str(result['baseline_sha'])[:12]})",
+        f"  current   {float(result['current_median_wall_seconds']) * 1000:.2f} ms"
+        f"  ({str(result['current_sha'])[:12]})",
+        f"  ratio     {ratio:.2f}x (threshold {1.0 + float(result['threshold']):.2f}x)",
+    ]
+    base_insns = int(result.get("baseline_instructions") or 0)
+    cur_insns = int(result.get("current_instructions") or 0)
+    if base_insns and cur_insns and base_insns != cur_insns:
+        lines.append(
+            f"  note: instruction count changed {base_insns} -> {cur_insns} "
+            "(workload or extension mix shifted)"
+        )
+    return "\n".join(lines)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import struct
 from collections import Counter
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..bgp.attributes import PathAttribute
@@ -54,7 +55,7 @@ from ..core.insertion_points import InsertionPoint
 from ..core.manifest import Manifest
 from ..core.vmm import VirtualMachineManager, VmmConfig
 from ..igp.spf import IgpView
-from ..telemetry import ProvenanceTracker
+from ..telemetry import Profiler, ProvenanceTracker
 from .attrs_intern import AttrPool, FrrAttrs
 from .rib import FrrRoute
 from .xbgp_glue import FrrHost, _AttrsBox
@@ -99,6 +100,7 @@ class FrrDaemon:
         vmm_config: Optional[VmmConfig] = None,
         hot_path: bool = True,
         provenance: bool = False,
+        profiling: bool = False,
     ):
         if route_reflector not in (None, "native", "extension"):
             raise ValueError(f"bad route_reflector mode {route_reflector!r}")
@@ -146,6 +148,35 @@ class FrrDaemon:
         self.provenance: Optional[ProvenanceTracker] = None
         if provenance:
             self.enable_provenance()
+        #: The profiler, or None when profiling is off (the default).
+        self.profiler: Optional[Profiler] = None
+        if profiling:
+            self.enable_profiling()
+
+    # -- profiling --------------------------------------------------------
+
+    def enable_profiling(self, profiler: Optional[Profiler] = None) -> Profiler:
+        """Turn on hotspot + phase profiling.
+
+        Wires a :class:`~repro.telemetry.profiler.Profiler` into the
+        VMM (per-extension PC/block counters, helper timing, memory
+        watermarks) and arms the pipeline's phase hooks.  Same gating
+        discipline as :meth:`enable_provenance`: the VMM's fast-path
+        closures are rebound away while profiling is on and restored by
+        :meth:`disable_profiling`, so the off state stays free.
+        """
+        if profiler is None:
+            profiler = Profiler(
+                router=format_ipv4(self.router_id),
+                implementation=self.implementation,
+            )
+        self.profiler = profiler
+        self.vmm.enable_profiling(profiler)
+        return profiler
+
+    def disable_profiling(self) -> None:
+        self.profiler = None
+        self.vmm.disable_profiling()
 
     # -- provenance -------------------------------------------------------
 
@@ -364,14 +395,25 @@ class FrrDaemon:
 
     def _process_update_body(self, neighbor: Neighbor, update: UpdateMessage) -> None:
         prov = self.provenance
+        prof = self.profiler
 
         # FRR parses the whole attribute block into struct attr first.
-        box = _AttrsBox(self.attr_pool.intern(FrrAttrs.from_wire(update.attributes)))
+        if prof is not None:
+            started = perf_counter()
+            box = _AttrsBox(
+                self.attr_pool.intern(FrrAttrs.from_wire(update.attributes))
+            )
+            prof.phase("decode", perf_counter() - started)
+        else:
+            box = _AttrsBox(
+                self.attr_pool.intern(FrrAttrs.from_wire(update.attributes))
+            )
 
         # Insertion point 1: BGP_RECEIVE_MESSAGE.  With nothing attached
         # the chain reduces to the no-op default, so the hot path skips
         # context construction and re-encoding the update entirely.
         if not self.hot_path or self.vmm.active(InsertionPoint.BGP_RECEIVE_MESSAGE):
+            started = perf_counter() if prof is not None else 0.0
             ctx = ExecutionContext(
                 self.host,
                 InsertionPoint.BGP_RECEIVE_MESSAGE,
@@ -380,6 +422,8 @@ class FrrDaemon:
                 message=update.encode(),
             )
             self.vmm.run(ctx, lambda: 0)
+            if prof is not None:
+                prof.phase("bgp_receive_message", perf_counter() - started)
 
         dirty: List[Prefix] = []
         for prefix in update.withdrawn:
@@ -389,7 +433,13 @@ class FrrDaemon:
                     prov.record_withdraw(prefix, neighbor)
 
         for prefix in update.nlri:
-            if self._import_route(neighbor, prefix, box.attrs):
+            if prof is not None:
+                started = perf_counter()
+                imported = self._import_route(neighbor, prefix, box.attrs)
+                prof.phase("bgp_inbound_filter", perf_counter() - started)
+            else:
+                imported = self._import_route(neighbor, prefix, box.attrs)
+            if imported:
                 dirty.append(prefix)
 
         for prefix in dirty:
@@ -552,8 +602,14 @@ class FrrDaemon:
         if local is not None:
             candidates.append(local)
         prov = self.provenance
+        prof = self.profiler
         phase = prov.begin_phase("decision", prefix) if prov is not None else None
-        best = self._select_best(candidates)
+        if prof is not None:
+            started = perf_counter()
+            best = self._select_best(candidates)
+            prof.phase("bgp_decision", perf_counter() - started)
+        else:
+            best = self._select_best(candidates)
         previous = self.loc_rib.lookup(prefix)
         if best is previous:
             if phase is not None:
@@ -584,7 +640,13 @@ class FrrDaemon:
             if best.source is not None and best.source.peer_address == address:
                 self._withdraw_from(neighbor, prefix)
                 continue
-            export_route = self._export_filter(best, neighbor)
+            prof = self.profiler
+            if prof is not None:
+                started = perf_counter()
+                export_route = self._export_filter(best, neighbor)
+                prof.phase("bgp_outbound_filter", perf_counter() - started)
+            else:
+                export_route = self._export_filter(best, neighbor)
             if export_route is None:
                 if prov is not None:
                     prov.record_export(prefix, address, "suppress")
@@ -723,7 +785,13 @@ class FrrDaemon:
         return blob
 
     def _send_route(self, neighbor: Neighbor, route: FrrRoute) -> None:
-        attrs_blob = self._encode_attributes(route, neighbor)
+        prof = self.profiler
+        if prof is not None:
+            started = perf_counter()
+            attrs_blob = self._encode_attributes(route, neighbor)
+            prof.phase("bgp_encode_message", perf_counter() - started)
+        else:
+            attrs_blob = self._encode_attributes(route, neighbor)
         body = (
             struct.pack("!H", 0)
             + struct.pack("!H", len(attrs_blob))

@@ -95,6 +95,7 @@ class ConvergenceHarness:
         quarantine=None,
         hot_path: bool = True,
         provenance: bool = False,
+        profiling: bool = False,
     ):
         if implementation not in DAEMONS:
             raise ValueError(f"unknown implementation {implementation!r}")
@@ -119,6 +120,9 @@ class ConvergenceHarness:
         #: True turns on the DUT's per-route provenance tracking — the
         #: observability-overhead ablation's "on" arm.
         self.provenance = provenance
+        #: True turns on the DUT's phase + PC-level profiler (the
+        #: ``xbgp profile`` data source).
+        self.profiling = profiling
         #: Telemetry snapshot of the most recent :meth:`run` (or None
         #: when the DUT runs uninstrumented).
         self.last_telemetry: Optional[Dict[str, object]] = None
@@ -150,6 +154,7 @@ class ConvergenceHarness:
         )
         kwargs["hot_path"] = self.hot_path
         kwargs["provenance"] = self.provenance
+        kwargs["profiling"] = self.profiling
         if self.feature == "route_reflection":
             kwargs["route_reflector"] = self.mode
         if self.feature == "origin_validation" and self.mode == "native":
@@ -241,6 +246,14 @@ class ConvergenceHarness:
         if tracker is None:
             return None
         return tracker.convergence_report()
+
+    def profile_report(self, top: int = 10) -> Optional[Dict[str, object]]:
+        """The DUT's profiler report, or None when the harness runs
+        without profiling."""
+        profiler = self.dut.profiler
+        if profiler is None:
+            return None
+        return profiler.report(top=top)
 
 
 def build_explain_scenario(

@@ -32,6 +32,7 @@ from .metrics import (
     log_buckets,
     render_prometheus,
 )
+from .profiler import PHASES, Profiler, VmProfile
 from .provenance import DEFAULT_STORIES_PER_PREFIX, ProvenanceTracker
 from .spans import DEFAULT_SPAN_CAPACITY, SpanRecorder
 from .trace import DEFAULT_TRACE_CAPACITY, TraceRing
@@ -49,6 +50,9 @@ __all__ = [
     "DEFAULT_SPAN_CAPACITY",
     "ProvenanceTracker",
     "DEFAULT_STORIES_PER_PREFIX",
+    "Profiler",
+    "VmProfile",
+    "PHASES",
     "ExtensionHealth",
     "QuarantineEngine",
     "QuarantinePolicy",

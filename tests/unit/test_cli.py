@@ -275,3 +275,89 @@ class TestExplainAndSpans:
         spans = [json.loads(line) for line in out.read_text().splitlines()]
         assert {span["node"] for span in spans} == {"up", "dut", "down"}
         assert {span["trace"] for span in spans} == {"10.0.1.1#1"}
+
+
+class TestProfile:
+    def test_profile_text_output(self, capsys):
+        code, output = run_cli(["profile", "--routes", "40", "--top", "3"], capsys)
+        assert code == 0
+        assert "phase breakdown (wall clock):" in output
+        assert "bgp_inbound_filter" in output
+        assert "rr_import" in output
+        assert "rr_export" in output
+
+    def test_profile_json_hotspots_sum_to_telemetry(self, capsys):
+        import json
+
+        code, output = run_cli(
+            [
+                "profile", "--scenario", "route-reflection", "--impl", "frr",
+                "--format", "json", "--routes", "40",
+            ],
+            capsys,
+        )
+        assert code == 0
+        report = json.loads(output)
+        counted = report["telemetry_instructions"]
+        assert report["extensions"]
+        for extension in report["extensions"]:
+            key = f"{extension['point']}/{extension['extension']}"
+            assert extension["instructions"] == counted[key] > 0
+
+    def test_profile_flamegraph_export(self, tmp_path, capsys):
+        out = tmp_path / "collapsed.txt"
+        code, _ = run_cli(
+            ["profile", "--routes", "40", "--flamegraph", str(out)], capsys
+        )
+        assert code == 0
+        lines = out.read_text().splitlines()
+        assert lines
+        for line in lines:
+            frames, _, weight = line.rpartition(" ")
+            assert frames.count(";") >= 3
+            assert weight.isdigit()
+
+    def test_stats_health_prints_breaker_table(self, capsys):
+        code, output = run_cli(["stats", "--health", "--routes", "40"], capsys)
+        assert code == 0
+        assert "STATE" in output
+        assert "rr_import" in output
+        assert "closed" in output
+        assert "0 quarantined" in output
+
+
+class TestBench:
+    def test_bench_record_compare_and_regression_gate(self, tmp_path, capsys):
+        import json
+
+        baseline_dir = tmp_path / "baselines"
+        argv = ["bench", "--routes", "40", "--runs", "2"]
+        code, output = run_cli(argv + ["--record", str(baseline_dir)], capsys)
+        assert code == 0
+        path = baseline_dir / "BENCH_route-reflection-frr-jit.json"
+        record = json.loads(path.read_text())
+        assert record["schema_version"] == 1
+        assert record["runs"] == 2
+        assert record["median_wall_seconds"] > 0
+        assert record["instructions"] > 0
+
+        code, _ = run_cli(argv + ["--compare", str(baseline_dir)], capsys)
+        assert code == 0
+
+        # Synthetic 2x slowdown: halve the recorded baseline median and
+        # tighten nothing else — the gate must trip.
+        record["median_wall_seconds"] /= 2.0
+        path.write_text(json.dumps(record))
+        code, _ = run_cli(
+            argv + ["--compare", str(baseline_dir), "--threshold", "0.5"], capsys
+        )
+        assert code == 1
+
+    def test_bench_compare_missing_baseline_is_an_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "bench", "--routes", "40", "--runs", "1",
+                    "--compare", str(tmp_path / "nope"),
+                ]
+            )
