@@ -14,8 +14,10 @@ Knobs (environment variables):
 * ``REPRO_HOTPATH_ROUTES``      — table size per replay (default 400);
 * ``REPRO_HOTPATH_RUNS``        — interleaved measurement pairs per
   cell (default 5);
-* ``REPRO_HOTPATH_MIN_SPEEDUP`` — asserted floor for the jit cells
-  (default 1.25; CI smoke pins 1.0 to keep tiny runs noise-proof);
+* ``REPRO_HOTPATH_MIN_SPEEDUP`` — asserted floor for the jit/native
+  cells (default 1.25; CI smoke pins 1.0 to keep tiny runs noise-proof);
+* ``REPRO_HOTPATH_TIER_MARGIN`` — noise margin for the native-vs-jit
+  tier-ladder gate (default 1.15; CI pins looser);
 * ``REPRO_HOTPATH_JSON``        — when set, a path that accumulates
   every cell's numbers for artifact upload.
 
@@ -39,6 +41,7 @@ from repro.workload import RibGenerator
 ROUTES = int(os.environ.get("REPRO_HOTPATH_ROUTES", "400"))
 RUNS = int(os.environ.get("REPRO_HOTPATH_RUNS", "5"))
 MIN_SPEEDUP = float(os.environ.get("REPRO_HOTPATH_MIN_SPEEDUP", "1.25"))
+TIER_MARGIN = float(os.environ.get("REPRO_HOTPATH_TIER_MARGIN", "1.15"))
 JSON_PATH = os.environ.get("REPRO_HOTPATH_JSON")
 SEED = 20200604
 
@@ -84,7 +87,7 @@ def record_cell(cell, payload):
 
 
 @pytest.mark.parametrize("implementation", ["frr", "bird"])
-@pytest.mark.parametrize("engine", ["jit", "pyext"])
+@pytest.mark.parametrize("engine", ["jit", "native", "pyext"])
 def test_hotpath_speedup(benchmark, implementation, engine):
     """Legacy vs hot-path, interleaved to cancel machine drift."""
     routes = RibGenerator(n_routes=ROUTES, seed=SEED).generate()
@@ -119,14 +122,60 @@ def test_hotpath_speedup(benchmark, implementation, engine):
             "speedup": round(speedup, 3),
         },
     )
-    if engine == "jit":
+    if engine in ("jit", "native"):
         assert speedup >= MIN_SPEEDUP, (
-            f"{implementation}/jit hot-path speedup {speedup:.2f}x "
+            f"{implementation}/{engine} hot-path speedup {speedup:.2f}x "
             f"below the {MIN_SPEEDUP:.2f}x floor"
         )
     else:
         # pyext: glue-only savings; must at least not regress badly.
         assert speedup > 0.85
+
+
+def test_engine_tier_comparison(benchmark):
+    """Honest end-to-end tier ladder on one workload: interp, jit,
+    native and pyext replay the same route-reflection feed.
+
+    Host-side work (decode, RIB, encode) dominates end to end, so the
+    native tier's edge over the JIT here is modest by design — the big
+    ratios live in the per-invocation ablation (test_ablation_engines).
+    The floors asserted are deliberately loose: native must clearly
+    beat the interpreter and must not regress against the JIT.
+    """
+    routes = RibGenerator(n_routes=ROUTES, seed=SEED).generate()
+    tiers = ("interp", "jit", "native", "pyext")
+    for engine in tiers:
+        replay("frr", engine, True, routes)  # warm every arm
+    times = {engine: [] for engine in tiers}
+    for _ in range(RUNS):
+        for engine in tiers:
+            times[engine].append(replay("frr", engine, True, routes))
+    benchmark.pedantic(
+        lambda: replay("frr", "native", True, routes),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    medians = {engine: statistics.median(times[engine]) for engine in tiers}
+    for engine in tiers:
+        rate = ROUTES / medians[engine]
+        print(
+            f"\ntier {engine:<7} {medians[engine] * 1000:8.1f} ms"
+            f"  ({rate:,.0f} routes/s)"
+        )
+    record_cell(
+        "frr/tier-ladder",
+        {
+            "routes": ROUTES,
+            "runs": RUNS,
+            **{
+                f"{engine}_ms": round(medians[engine] * 1000, 3)
+                for engine in tiers
+            },
+        },
+    )
+    assert medians["native"] < medians["interp"]
+    assert medians["native"] < medians["jit"] * TIER_MARGIN
 
 
 def test_hotpath_arms_converge_identically(benchmark):

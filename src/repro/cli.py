@@ -408,9 +408,27 @@ def _cmd_profile(args) -> int:
             f"{s['labels']['point']}/{s['labels']['extension']}": s["value"]
             for s in series
         }
+        report["tiers"] = harness.dut.vmm.tiers()
         print(_json.dumps(report, indent=2))
     else:
         print(profiler.render(top=args.top))
+        tiers = harness.dut.vmm.tiers()
+        if tiers:
+            print()
+            print("tier attribution:")
+            for name, entry in sorted(tiers.items()):
+                line = f"  {name:<24} requested={entry['requested']} used={entry['used']}"
+                if entry.get("fallback_reason"):
+                    line += f"  (fallback: {entry['fallback_reason']})"
+                info = entry.get("native")
+                if info:
+                    line += (
+                        f"  [{info['structured_blocks']} structured blocks,"
+                        f" {len(info['bail_blocks'])} bail-to-jit,"
+                        f" {info['loops']} loops,"
+                        f" {info['direct_stack_ops']} direct stack ops]"
+                    )
+                print(line)
         if args.listing:
             for profile in profiler.profiles():
                 print()
@@ -505,7 +523,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["route_reflection", "origin_validation"],
         default="route_reflection",
     )
-    p.add_argument("--engine", choices=["jit", "interp", "pyext"], default="jit")
+    p.add_argument("--engine", choices=["jit", "interp", "native", "pyext"], default="jit")
     p.add_argument("--routes", type=int, default=2500)
     p.add_argument("--runs", type=int, default=7)
     p.add_argument("--seed", type=int, default=20200604)
@@ -529,7 +547,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="route_reflection",
     )
     p.add_argument("--mode", choices=["extension", "native"], default="extension")
-    p.add_argument("--engine", choices=["jit", "interp", "pyext"], default="jit")
+    p.add_argument("--engine", choices=["jit", "interp", "native", "pyext"], default="jit")
     p.add_argument("--routes", type=int, default=500)
     p.add_argument("--seed", type=int, default=20200604)
     p.add_argument(
@@ -559,7 +577,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("prefix", help="prefix to explain, e.g. 198.51.100.0/24")
     p.add_argument("--implementation", choices=["frr", "bird"], default="frr")
-    p.add_argument("--engine", choices=["jit", "interp", "pyext"], default="jit")
+    p.add_argument("--engine", choices=["jit", "interp", "native", "pyext"], default="jit")
     p.add_argument(
         "--router", choices=["up", "dut", "down"], default="dut",
         help="whose provenance to read (default: the route reflector DUT)",
@@ -574,7 +592,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("spans", help="print the cross-router span tree")
     p.add_argument("prefix", help="prefix to trace, e.g. 198.51.100.0/24")
     p.add_argument("--implementation", choices=["frr", "bird"], default="frr")
-    p.add_argument("--engine", choices=["jit", "interp", "pyext"], default="jit")
+    p.add_argument("--engine", choices=["jit", "interp", "native", "pyext"], default="jit")
     p.add_argument(
         "-o", "--output", metavar="FILE", default=None,
         help="export every router's spans as JSON Lines instead of text",
@@ -610,7 +628,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenario", choices=sorted(_SCENARIO_FEATURES), default="route-reflection"
     )
     p.add_argument("--impl", choices=["frr", "bird"], default="frr")
-    p.add_argument("--engine", choices=["jit", "interp"], default="jit")
+    p.add_argument("--engine", choices=["jit", "interp", "native"], default="jit")
     p.add_argument("--routes", type=int, default=400)
     p.add_argument("--seed", type=int, default=20200604)
     p.add_argument("--top", type=int, default=10, help="hotspots per extension")
@@ -636,7 +654,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenario", choices=sorted(_SCENARIO_FEATURES), default="route-reflection"
     )
     p.add_argument("--impl", choices=["frr", "bird"], default="frr")
-    p.add_argument("--engine", choices=["jit", "interp"], default="jit")
+    p.add_argument("--engine", choices=["jit", "interp", "native"], default="jit")
     p.add_argument("--routes", type=int, default=400)
     p.add_argument("--runs", type=int, default=5)
     p.add_argument("--seed", type=int, default=20200604)

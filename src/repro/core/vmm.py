@@ -69,6 +69,13 @@ def _timed_run(run_fn, observe):
 class VmmConfig:
     """Resource limits applied to every attached extension code.
 
+    ``tier`` selects the execution engine for attached bytecode:
+    ``"interp"`` (reference interpreter), ``"jit"`` (translated
+    dispatch loop) or ``"native"`` (structured native-tier compile,
+    falling back per program to the JIT when the compiler declines —
+    see :mod:`repro.ebpf.native`).  ``engine=`` is kept as a deprecated
+    alias; reading ``config.engine`` returns the tier.
+
     ``telemetry=False`` strips all instrumentation from the execution
     hot path (the ablation benchmark's uninstrumented arm);
     ``quarantine`` configures the circuit breaker (default: never
@@ -85,7 +92,7 @@ class VmmConfig:
         "heap_size",
         "allow_loops",
         "max_instructions",
-        "engine",
+        "tier",
         "telemetry",
         "quarantine",
         "fast_path",
@@ -98,23 +105,36 @@ class VmmConfig:
         heap_size: int = 1 << 16,
         allow_loops: bool = True,
         max_instructions: int = 65536,
-        engine: str = "jit",
+        engine: Optional[str] = None,
         telemetry: bool = True,
         quarantine: Optional[QuarantinePolicy] = None,
         fast_path: bool = True,
         lazy_heap: bool = True,
+        tier: Optional[str] = None,
     ):
-        if engine not in ("jit", "interp"):
-            raise ValueError(f"bad engine {engine!r}")
+        if tier is None:
+            tier = engine if engine is not None else "jit"
+        elif engine is not None and engine != tier:
+            raise ValueError(
+                f"engine= is a deprecated alias of tier=; got engine={engine!r} "
+                f"but tier={tier!r}"
+            )
+        if tier not in ("jit", "interp", "native"):
+            raise ValueError(f"bad tier {tier!r}")
         self.step_budget = step_budget
         self.heap_size = heap_size
         self.allow_loops = allow_loops
         self.max_instructions = max_instructions
-        self.engine = engine
+        self.tier = tier
         self.telemetry = telemetry
         self.quarantine = quarantine
         self.fast_path = fast_path
         self.lazy_heap = lazy_heap
+
+    @property
+    def engine(self) -> str:
+        """Deprecated alias for :attr:`tier`."""
+        return self.tier
 
 
 class _Attached:
@@ -244,7 +264,7 @@ class VirtualMachineManager:
                 helpers,
                 memory=memory,
                 step_budget=self.config.step_budget,
-                jit=self.config.engine == "jit",
+                tier=self.config.tier,
                 trusted_layout=code.layout_hint,
             )
             vm.program_state = state
@@ -397,6 +417,11 @@ class VirtualMachineManager:
         base = item.hist.observe if item.hist is not None else None
         if item.vm is not None:
             item.vm.set_profile(profile)
+            # set_profile re-translates compiled tiers and the native
+            # compiler's verdict may differ under profiling, so refresh
+            # the tier attribution captured at profile creation.
+            profile.engine = item.vm.tier_used or item.vm.tier
+            profile.fallback_reason = item.vm.native_fallback_reason
             memory = item.vm.memory
             if base is not None:
 
@@ -465,6 +490,41 @@ class VirtualMachineManager:
         for point, count in self._point_fallbacks.items():
             if point.value not in result:
                 result[point.value] = {"executions": 0, "errors": 0, "fallbacks": count}
+        return result
+
+    def tiers(self) -> Dict[str, Dict[str, object]]:
+        """Per-code execution-tier attribution.
+
+        Maps code name to the tier the config requested, the tier the
+        code actually runs on (the native compiler may decline a
+        program and fall back to the JIT) and, when it fell back, why.
+        Host-native (pyext) codes report tier ``"host"``.
+        """
+        result: Dict[str, Dict[str, object]] = {}
+        for chain in self._chains.values():
+            for item in chain:
+                if item.vm is None:
+                    result[item.code.name] = {
+                        "requested": "host",
+                        "used": "host",
+                        "fallback_reason": None,
+                    }
+                    continue
+                entry: Dict[str, object] = {
+                    "requested": item.vm.tier,
+                    "used": item.vm.tier_used,
+                    "fallback_reason": item.vm.native_fallback_reason,
+                }
+                info = item.vm.native_info
+                if info is not None:
+                    entry["native"] = {
+                        "structured_blocks": len(info.structured_blocks),
+                        "bail_blocks": sorted(info.bail_blocks),
+                        "bail_sites": info.bail_sites,
+                        "loops": info.loops,
+                        "direct_stack_ops": info.direct_stack_ops,
+                    }
+                result[item.code.name] = entry
         return result
 
     def quarantined_codes(self) -> List[str]:

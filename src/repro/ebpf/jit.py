@@ -226,6 +226,83 @@ class _Mirrors:
         return self._reg_of.get(slot) == register
 
 
+def emit_dispatch_loop(
+    w: "_Writer",
+    program: Sequence[Instruction],
+    leaders: List[int],
+    emitter: "_BlockEmitter",
+    step_budget: int,
+    indent: int,
+    profiled: bool,
+) -> None:
+    """Emit the ``pc``-dispatch body over ``leaders``.
+
+    The caller provides the enclosing ``while True:`` loop; this emits a
+    balanced binary search over block leaders with fall-through inlining.
+    Shared between :func:`translate` (whole-program dispatch) and the
+    native tier's bail tail (:mod:`repro.ebpf.native`), which demotes
+    unstructurable control flow onto exactly this loop.
+    """
+    count = len(program)
+
+    def emit_leaf(block_index: int, ind: int) -> None:
+        # Emit the block, then keep inlining fall-through successors (up
+        # to _FALLTHROUGH_INLINE_MAX) so straight-line control flow
+        # never re-enters the dispatch loop.  Inlined blocks may also
+        # exist as their own dispatch leaves (they are jump targets);
+        # the duplication trades code size for dispatch rounds.
+        index = block_index
+        while True:
+            leader = leaders[index]
+            end = leaders[index + 1] if index + 1 < len(leaders) else count
+            # Budget checked against the whole block up front (bounds
+            # loops without per-instruction tests); steps themselves
+            # accrue incrementally inside the block so mid-block faults
+            # report the same count the interpreter would.
+            block_insns = _count_insns(program, leader, end)
+            w.emit(
+                ind,
+                f"if steps + {block_insns} > {step_budget}: raise ExecBudget({leader})",
+            )
+            if profiled:
+                # Entry counter after the budget check: entries count
+                # blocks that actually started executing.
+                w.emit(ind, f"PB[{leader}] += 1")
+            emitter.block_leader = leader
+            last = (
+                index + 1 >= len(leaders)
+                or index - block_index >= _FALLTHROUGH_INLINE_MAX
+            )
+            terminated = emitter.emit_block(
+                w, leader, end, indent=ind, fallthrough=last
+            )
+            if terminated or last:
+                return
+            index += 1
+
+    def emit_dispatch(lo: int, hi: int, ind: int) -> None:
+        # Balanced binary search over block leaders: every jump costs
+        # O(log blocks) comparisons instead of the O(blocks) scan of a
+        # flat if/elif chain — the dominant dispatch cost for programs
+        # with many basic blocks.
+        span = hi - lo
+        if span <= _LINEAR_DISPATCH_MAX:
+            for block_index in range(lo, hi):
+                keyword = "if" if block_index == lo else "elif"
+                w.emit(ind, f"{keyword} pc == {leaders[block_index]}:")
+                emit_leaf(block_index, ind + 1)
+            w.emit(ind, "else:")
+            w.emit(ind + 1, "raise ExecBudget(pc)")
+            return
+        mid = lo + span // 2
+        w.emit(ind, f"if pc < {leaders[mid]}:")
+        emit_dispatch(lo, mid, ind + 1)
+        w.emit(ind, "else:")
+        emit_dispatch(mid, hi, ind + 1)
+
+    emit_dispatch(0, len(leaders), indent)
+
+
 def translate(
     program: Sequence[Instruction],
     helpers: HelperTable,
@@ -309,62 +386,9 @@ def translate(
     w.emit(1, "try:")
     w.emit(2, "while True:")
 
-    def emit_leaf(block_index: int, indent: int) -> None:
-        # Emit the block, then keep inlining fall-through successors (up
-        # to _FALLTHROUGH_INLINE_MAX) so straight-line control flow
-        # never re-enters the dispatch loop.  Inlined blocks may also
-        # exist as their own dispatch leaves (they are jump targets);
-        # the duplication trades code size for dispatch rounds.
-        index = block_index
-        while True:
-            leader = leaders[index]
-            end = leaders[index + 1] if index + 1 < len(leaders) else count
-            # Budget checked against the whole block up front (bounds
-            # loops without per-instruction tests); steps themselves
-            # accrue incrementally inside the block so mid-block faults
-            # report the same count the interpreter would.
-            block_insns = _count_insns(program, leader, end)
-            w.emit(
-                indent,
-                f"if steps + {block_insns} > {step_budget}: raise ExecBudget({leader})",
-            )
-            if profile is not None:
-                # Entry counter after the budget check: entries count
-                # blocks that actually started executing.
-                w.emit(indent, f"PB[{leader}] += 1")
-            emitter.block_leader = leader
-            last = (
-                index + 1 >= len(leaders)
-                or index - block_index >= _FALLTHROUGH_INLINE_MAX
-            )
-            terminated = emitter.emit_block(
-                w, leader, end, indent=indent, fallthrough=last
-            )
-            if terminated or last:
-                return
-            index += 1
-
-    def emit_dispatch(lo: int, hi: int, indent: int) -> None:
-        # Balanced binary search over block leaders: every jump costs
-        # O(log blocks) comparisons instead of the O(blocks) scan of a
-        # flat if/elif chain — the dominant dispatch cost for programs
-        # with many basic blocks.
-        span = hi - lo
-        if span <= _LINEAR_DISPATCH_MAX:
-            for block_index in range(lo, hi):
-                keyword = "if" if block_index == lo else "elif"
-                w.emit(indent, f"{keyword} pc == {leaders[block_index]}:")
-                emit_leaf(block_index, indent + 1)
-            w.emit(indent, "else:")
-            w.emit(indent + 1, "raise ExecBudget(pc)")
-            return
-        mid = lo + span // 2
-        w.emit(indent, f"if pc < {leaders[mid]}:")
-        emit_dispatch(lo, mid, indent + 1)
-        w.emit(indent, "else:")
-        emit_dispatch(mid, hi, indent + 1)
-
-    emit_dispatch(0, len(leaders), 3)
+    emit_dispatch_loop(
+        w, program, leaders, emitter, step_budget, 3, profile is not None
+    )
     # Aborted runs (budget, sandbox fault, helper error, next()) still
     # publish their counters before the exception propagates.
     w.emit(1, "except BaseException:")

@@ -73,16 +73,35 @@ class VirtualMachine:
         step_budget: int = DEFAULT_STEP_BUDGET,
         jit: bool = False,
         trusted_layout: bool = False,
+        tier: Optional[str] = None,
     ):
+        if tier is None:
+            tier = "jit" if jit else "interp"  # legacy boolean knob
+        if tier not in ("interp", "jit", "native"):
+            raise ValueError(f"bad tier {tier!r}")
         self.program = list(program)
         self.helpers = helpers or HelperTable()
         self.memory = memory or VmMemory()
         self.step_budget = step_budget
         self.steps_executed = 0
         self.helper_calls = 0
-        self.jit = jit
+        #: The requested execution tier.  ``jit=True`` remains a
+        #: deprecated alias for ``tier="jit"``.
+        self.tier = tier
+        #: True for both compiled tiers (jit and native): they share the
+        #: translated-function plumbing (``_jit_run``, fast-path
+        #: closures, profiled re-translation).
+        self.jit = tier != "interp"
         self.trusted_layout = trusted_layout
         self._jit_run = None
+        #: The tier actually executing, resolved by :meth:`prepare`:
+        #: ``"native"`` may resolve to ``"jit"`` when the native
+        #: compiler declines the program (see ``native_fallback_reason``).
+        self.tier_used = tier if tier != "native" else None
+        #: Why the native tier fell back to the JIT, or None.
+        self.native_fallback_reason = None
+        #: :class:`repro.ebpf.native.NativeInfo` for native translations.
+        self.native_info = None
         #: Optional :class:`repro.telemetry.profiler.VmProfile` fed by
         #: profiled runs; installed/cleared via :meth:`set_profile`.
         self.profile = None
@@ -93,33 +112,65 @@ class VirtualMachine:
         self.program_state = None
 
     def prepare(self) -> None:
-        """Eagerly translate (jit mode) so first run pays no compile cost."""
-        if self.jit and self._jit_run is None:
-            from .jit import _BudgetError, translate
+        """Eagerly translate (compiled tiers) so first run pays no compile cost.
 
-            self._jit_run = translate(
-                self.program,
-                self.helpers,
-                self.memory,
-                self.step_budget,
-                self,
-                trusted_layout=self.trusted_layout,
-                profile=self.profile,
-            )
-            self._budget_error = _BudgetError
+        ``tier="native"`` tries the structured native compiler first and
+        falls back to the JIT when it declines (unsupported opcode,
+        oversized program, unstructurable control flow); the outcome is
+        recorded in ``tier_used`` / ``native_fallback_reason`` so
+        tiering decisions stay inspectable (``xbgp profile``).
+        """
+        if not self.jit or self._jit_run is not None:
+            return
+        from .jit import _BudgetError, translate
+
+        self._budget_error = _BudgetError
+        if self.tier == "native":
+            from .native import NativeUnsupported, translate_native
+
+            try:
+                run, info = translate_native(
+                    self.program,
+                    self.helpers,
+                    self.memory,
+                    self.step_budget,
+                    self,
+                    trusted_layout=self.trusted_layout,
+                    profile=self.profile,
+                )
+            except NativeUnsupported as exc:
+                self.native_fallback_reason = str(exc)
+            else:
+                self._jit_run = run
+                self.native_info = info
+                self.tier_used = "native"
+                return
+        self._jit_run = translate(
+            self.program,
+            self.helpers,
+            self.memory,
+            self.step_budget,
+            self,
+            trusted_layout=self.trusted_layout,
+            profile=self.profile,
+        )
+        self.tier_used = "jit"
 
     def set_profile(self, profile) -> None:
         """Install (or, with ``None``, remove) a hotspot profile.
 
         Interpreter mode merely flips :meth:`run` onto the profiled
-        loop; JIT mode re-translates so the block counters are compiled
-        into the generated function (and compiled back out on removal).
+        loop; compiled tiers re-translate so the block counters are
+        compiled into the generated function (and compiled back out on
+        removal).
         """
         if profile is self.profile:
             return
         self.profile = profile
         if self.jit:
             self._jit_run = None
+            self.native_info = None
+            self.native_fallback_reason = None
             self.prepare()
 
     def run(self, r1: int = 0, r2: int = 0, r3: int = 0, r4: int = 0, r5: int = 0) -> int:
@@ -136,8 +187,9 @@ class VirtualMachine:
         reports the instructions executed before the block that blew
         the budget).
 
-        With ``jit=True`` the program runs as translated Python (same
-        semantics, ~20-50x faster dispatch); see :mod:`repro.ebpf.jit`.
+        Under the compiled tiers (``tier="jit"``/``"native"``) the
+        program runs as translated Python — same semantics, far faster
+        dispatch; see :mod:`repro.ebpf.jit` and :mod:`repro.ebpf.native`.
         """
         self.steps_executed = 0
         self.helper_calls = 0

@@ -135,9 +135,10 @@ u64 work(u64 args) {
 
 
 def engine_fn(engine: str) -> Callable[[], int]:
-    """Cost of one bytecode invocation under ``engine`` (interp/jit)."""
+    """Cost of one bytecode invocation under ``engine``
+    (interp/jit/native)."""
     host = _NullHost()
-    vmm = VirtualMachineManager(host, VmmConfig(engine=engine))
+    vmm = VirtualMachineManager(host, VmmConfig(tier=engine))
     manifest = Manifest(
         name=f"arith_{engine}",
         codes=[

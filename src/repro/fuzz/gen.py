@@ -257,7 +257,11 @@ class _ProgramEmitter:
     def emit_mov_init(self) -> None:
         """Initialise an r6-r9 scratch register."""
         rng = self.rng
-        dst = rng.choice([r for r in range(6, 10) if r not in self.heap_regs])
+        candidates = [r for r in range(6, 10) if r not in self.heap_regs]
+        if not candidates:
+            self.emit_alu()
+            return
+        dst = rng.choice(candidates)
         if rng.random() < 0.3:
             self.lines.append(f"lddw r{dst}, {rng.randrange(1 << 63):#x}")
         else:

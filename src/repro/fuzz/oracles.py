@@ -259,10 +259,11 @@ def make_fuzz_helpers(calls: list) -> HelperTable:
 def _engine_outcome(vm: VirtualMachine, memory: VmMemory, calls: list, inputs) -> tuple:
     """One VMM-style invocation: reset the heap, run, normalise.
 
-    Budget blowouts are normalised to a bare marker: the JIT checks the
-    budget per *block* while the interpreter checks per step, so the
-    faulting pc / step counts legitimately differ (documented in
-    ``VirtualMachine.run``); everything else must match exactly.
+    Budget blowouts are normalised to a bare marker: the compiled tiers
+    (JIT and native) check the budget per *block* while the interpreter
+    checks per step, so the faulting pc / step counts legitimately
+    differ (documented in ``VirtualMachine.run``); everything else must
+    match exactly.
     """
     calls.clear()
     memory.reset_heap()
@@ -293,7 +294,9 @@ def _engine_outcome(vm: VirtualMachine, memory: VmMemory, calls: list, inputs) -
 
 
 _ENGINE_ARMS = tuple(
-    (engine, fast) for engine in ("interp", "jit") for fast in (True, False)
+    (engine, fast)
+    for engine in ("interp", "jit", "native")
+    for fast in (True, False)
 )
 
 
@@ -309,7 +312,7 @@ def run_engine_case(case: EngineCase) -> Optional[Divergence]:
                 helpers=make_fuzz_helpers(calls),
                 memory=memory,
                 step_budget=case.step_budget,
-                jit=(engine == "jit"),
+                tier=engine,
             )
             # Two back-to-back invocations: the second reuses the dirty
             # heap span, exercising the lazy-zero high-watermark reset.

@@ -103,7 +103,7 @@ class ConvergenceHarness:
             raise ValueError(f"unknown feature {feature!r}")
         if mode not in ("native", "extension"):
             raise ValueError(f"unknown mode {mode!r}")
-        if engine not in ("jit", "interp", "pyext"):
+        if engine not in ("jit", "interp", "native", "pyext"):
             raise ValueError(f"unknown engine {engine!r}")
         self.implementation = implementation
         self.feature = feature
@@ -144,9 +144,9 @@ class ConvergenceHarness:
             "router_id": _DUT,
             "local_address": _DUT,
         }
-        vm_engine = self.engine if self.engine in ("jit", "interp") else "jit"
+        vm_tier = self.engine if self.engine in ("jit", "interp", "native") else "jit"
         kwargs["vmm_config"] = VmmConfig(
-            engine=vm_engine,
+            tier=vm_tier,
             telemetry=self.telemetry_enabled,
             quarantine=self.quarantine,
             fast_path=self.hot_path,
@@ -277,16 +277,16 @@ def build_explain_scenario(
 
     if implementation not in DAEMONS:
         raise ValueError(f"unknown implementation {implementation!r}")
-    if engine not in ("jit", "interp", "pyext"):
+    if engine not in ("jit", "interp", "native", "pyext"):
         raise ValueError(f"unknown engine {engine!r}")
     network = Network()
     up = BirdDaemon(asn=65001, router_id="10.0.1.1", provenance=True)
-    vm_engine = engine if engine in ("jit", "interp") else "jit"
+    vm_tier = engine if engine in ("jit", "interp", "native") else "jit"
     dut = DAEMONS[implementation](
         asn=65001,
         router_id="10.0.0.1",
         route_reflector="extension",
-        vmm_config=VmmConfig(engine=vm_engine),
+        vmm_config=VmmConfig(tier=vm_tier),
         provenance=True,
     )
     down = BirdDaemon(asn=65001, router_id="10.0.2.2", provenance=True)

@@ -66,6 +66,8 @@ class VmProfile:
         "point",
         "extension",
         "engine",
+        "tier",
+        "fallback_reason",
         "program",
         "helper_names",
         "pc_counts",
@@ -83,11 +85,16 @@ class VmProfile:
         self.point = point
         self.extension = extension
         if vm is None:
-            self.engine = "native"
+            # Host-native (pyext) codes run no VM at all.
+            self.engine = "host"
+            self.tier = "host"
+            self.fallback_reason = None
             self.program = []
             self.helper_names = {}
         else:
-            self.engine = "jit" if vm.jit else "interp"
+            self.tier = vm.tier
+            self.engine = vm.tier_used or vm.tier
+            self.fallback_reason = vm.native_fallback_reason
             self.program = vm.program
             self.helper_names = {
                 helper_id: vm.helpers.get(helper_id).name
@@ -243,6 +250,8 @@ class VmProfile:
             "point": self.point,
             "extension": self.extension,
             "engine": self.engine,
+            "tier": self.tier,
+            "fallback_reason": self.fallback_reason,
             "runs": self.runs,
             "run_seconds": self.run_seconds,
             "instructions": self.instructions(),
@@ -338,8 +347,16 @@ class Profiler:
                 f" {profile.run_seconds * 1000:.2f} ms,"
                 f" {profile.instructions()} insns) =="
             )
-            if profile.engine == "native":
+            if profile.engine == "host":
                 continue
+            if profile.tier == "native":
+                if profile.engine == "native":
+                    lines.append("   tier: native (structured compile)")
+                else:
+                    lines.append(
+                        "   tier: native requested, fell back to"
+                        f" {profile.engine} ({profile.fallback_reason})"
+                    )
             lines.append(
                 f"   heap high-watermark {profile.heap_hwm} B,"
                 f" stack high-watermark {profile.stack_hwm} B"

@@ -1,0 +1,347 @@
+"""Unit tests for the native execution tier (repro.ebpf.native).
+
+Four invariants carry the tier:
+
+* observable parity — result, step count, helper-call *sequence* and
+  heap image match the interpreter exactly, on handwritten programs
+  here and on every paper use-case plugin (block-level profile
+  agreement, the same bar the JIT is held to in test_profiler);
+* graceful demotion — programs the structurer declines (pinned
+  opcodes, oversized programs, irreducible control flow past the bail
+  budget) fall back to the JIT with a recorded reason, never an error;
+* sandbox preservation — faults, budget blowouts and quarantine
+  behave identically under ``tier="native"``;
+* the ``VmmConfig(tier=...)`` knob subsumes the legacy ``engine=``
+  boolean-era kwarg as a deprecated alias.
+"""
+
+import pytest
+
+from repro.bgp import Prefix
+from repro.bgp.aspath import AsPath
+from repro.bgp.attributes import make_as_path, make_next_hop, make_origin
+from repro.bgp.constants import Origin
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.prefix import parse_ipv4
+from repro.core import Manifest
+from repro.core.vmm import VmmConfig
+from repro.ebpf import native
+from repro.ebpf.assembler import assemble
+from repro.ebpf.isa import Instruction
+from repro.ebpf.memory import VmMemory
+from repro.ebpf.native import NativeUnsupported, translate_native
+from repro.ebpf.vm import ExecutionError, VirtualMachine
+from repro.fuzz.gen import FUZZ_HELPER_IDS
+from repro.fuzz.oracles import make_fuzz_helpers
+from repro.frr import FrrDaemon
+from repro.telemetry import QuarantinePolicy
+
+from test_profiler import SCENARIOS
+
+PREFIX = Prefix.parse("203.0.113.0/24")
+
+CRASHING = """
+u64 crash(u64 args) {
+    return *(u64 *)(0);
+}
+"""
+
+SPINNING = """
+u64 spin(u64 args) {
+    u64 i = 0;
+    while (1) {
+        i += 1;
+    }
+    return i;
+}
+"""
+
+
+def manifest_for(name, source, helpers=("next", "get_arg"), seq=0):
+    return Manifest(
+        name=name,
+        codes=[
+            {
+                "name": name,
+                "insertion_point": "BGP_INBOUND_FILTER",
+                "seq": seq,
+                "helpers": list(helpers),
+                "source": source,
+            }
+        ],
+    )
+
+
+def feed(daemon, prefix=PREFIX):
+    update = UpdateMessage(
+        attributes=[
+            make_origin(Origin.IGP),
+            make_as_path(AsPath.from_sequence([65100])),
+            make_next_hop(parse_ipv4("10.0.0.9")),
+        ],
+        nlri=[prefix],
+    )
+    daemon.receive_message("10.0.0.9", update)
+
+
+def make_daemon(daemon_cls, vmm_config=None):
+    daemon = daemon_cls(asn=65001, router_id="1.1.1.1", vmm_config=vmm_config)
+    daemon.add_neighbor("10.0.0.9", 65100, lambda data: None)
+    daemon._established[parse_ipv4("10.0.0.9")] = True
+    return daemon
+
+#: Loop + promoted stack slot + helper traffic.
+LOOP_SRC = """
+    mov r6, 0
+    mov r7, 0
+    stxdw [r10-8], r7
+loop:
+    mov r1, r6
+    mov r2, 3
+    call probe
+    ldxdw r3, [r10-8]
+    add r3, r0
+    stxdw [r10-8], r3
+    add r6, 1
+    jne r6, 8, loop
+    ldxdw r0, [r10-8]
+    and r0, 0xffff
+    exit
+"""
+
+#: If/else diamond feeding a heap write (heap-image parity).
+DIAMOND_SRC = """
+    mov r6, 5
+    jeq r6, 5, then
+    mov r7, 1
+    ja join
+then:
+    mov r7, 2
+join:
+    call halloc
+    mov r8, r0
+    stxdw [r8+0], r7
+    ldxdw r0, [r8+0]
+    exit
+"""
+
+#: Dereferences an unmapped address: must fault identically.
+WILD_SRC = """
+    lddw r6, 0x50000000
+    ldxdw r0, [r6+0]
+    exit
+"""
+
+#: Jumps *into* a loop body past its header: irreducible control flow
+#: the structurer cannot express, exercising the bail/demotion path.
+IRREDUCIBLE_SRC = """
+    mov r6, 1
+    jeq r6, 1, inside
+loop:
+    add r6, 1
+inside:
+    add r6, 2
+    jlt r6, 40, loop
+    mov r0, r6
+    exit
+"""
+
+
+def _run(source, tier, step_budget=100_000):
+    """One VM invocation; returns the full observable outcome."""
+    program = assemble(source, FUZZ_HELPER_IDS)
+    calls = []
+    memory = VmMemory(heap_size=4096)
+    vm = VirtualMachine(
+        program,
+        helpers=make_fuzz_helpers(calls),
+        memory=memory,
+        step_budget=step_budget,
+        tier=tier,
+    )
+    result = vm.run()
+    heap = bytes(memory.heap_region.data[: memory.heap_used])
+    return vm, (result, vm.steps_executed, vm.helper_calls, list(calls), heap)
+
+
+class TestVmParity:
+    """Result, steps, helper sequence and heap image match interp."""
+
+    @pytest.mark.parametrize(
+        "source", [LOOP_SRC, DIAMOND_SRC, IRREDUCIBLE_SRC], ids=["loop", "diamond", "irreducible"]
+    )
+    def test_outcome_matches_interp(self, source):
+        _, interp = _run(source, "interp")
+        vm, outcome = _run(source, "native")
+        assert outcome == interp
+
+    def test_loop_compiles_native(self):
+        vm, _ = _run(LOOP_SRC, "native")
+        assert vm.tier_used == "native"
+        assert vm.native_fallback_reason is None
+        assert vm.native_info.loops == 1
+        assert vm.native_info.bail_sites == 0
+        assert "while True:" in vm.native_info.source
+
+    def test_sandbox_fault_matches_interp(self):
+        errors = {}
+        for tier in ("interp", "native"):
+            with pytest.raises(Exception) as excinfo:
+                _run(WILD_SRC, tier)
+            errors[tier] = (type(excinfo.value), str(excinfo.value))
+        assert errors["interp"] == errors["native"]
+
+    def test_budget_blowout_raised_by_both_tiers(self):
+        # Per-block vs per-step budget checks legitimately disagree on
+        # the faulting pc (the documented engine divergence) — but both
+        # tiers must abort with a budget error.
+        for tier in ("interp", "native"):
+            with pytest.raises(ExecutionError, match="budget"):
+                _run("loop:\n    ja loop\n", tier, step_budget=1000)
+
+    def test_irreducible_flow_demotes_not_errors(self):
+        vm, _ = _run(IRREDUCIBLE_SRC, "native")
+        # Whichever way the policy lands — runtime bail sites or a
+        # whole-program fallback — it must be visible in attribution.
+        assert vm.tier_used == "jit" or vm.native_info.bail_sites > 0
+
+
+class TestPluginParity:
+    """Native tier agrees with the interpreter on all five paper
+    use-case plugins, at block-profile granularity (profiled runs)."""
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_block_profiles_and_state_agree(self, name):
+        interp_daemon = SCENARIOS[name]("interp")
+        native_daemon = SCENARIOS[name]("native")
+        interp = {
+            (p.point, p.extension): p for p in interp_daemon.profiler.profiles()
+        }
+        nat = {
+            (p.point, p.extension): p for p in native_daemon.profiler.profiles()
+        }
+        assert interp, f"{name}: no extension executed"
+        assert interp.keys() == nat.keys()
+        for key in interp:
+            profile_i, profile_n = interp[key], nat[key]
+            assert profile_n.engine == "native", (
+                f"{key}: fell back ({profile_n.fallback_reason})"
+            )
+            assert profile_i.runs == profile_n.runs > 0
+            assert profile_i.block_profile() == profile_n.block_profile()
+            assert profile_i.instructions() == profile_n.instructions() > 0
+            assert profile_i.helper_count == profile_n.helper_count
+            assert profile_i.heap_hwm == profile_n.heap_hwm
+            assert profile_i.stack_hwm == profile_n.stack_hwm
+        assert interp_daemon.vmm.stats() == native_daemon.vmm.stats()
+        assert len(interp_daemon.loc_rib) == len(native_daemon.loc_rib)
+
+
+class TestFallback:
+    """Unsupported programs demote to the JIT with a recorded reason."""
+
+    def test_pinned_opcode_falls_back(self, monkeypatch):
+        program = assemble(LOOP_SRC, FUZZ_HELPER_IDS)
+        monkeypatch.setattr(
+            native, "PINNED_OPCODES", frozenset({program[0].opcode})
+        )
+        _, interp = _run(LOOP_SRC, "interp")
+        vm, outcome = _run(LOOP_SRC, "native")
+        assert vm.tier_used == "jit"
+        assert "pinned" in vm.native_fallback_reason
+        assert vm.native_info is None
+        assert outcome == interp  # the fallback still runs correctly
+
+    def test_oversized_program_falls_back(self):
+        mov = Instruction(0xB7, 0, 0, 0, 7)
+        exit_ = Instruction(0x95, 0, 0, 0, 0)
+        program = [mov] * (native.MAX_PROGRAM_SLOTS + 1) + [exit_]
+        vm = VirtualMachine(program, step_budget=10, tier="native")
+        vm.prepare()
+        assert vm.tier_used == "jit"
+        assert "too large" in vm.native_fallback_reason
+
+    def test_translate_native_raises_on_pinned(self, monkeypatch):
+        program = assemble(DIAMOND_SRC, FUZZ_HELPER_IDS)
+        monkeypatch.setattr(
+            native, "PINNED_OPCODES", frozenset({program[0].opcode})
+        )
+        memory = VmMemory(heap_size=4096)
+        vm = VirtualMachine(program, memory=memory, step_budget=10)
+        with pytest.raises(NativeUnsupported, match="pinned"):
+            translate_native(program, vm.helpers, memory, 10, vm)
+
+
+class TestNativeUnderFaults:
+    """Quarantine and fault injection behave identically on the
+    compiled native tier."""
+
+    def test_crashing_code_falls_back_to_host(self):
+        daemon = make_daemon(FrrDaemon, VmmConfig(tier="native"))
+        daemon.attach_manifest(manifest_for("crasher", CRASHING, helpers=()))
+        feed(daemon)
+        assert daemon.loc_rib.lookup(PREFIX) is not None
+        assert daemon.vmm.stats()["crasher"]["errors"] == 1
+
+    def test_spinner_hits_budget(self):
+        daemon = make_daemon(
+            FrrDaemon, VmmConfig(step_budget=10_000, tier="native")
+        )
+        daemon.attach_manifest(manifest_for("spinner", SPINNING, helpers=()))
+        feed(daemon)
+        assert daemon.loc_rib.lookup(PREFIX) is not None
+        assert daemon.vmm.stats()["spinner"]["errors"] == 1
+        assert any("budget" in line for line in daemon.log_messages)
+
+    def test_quarantine_opens_on_native_tier(self):
+        config = VmmConfig(
+            tier="native", quarantine=QuarantinePolicy(error_threshold=2)
+        )
+        daemon = make_daemon(FrrDaemon, config)
+        daemon.attach_manifest(manifest_for("crasher", CRASHING, helpers=()))
+        for index in range(3):
+            feed(daemon, Prefix(0x0A000000 + (index << 8), 24))
+        assert "crasher" in daemon.vmm.quarantined_codes()
+
+
+class TestVmmConfigTier:
+    """tier= knob semantics and the deprecated engine= alias."""
+
+    def test_default_is_jit(self):
+        config = VmmConfig()
+        assert config.tier == "jit"
+        assert config.engine == "jit"
+
+    def test_engine_alias_sets_tier(self):
+        assert VmmConfig(engine="interp").tier == "interp"
+        assert VmmConfig(engine="native").tier == "native"
+
+    def test_tier_reflected_by_engine_property(self):
+        assert VmmConfig(tier="native").engine == "native"
+
+    def test_conflicting_alias_rejected(self):
+        with pytest.raises(ValueError, match="deprecated alias"):
+            VmmConfig(engine="jit", tier="native")
+
+    def test_matching_alias_accepted(self):
+        assert VmmConfig(engine="interp", tier="interp").tier == "interp"
+
+    def test_bad_tier_rejected(self):
+        with pytest.raises(ValueError, match="bad tier"):
+            VmmConfig(tier="warp")
+
+    def test_engine_property_read_only(self):
+        config = VmmConfig()
+        with pytest.raises(AttributeError):
+            config.engine = "interp"
+
+    def test_vmm_tiers_attribution(self):
+        daemon = make_daemon(FrrDaemon, VmmConfig(tier="native"))
+        daemon.attach_manifest(
+            manifest_for("selective", "u64 f(u64 a) { return 0; }", helpers=())
+        )
+        tiers = daemon.vmm.tiers()
+        assert tiers["selective"]["requested"] == "native"
+        assert tiers["selective"]["used"] == "native"
+        assert tiers["selective"]["fallback_reason"] is None
+        assert tiers["selective"]["native"]["structured_blocks"] >= 1
