@@ -162,6 +162,12 @@ class Prefix:
     def __hash__(self) -> int:
         return hash((self.network, self.length))
 
+    def __reduce__(self):
+        # The immutability guard in __setattr__ breaks the default
+        # slots-state protocol; rebuild through the constructor instead
+        # (sharded replay ships prefixes across process boundaries).
+        return (Prefix, (self.network, self.length))
+
     def __str__(self) -> str:
         return f"{format_ipv4(self.network)}/{self.length}"
 

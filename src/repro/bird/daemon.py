@@ -147,6 +147,11 @@ class BirdDaemon:
         #: Export-side encode cache: (eattrs cache_key, session type,
         #: rr_client) -> encoded attribute blob.  See _encode_attributes.
         self._encode_cache: Dict[tuple, bytes] = {}
+        #: Export-mechanics cache: (eattrs cache_key, session type,
+        #: source-is-eBGP, nexthop_self) -> rewritten eattr list.  Each
+        #: hit hands out a copy (eattr lists are mutable).  See
+        #: _apply_export_mechanics.
+        self._mechanics_cache: Dict[tuple, object] = {}
 
         self.host = BirdHost(self)
         self.vmm = VirtualMachineManager(self.host, vmm_config)
@@ -445,7 +450,101 @@ class BirdDaemon:
         for prefix in dirty:
             self._run_decision(prefix)
 
-    def _import_route(self, neighbor: Neighbor, prefix: Prefix, eattrs: EattrList) -> bool:
+    def process_update_batch(
+        self, neighbor: Neighbor, updates: Sequence[UpdateMessage]
+    ) -> None:
+        """Import a vector of UPDATEs from one peer, amortizing the
+        per-message costs of the sequential path (see the FRR twin,
+        :meth:`repro.frr.daemon.FrrDaemon.process_update_batch`):
+        eattr decode memoized per distinct raw attribute wire, the
+        BGP_INBOUND_FILTER dispatch bound once per batch, decisions
+        (and the bulk encode-cache hits behind them) run once per dirty
+        prefix at batch end.  Final RIB state is identical to the
+        sequential path; transient downstream traffic collapses.
+        """
+        prov = self.provenance
+        prof = self.profiler
+        receive_hot = self.hot_path and not self.vmm.active(
+            InsertionPoint.BGP_RECEIVE_MESSAGE
+        )
+        import_run = self.vmm.runner(InsertionPoint.BGP_INBOUND_FILTER)
+        # A BGP_RECEIVE_MESSAGE extension may rewrite the decoded eattr
+        # list in place, so the decode memo is only sound when that
+        # point is empty.
+        attr_memo: Optional[Dict[bytes, EattrList]] = {} if receive_hot else None
+        dirty: Dict[Prefix, None] = {}  # ordered set
+        if prov is not None:
+            prov.begin_update(
+                neighbor,
+                kind="batch",
+                prefixes=sum(len(u.nlri) for u in updates),
+                withdrawn=sum(len(u.withdrawn) for u in updates),
+            )
+        try:
+            for update in updates:
+                self.stats["messages_received"] += 1
+                if update.is_end_of_rib():
+                    self.stats["eor_received"] += 1
+                    continue
+
+                started = perf_counter() if prof is not None else 0.0
+                wire = update._attrs_wire
+                if attr_memo is not None and wire is not None:
+                    eattrs = attr_memo.get(wire)
+                    if eattrs is None:
+                        eattrs = EattrList.from_wire(update.attributes)
+                        attr_memo[wire] = eattrs
+                else:
+                    eattrs = EattrList.from_wire(update.attributes)
+                if prof is not None:
+                    prof.phase("decode", perf_counter() - started)
+
+                if not receive_hot:
+                    started = perf_counter() if prof is not None else 0.0
+                    ctx = ExecutionContext(
+                        self.host,
+                        InsertionPoint.BGP_RECEIVE_MESSAGE,
+                        neighbor=neighbor,
+                        route=eattrs,
+                        message=update.encode(),
+                    )
+                    self.vmm.run(ctx, lambda: 0)
+                    if prof is not None:
+                        prof.phase("bgp_receive_message", perf_counter() - started)
+
+                for prefix in update.withdrawn:
+                    if self.adj_rib_in.withdraw(neighbor.peer_address, prefix) is not None:
+                        dirty[prefix] = None
+                        if prov is not None:
+                            prov.record_withdraw(prefix, neighbor)
+
+                for prefix in update.nlri:
+                    started = perf_counter() if prof is not None else 0.0
+                    imported = self._import_route(
+                        neighbor, prefix, eattrs, run=import_run
+                    )
+                    if prof is not None:
+                        prof.phase("bgp_inbound_filter", perf_counter() - started)
+                    if imported:
+                        dirty[prefix] = None
+
+            # Bulk export: decisions during a batch defer their sends
+            # into per-peer buffers, flushed as coalesced multi-NLRI
+            # UPDATEs (same attribute blob -> one message).
+            self._bulk_adv = {}
+            self._bulk_wd = {}
+            try:
+                for prefix in dirty:
+                    self._run_decision(prefix)
+            finally:
+                self._flush_bulk_export()
+        finally:
+            if prov is not None:
+                prov.end_update()
+
+    def _import_route(
+        self, neighbor: Neighbor, prefix: Prefix, eattrs: EattrList, run=None
+    ) -> bool:
         """Run import processing for one NLRI; returns True if RIB changed."""
         prov = self.provenance
         if prov is not None:
@@ -467,7 +566,9 @@ class BirdDaemon:
             route=route,
             prefix=prefix,
         )
-        verdict = self.vmm.run(ctx, lambda: self._native_import(ctx))
+        if run is None:
+            run = self.vmm.run
+        verdict = run(ctx, lambda: self._native_import(ctx))
         route = ctx.route  # may have been rewritten copy-on-write
 
         if verdict == FILTER_REJECT:
@@ -722,7 +823,38 @@ class BirdDaemon:
         return route.with_eattrs(eattrs)
 
     def _apply_export_mechanics(self, route: BirdRoute, neighbor: Neighbor) -> BirdRoute:
-        """AS-path prepend / next-hop / LOCAL_PREF handling per session type."""
+        """AS-path prepend / next-hop / LOCAL_PREF handling per session type.
+
+        The rewrite is a pure function of (attribute set, session type,
+        whether the source is eBGP, nexthop_self); heavy attribute
+        sharing means it repeats across thousands of routes, so the hot
+        path memoises the rewritten eattr list and each route gets a
+        copy (eattr lists are mutable, so the cached master is never
+        handed out directly).
+        """
+        source_ebgp = route.source is not None and route.source.is_ebgp()
+        if self.hot_path:
+            key = (
+                route.eattrs.cache_key(),
+                int(neighbor.session_type),
+                source_ebgp,
+                self.nexthop_self,
+            )
+            cache = self._mechanics_cache
+            rewritten = cache.get(key)
+            if rewritten is None:
+                rewritten = self._export_mechanics_eattrs(route, neighbor, source_ebgp)
+                if len(cache) >= 65536:  # fits a full-table shard's distinct sets
+                    cache.clear()
+                cache[key] = rewritten
+            return route.with_eattrs(rewritten.copy())
+        return route.with_eattrs(
+            self._export_mechanics_eattrs(route, neighbor, source_ebgp)
+        )
+
+    def _export_mechanics_eattrs(
+        self, route: BirdRoute, neighbor: Neighbor, source_ebgp: bool
+    ):
         eattrs = route.eattrs.copy()
         if neighbor.is_ebgp():
             path = route.as_path().prepend(self.asn)
@@ -739,7 +871,7 @@ class BirdDaemon:
             if self.nexthop_self and route.source is not None and route.source.is_ebgp():
                 next_hop = make_next_hop(self.local_address)
                 eattrs.ea_set(next_hop.type_code, next_hop.flags, next_hop.value)
-        return route.with_eattrs(eattrs)
+        return eattrs
 
     # -- encoding -----------------------------------------------------------------------
 
@@ -785,10 +917,15 @@ class BirdDaemon:
         else:
             blob = native
         if cache is not None:
-            if len(cache) >= 16384:
+            if len(cache) >= 65536:  # fits a full-table shard's distinct sets
                 cache.clear()
             cache[key] = blob
         return blob
+
+    #: Batch-scoped bulk-export buffers; non-None only while a
+    #: process_update_batch decision sweep runs.
+    _bulk_adv: Optional[Dict[int, Dict[bytes, List[Prefix]]]] = None
+    _bulk_wd: Optional[Dict[int, List[Prefix]]] = None
 
     def _send_route(self, neighbor: Neighbor, route: BirdRoute) -> None:
         prof = self.profiler
@@ -798,6 +935,11 @@ class BirdDaemon:
             prof.phase("bgp_encode_message", perf_counter() - started)
         else:
             attrs_blob = self._encode_attributes(route, neighbor)
+        bulk = self._bulk_adv
+        if bulk is not None:
+            groups = bulk.setdefault(neighbor.peer_address, {})
+            groups.setdefault(attrs_blob, []).append(route.prefix)
+            return
         body = (
             struct.pack("!H", 0)
             + struct.pack("!H", len(attrs_blob))
@@ -815,8 +957,44 @@ class BirdDaemon:
             return
         if self.provenance is not None:
             self.provenance.record_export(prefix, neighbor.peer_address, "withdraw")
+        bulk = self._bulk_wd
+        if bulk is not None:
+            bulk.setdefault(neighbor.peer_address, []).append(prefix)
+            return
         update = UpdateMessage(withdrawn=[prefix])
         self._send_update(neighbor.peer_address, update)
+
+    def _flush_bulk_export(self) -> None:
+        """Emit the sends deferred by a batch decision sweep.
+
+        Same coalescing as the FRR host: one UPDATE per distinct
+        encoded attribute blob per peer, chunked to the 4096-byte wire
+        ceiling; withdrawals likewise.
+        """
+        from ..bgp.constants import MessageType
+        from ..bgp.messages import encode_header
+
+        adv, wd = self._bulk_adv, self._bulk_wd
+        self._bulk_adv = None
+        self._bulk_wd = None
+        for peer_address, prefixes in (wd or {}).items():
+            for start in range(0, len(prefixes), 512):
+                self._send_update(
+                    peer_address,
+                    UpdateMessage(withdrawn=prefixes[start : start + 512]),
+                )
+        for peer_address, groups in (adv or {}).items():
+            for blob, prefixes in groups.items():
+                head = struct.pack("!HH", 0, len(blob)) + blob
+                room = max(1, (4096 - 19 - len(head)) // 5)
+                for start in range(0, len(prefixes), room):
+                    nlri = b"".join(
+                        prefix.encode() for prefix in prefixes[start : start + room]
+                    )
+                    self._send_raw(
+                        peer_address, encode_header(MessageType.UPDATE, head + nlri)
+                    )
+                    self.stats["updates_sent"] += 1
 
     def _send_update(self, peer_address: int, update: UpdateMessage) -> None:
         self._send_raw(peer_address, update.encode())

@@ -141,19 +141,25 @@ def _cmd_gen_table(args) -> int:
     routes = RibGenerator(n_routes=args.routes, seed=args.seed).generate()
     peer_address = parse_ipv4("10.0.0.9")
     updates = build_updates(routes, next_hop=peer_address, session="ebgp", sender_asn=65100)
-    entries = [
-        RibEntry(prefix, 0, args.timestamp, update.attributes)
-        for update in updates
-        for prefix in update.nlri
-    ]
+    written = 0
+
+    def entries():
+        # Streamed into write_table one record at a time, so a full
+        # 724k-route table never materializes as RibEntry rows.
+        nonlocal written
+        for update in updates:
+            for prefix in update.nlri:
+                written += 1
+                yield RibEntry(prefix, 0, args.timestamp, update.attributes)
+
     with open(args.output, "wb") as handle:
         write_table(
             handle,
             [MrtPeer(peer_address, peer_address, 65100)],
-            entries,
+            entries(),
             timestamp=args.timestamp,
         )
-    print(f"wrote {len(entries)} RIB entries to {args.output}")
+    print(f"wrote {written} RIB entries to {args.output}")
     return 0
 
 
@@ -351,28 +357,60 @@ def _cmd_fuzz(args) -> int:
 _SCENARIO_FEATURES = {
     "route-reflection": "route_reflection",
     "origin-validation": "origin_validation",
+    "full-table": "plain",
 }
+
+
+def _scenario_routes(args):
+    """Resolve the scenario's route table once per CLI invocation.
+
+    bench builds a fresh harness per run; caching on the parsed-args
+    namespace keeps a 724k-route table from being regenerated (or an
+    MRT dump re-read) for every repetition.
+    """
+    routes = getattr(args, "_routes_cache", None)
+    if routes is None:
+        if getattr(args, "mrt", None):
+            from .workload import iter_routes_from_mrt
+
+            routes = list(iter_routes_from_mrt(args.mrt))
+            args.routes = len(routes)  # report the true table size
+        else:
+            from .workload import RibGenerator
+
+            routes = RibGenerator(n_routes=args.routes, seed=args.seed).generate()
+        args._routes_cache = routes
+    return routes
 
 
 def _scenario_harness(args, profiling=False):
     """Build a ConvergenceHarness for a profile/bench scenario slug."""
     from .bgp.roa import make_roas_for_prefixes
     from .sim.harness import ConvergenceHarness
-    from .workload import RibGenerator, origins_of
+    from .workload import origins_of
 
     feature = _SCENARIO_FEATURES[args.scenario]
-    routes = RibGenerator(n_routes=args.routes, seed=args.seed).generate()
+    routes = _scenario_routes(args)
     roas = None
     if feature == "origin_validation":
         roas = make_roas_for_prefixes(origins_of(routes), 0.75, seed=args.seed)
+    # "plain" carries no extension; run it as the native baseline so the
+    # full-table scenario measures the batched/sharded pipeline itself.
+    mode = "native" if feature == "plain" else "extension"
     return ConvergenceHarness(
         args.impl,
         feature,
-        "extension",
+        mode,
         routes,
         roas,
         engine=args.engine,
         profiling=profiling,
+        batch=getattr(args, "batch", 1),
+        shards=getattr(args, "shards", 1),
+        # bench/profile only need timings and counts: keep per-route
+        # state in the workers instead of marshalling 724k-entry
+        # snapshots through the Pool pipe.
+        shard_collect="summary",
     )
 
 
@@ -437,6 +475,46 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _write_shard_profiles(args) -> None:
+    """One extra profiled run after the timed ones; write per-shard
+    profile reports (or the single DUT's report) as JSON artifacts."""
+    import json as _json
+    import os as _os
+
+    harness = _scenario_harness(args, profiling=True)
+    harness.run()
+    _os.makedirs(args.profile_dir, exist_ok=True)
+    if harness.shard_result is not None:
+        for report in harness.shard_result.per_shard:
+            path = _os.path.join(
+                args.profile_dir, f"shard-{report['shard']}-profile.json"
+            )
+            with open(path, "w") as handle:
+                _json.dump(
+                    {
+                        "shard": report["shard"],
+                        "routes": report["routes"],
+                        "updates": report["updates"],
+                        "batches": report["batches"],
+                        "build_seconds": report["build_seconds"],
+                        "replay_seconds": report["replay_seconds"],
+                        "profile": report["profile"],
+                        "stats": report["stats"],
+                    },
+                    handle,
+                    indent=2,
+                    sort_keys=True,
+                )
+            print(f"# wrote {path}", file=sys.stderr)
+    else:
+        path = _os.path.join(args.profile_dir, "profile.json")
+        with open(path, "w") as handle:
+            _json.dump(
+                harness.dut.profiler.report(top=10), handle, indent=2, sort_keys=True
+            )
+        print(f"# wrote {path}", file=sys.stderr)
+
+
 def _cmd_bench(args) -> int:
     """Run one scenario as a benchmark; record and/or compare."""
     import json as _json
@@ -459,15 +537,36 @@ def _cmd_bench(args) -> int:
         else []
     )
     instructions = sum(int(s["value"]) for s in series)
+    extra = {
+        "implementation": args.impl,
+        "engine": args.engine,
+        "seed": args.seed,
+        "batch": getattr(args, "batch", 1),
+        "shards": getattr(args, "shards", 1),
+    }
+    if harness.shard_result is not None:
+        extra["per_shard"] = [
+            {
+                "shard": s["shard"],
+                "routes": s["routes"],
+                "updates": s["updates"],
+                "batches": s["batches"],
+                "build_seconds": s["build_seconds"],
+                "replay_seconds": s["replay_seconds"],
+            }
+            for s in harness.shard_result.per_shard
+        ]
     record = bench.make_record(
         scenario,
         wall,
         args.routes,
         instructions=instructions,
         timestamp=datetime.now(timezone.utc).isoformat(),
-        extra={"implementation": args.impl, "engine": args.engine, "seed": args.seed},
+        extra=extra,
     )
     print(_json.dumps(record, indent=2, sort_keys=True))
+    if getattr(args, "profile_dir", None):
+        _write_shard_profiles(args)
     if args.record is not None:
         path = bench.write_record(record, args.record)
         print(f"# wrote {path}", file=sys.stderr)
@@ -631,6 +730,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", choices=["jit", "interp", "native"], default="jit")
     p.add_argument("--routes", type=int, default=400)
     p.add_argument("--seed", type=int, default=20200604)
+    p.add_argument(
+        "--batch", type=int, default=1,
+        help="UPDATEs decoded and processed per batch (1: sequential)",
+    )
     p.add_argument("--top", type=int, default=10, help="hotspots per extension")
     p.add_argument("--format", choices=["text", "json"], default="text")
     p.add_argument(
@@ -658,6 +761,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--routes", type=int, default=400)
     p.add_argument("--runs", type=int, default=5)
     p.add_argument("--seed", type=int, default=20200604)
+    p.add_argument(
+        "--batch", type=int, default=1,
+        help="UPDATEs decoded and processed per batch (1: sequential)",
+    )
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help="worker processes the table is partitioned across by prefix range",
+    )
+    p.add_argument(
+        "--mrt", metavar="FILE", default=None,
+        help="replay this MRT table dump instead of generating --routes",
+    )
+    p.add_argument(
+        "--profile-dir", metavar="DIR", default=None,
+        help="after the timed runs, run once profiled and write "
+        "per-shard profile JSON artifacts here",
+    )
     p.add_argument(
         "--record", nargs="?", const=".", default=None, metavar="DIR",
         help="write BENCH_<scenario>.json into DIR (default: .)",

@@ -564,6 +564,30 @@ class VirtualMachineManager:
             return self._run_traced(chain, ctx, default_fn)
         return self._run_plain(chain, ctx, default_fn)
 
+    def runner(
+        self, point: InsertionPoint
+    ) -> Callable[[ExecutionContext, Callable[[], int]], int]:
+        """Resolve :meth:`run`'s dispatch for ``point`` once.
+
+        Batch pipelines call this once per UPDATE vector and invoke the
+        returned callable per route, saving the per-call dict probes of
+        :meth:`run`.  The binding stays valid for the whole batch: the
+        fast closure re-checks quarantine state on every invocation, and
+        the events that would change the dispatch (attach/detach,
+        provenance or profiling toggles) cannot happen mid-batch.
+        """
+        fast = self._fast.get(point)
+        if fast is not None:
+            return fast
+        chain = self._chains.get(point)
+        if not chain:
+            return lambda ctx, default_fn: default_fn()
+        if self.telemetry is not None:
+            run_traced = self._run_traced
+            return lambda ctx, default_fn: run_traced(chain, ctx, default_fn)
+        run_plain = self._run_plain
+        return lambda ctx, default_fn: run_plain(chain, ctx, default_fn)
+
     def _note_fallback(self, item: _Attached, ctx: ExecutionContext, exc: Exception) -> None:
         """Bookkeeping shared by both paths when a code aborts the chain."""
         item.errors += 1

@@ -131,6 +131,27 @@ class FrrAttrs:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Pickle only the eleven constructor fields: the derived key,
+        # hash and marshalling caches are rebuilt on unpickle, so a
+        # shipped intern table re-interns cleanly inside shard workers.
+        return (
+            FrrAttrs,
+            (
+                self.origin,
+                self.as_path,
+                self.next_hop,
+                self.med,
+                self.local_pref,
+                self.atomic_aggregate,
+                self.aggregator,
+                self.communities,
+                self.originator_id,
+                self.cluster_list,
+                self.extra,
+            ),
+        )
+
     # -- conversion: wire (neutral) -> host ------------------------------
 
     @classmethod

@@ -140,6 +140,10 @@ class FrrDaemon:
         #: Export-side encode cache: (interned FrrAttrs, session type,
         #: rr_client) -> encoded attribute blob.  See _encode_attributes.
         self._encode_cache: Dict[tuple, bytes] = {}
+        #: Export-mechanics cache: (interned FrrAttrs, session type,
+        #: source-is-eBGP, nexthop_self) -> rewritten interned FrrAttrs.
+        #: See _apply_export_mechanics.
+        self._mechanics_cache: Dict[tuple, "FrrAttrs"] = {}
 
         self.host = FrrHost(self)
         self.vmm = VirtualMachineManager(self.host, vmm_config)
@@ -445,7 +449,110 @@ class FrrDaemon:
         for prefix in dirty:
             self._run_decision(prefix)
 
-    def _import_route(self, neighbor: Neighbor, prefix: Prefix, attrs: FrrAttrs) -> bool:
+    def process_update_batch(
+        self, neighbor: Neighbor, updates: Sequence[UpdateMessage]
+    ) -> None:
+        """Import a vector of UPDATEs from one peer, amortizing the
+        per-message costs of the sequential path:
+
+        - the attribute block is parsed + interned once per distinct
+          raw attribute wire within the batch (a full-table feed repeats
+          the same block across consecutive NLRI chunks);
+        - the BGP_INBOUND_FILTER dispatch is bound once for the whole
+          batch via :meth:`VirtualMachineManager.runner` instead of
+          probed per route;
+        - the decision process (and the export encodes behind it, which
+          hit the encode cache in bulk) runs once per dirty prefix at
+          batch end instead of once per update touching it.
+
+        Final Adj-RIB-In/Loc-RIB/Adj-RIB-Out state is identical to
+        feeding the same updates through :meth:`receive_message` one by
+        one; only transient downstream traffic collapses (an announce
+        superseded within the same batch is never advertised).
+        """
+        prov = self.provenance
+        prof = self.profiler
+        intern = self.attr_pool.intern
+        from_wire = FrrAttrs.from_wire
+        receive_hot = self.hot_path and not self.vmm.active(
+            InsertionPoint.BGP_RECEIVE_MESSAGE
+        )
+        import_run = self.vmm.runner(InsertionPoint.BGP_INBOUND_FILTER)
+        attr_memo: Dict[bytes, FrrAttrs] = {}
+        dirty: Dict[Prefix, None] = {}  # ordered set
+        if prov is not None:
+            prov.begin_update(
+                neighbor,
+                kind="batch",
+                prefixes=sum(len(u.nlri) for u in updates),
+                withdrawn=sum(len(u.withdrawn) for u in updates),
+            )
+        try:
+            for update in updates:
+                self.stats["messages_received"] += 1
+                if update.is_end_of_rib():
+                    self.stats["eor_received"] += 1
+                    continue
+
+                started = perf_counter() if prof is not None else 0.0
+                wire = update._attrs_wire
+                if wire is not None:
+                    attrs = attr_memo.get(wire)
+                    if attrs is None:
+                        attrs = intern(from_wire(update.attributes))
+                        attr_memo[wire] = attrs
+                else:
+                    attrs = intern(from_wire(update.attributes))
+                box = _AttrsBox(attrs)
+                if prof is not None:
+                    prof.phase("decode", perf_counter() - started)
+
+                if not receive_hot:
+                    started = perf_counter() if prof is not None else 0.0
+                    ctx = ExecutionContext(
+                        self.host,
+                        InsertionPoint.BGP_RECEIVE_MESSAGE,
+                        neighbor=neighbor,
+                        route=box,
+                        message=update.encode(),
+                    )
+                    self.vmm.run(ctx, lambda: 0)
+                    if prof is not None:
+                        prof.phase("bgp_receive_message", perf_counter() - started)
+
+                for prefix in update.withdrawn:
+                    if self.adj_rib_in.withdraw(neighbor.peer_address, prefix) is not None:
+                        dirty[prefix] = None
+                        if prov is not None:
+                            prov.record_withdraw(prefix, neighbor)
+
+                for prefix in update.nlri:
+                    started = perf_counter() if prof is not None else 0.0
+                    imported = self._import_route(
+                        neighbor, prefix, box.attrs, run=import_run
+                    )
+                    if prof is not None:
+                        prof.phase("bgp_inbound_filter", perf_counter() - started)
+                    if imported:
+                        dirty[prefix] = None
+
+            # Bulk export: decisions during a batch defer their sends
+            # into per-peer buffers, flushed as coalesced multi-NLRI
+            # UPDATEs (same attribute blob -> one message).
+            self._bulk_adv = {}
+            self._bulk_wd = {}
+            try:
+                for prefix in dirty:
+                    self._run_decision(prefix)
+            finally:
+                self._flush_bulk_export()
+        finally:
+            if prov is not None:
+                prov.end_update()
+
+    def _import_route(
+        self, neighbor: Neighbor, prefix: Prefix, attrs: FrrAttrs, run=None
+    ) -> bool:
         prov = self.provenance
         if prov is not None:
             prov.begin_route(prefix, neighbor)
@@ -465,7 +572,9 @@ class FrrDaemon:
             route=route,
             prefix=prefix,
         )
-        verdict = self.vmm.run(ctx, lambda: self._native_import(ctx))
+        if run is None:
+            run = self.vmm.run
+        verdict = run(ctx, lambda: self._native_import(ctx))
         route = ctx.route
 
         if verdict == FILTER_REJECT:
@@ -718,7 +827,32 @@ class FrrDaemon:
         return route.with_frr_attrs(self.attr_pool.intern(attrs.replaced(**changes)))
 
     def _apply_export_mechanics(self, route: FrrRoute, neighbor: Neighbor) -> FrrRoute:
+        # The rewrite is a pure function of (attribute set, session type,
+        # whether the source is eBGP, nexthop_self): heavy attribute
+        # sharing means the same rewrite repeats across thousands of
+        # routes, so the hot path memoises the rewritten *interned*
+        # FrrAttrs (immutable, safe to share) and skips the replaced()/
+        # intern() round trip per route.
         attrs = route.attrs
+        source_ebgp = route.source is not None and route.source.is_ebgp()
+        if self.hot_path:
+            key = (attrs, int(neighbor.session_type), source_ebgp, self.nexthop_self)
+            cache = self._mechanics_cache
+            rewritten = cache.get(key)
+            if rewritten is None:
+                rewritten = self._export_mechanics_attrs(attrs, neighbor, source_ebgp)
+                if len(cache) >= 65536:  # fits a full-table shard's distinct sets
+                    cache.clear()
+                cache[key] = rewritten
+        else:
+            rewritten = self._export_mechanics_attrs(attrs, neighbor, source_ebgp)
+        if rewritten is attrs:
+            return route
+        return route.with_frr_attrs(rewritten)
+
+    def _export_mechanics_attrs(
+        self, attrs: "FrrAttrs", neighbor: Neighbor, source_ebgp: bool
+    ) -> "FrrAttrs":
         changes: Dict[str, object] = {}
         if neighbor.is_ebgp():
             path = attrs.as_path
@@ -733,11 +867,11 @@ class FrrDaemon:
         else:
             if attrs.local_pref is None:
                 changes["local_pref"] = 100
-            if self.nexthop_self and route.source is not None and route.source.is_ebgp():
+            if self.nexthop_self and source_ebgp:
                 changes["next_hop"] = self.local_address
         if not changes:
-            return route
-        return route.with_frr_attrs(self.attr_pool.intern(attrs.replaced(**changes)))
+            return attrs
+        return self.attr_pool.intern(attrs.replaced(**changes))
 
     # -- encoding --------------------------------------------------------------------
 
@@ -779,10 +913,15 @@ class FrrDaemon:
         else:
             blob = native
         if cache is not None:
-            if len(cache) >= 16384:
+            if len(cache) >= 65536:  # fits a full-table shard's distinct sets
                 cache.clear()
             cache[key] = blob
         return blob
+
+    #: Batch-scoped bulk-export buffers; non-None only while a
+    #: process_update_batch decision sweep runs.
+    _bulk_adv: Optional[Dict[int, Dict[bytes, List[Prefix]]]] = None
+    _bulk_wd: Optional[Dict[int, List[Prefix]]] = None
 
     def _send_route(self, neighbor: Neighbor, route: FrrRoute) -> None:
         prof = self.profiler
@@ -792,6 +931,11 @@ class FrrDaemon:
             prof.phase("bgp_encode_message", perf_counter() - started)
         else:
             attrs_blob = self._encode_attributes(route, neighbor)
+        bulk = self._bulk_adv
+        if bulk is not None:
+            groups = bulk.setdefault(neighbor.peer_address, {})
+            groups.setdefault(attrs_blob, []).append(route.prefix)
+            return
         body = (
             struct.pack("!H", 0)
             + struct.pack("!H", len(attrs_blob))
@@ -806,7 +950,42 @@ class FrrDaemon:
             return
         if self.provenance is not None:
             self.provenance.record_export(prefix, neighbor.peer_address, "withdraw")
+        bulk = self._bulk_wd
+        if bulk is not None:
+            bulk.setdefault(neighbor.peer_address, []).append(prefix)
+            return
         self._send_update(neighbor.peer_address, UpdateMessage(withdrawn=[prefix]))
+
+    def _flush_bulk_export(self) -> None:
+        """Emit the sends deferred by a batch decision sweep.
+
+        Advertisements sharing one encoded attribute blob coalesce into
+        multi-NLRI UPDATEs, chunked to the 4096-byte wire ceiling;
+        withdrawals coalesce likewise.  Per-prefix content is exactly
+        what the sequential path would have sent — only the message
+        framing differs.
+        """
+        adv, wd = self._bulk_adv, self._bulk_wd
+        self._bulk_adv = None
+        self._bulk_wd = None
+        for peer_address, prefixes in (wd or {}).items():
+            for start in range(0, len(prefixes), 512):
+                self._send_update(
+                    peer_address,
+                    UpdateMessage(withdrawn=prefixes[start : start + 512]),
+                )
+        for peer_address, groups in (adv or {}).items():
+            for blob, prefixes in groups.items():
+                head = struct.pack("!HH", 0, len(blob)) + blob
+                room = max(1, (4096 - 19 - len(head)) // 5)
+                for start in range(0, len(prefixes), room):
+                    nlri = b"".join(
+                        prefix.encode() for prefix in prefixes[start : start + room]
+                    )
+                    self._send_raw(
+                        peer_address, encode_header(MessageType.UPDATE, head + nlri)
+                    )
+                    self.stats["updates_sent"] += 1
 
     def _send_update(self, peer_address: int, update: UpdateMessage) -> None:
         self._send_raw(peer_address, update.encode())

@@ -401,8 +401,9 @@ def _normalise_snapshot(snapshot) -> Dict[str, tuple]:
     }
 
 
-def _run_host_arm(case: HostCase, implementation: str, hot: bool) -> Dict[str, object]:
-    daemon = _build_daemon(case, implementation, hot)
+def _wire_host_daemon(case: HostCase, daemon):
+    """Attach the oracle's upstream/downstream peers; return
+    ``(peers, collector, downstream_bytes)``."""
     collector = Collector()
     downstream_bytes: List[bytes] = []
 
@@ -419,15 +420,10 @@ def _run_host_arm(case: HostCase, implementation: str, hot: bool) -> Dict[str, o
     for address in (_UPSTREAM, _DOWNSTREAM):
         daemon._established[parse_ipv4(address)] = True
         daemon.neighbors[parse_ipv4(address)].established = True
+    return {"upstream": upstream, "downstream": downstream}, collector, downstream_bytes
 
-    peers = {"upstream": upstream, "downstream": downstream}
-    for event in case.events:
-        if event[0] == "frame":
-            daemon.receive_raw(_UPSTREAM, event[1])
-        else:
-            _, role, field, value = event
-            setattr(peers[role], field, value)
 
+def _host_arm_report(daemon, collector, downstream_bytes) -> Dict[str, object]:
     return {
         "snapshot": _normalise_snapshot(daemon.loc_rib_snapshot()),
         "downstream": b"".join(downstream_bytes),
@@ -435,6 +431,100 @@ def _run_host_arm(case: HostCase, implementation: str, hot: bool) -> Dict[str, o
         "withdrawn": frozenset(str(p) for p in collector.withdrawn),
         "stats": dict(daemon.stats),
         "fallbacks": daemon.vmm.fallbacks,
+    }
+
+
+def _run_host_arm(case: HostCase, implementation: str, hot: bool) -> Dict[str, object]:
+    daemon = _build_daemon(case, implementation, hot)
+    peers, collector, downstream_bytes = _wire_host_daemon(case, daemon)
+    for event in case.events:
+        if event[0] == "frame":
+            daemon.receive_raw(_UPSTREAM, event[1])
+        else:
+            _, role, field, value = event
+            setattr(peers[role], field, value)
+    return _host_arm_report(daemon, collector, downstream_bytes)
+
+
+def _run_host_arm_batched(
+    case: HostCase, implementation: str, hot: bool, batch_size: int = 8
+) -> Dict[str, object]:
+    """Same feed through :class:`~repro.scale.BatchProcessor`.
+
+    Peer-config writes land mid-stream, so the pending batch is flushed
+    first — the ordering contract the batch docstring demands."""
+    from ..scale import BatchProcessor
+
+    daemon = _build_daemon(case, implementation, hot)
+    peers, collector, downstream_bytes = _wire_host_daemon(case, daemon)
+    processor = BatchProcessor(daemon, batch_size=batch_size)
+    for event in case.events:
+        if event[0] == "frame":
+            processor.receive_raw(_UPSTREAM, event[1])
+        else:
+            processor.flush()
+            _, role, field, value = event
+            setattr(peers[role], field, value)
+    processor.flush()
+    return _host_arm_report(daemon, collector, downstream_bytes)
+
+
+def _run_host_arm_sharded(
+    case: HostCase, implementation: str, hot: bool, shards: int = 2
+) -> Dict[str, object]:
+    """Same feed split across shard daemons by prefix range.
+
+    Peer-config writes and non-UPDATE control messages apply to every
+    shard (each worker owns a full copy of the session state); UPDATE
+    NLRI/withdrawals route to their owning shard.  Reports merge like
+    :class:`~repro.scale.ShardedResult`."""
+    from ..scale import PartitionMap, split_update
+
+    parsed: List[tuple] = []
+    prefixes: List = []
+    for event in case.events:
+        if event[0] == "frame":
+            for message in split_stream(bytearray(event[1])):
+                parsed.append(("message", message))
+                if isinstance(message, UpdateMessage):
+                    prefixes.extend(message.nlri)
+                    prefixes.extend(message.withdrawn)
+        else:
+            parsed.append(event)
+    pmap = PartitionMap(prefixes, shards)
+    arms = []
+    for _ in range(pmap.shards):
+        daemon = _build_daemon(case, implementation, hot)
+        arms.append((daemon, _wire_host_daemon(case, daemon)))
+
+    for event in parsed:
+        if event[0] == "message":
+            message = event[1]
+            if isinstance(message, UpdateMessage) and not message.is_end_of_rib():
+                for shard, part in split_update(message, pmap).items():
+                    arms[shard][0].receive_message(_UPSTREAM, part)
+            else:
+                for daemon, _ in arms:
+                    daemon.receive_message(_UPSTREAM, message)
+        else:
+            _, role, field, value = event
+            for _, (peers, _, _) in arms:
+                setattr(peers[role], field, value)
+
+    snapshot: Dict[str, tuple] = {}
+    advertised: set = set()
+    withdrawn: set = set()
+    fallbacks = 0
+    for daemon, (_, collector, _) in arms:
+        snapshot.update(_normalise_snapshot(daemon.loc_rib_snapshot()))
+        advertised.update(str(p) for p in collector.prefixes)
+        withdrawn.update(str(p) for p in collector.withdrawn)
+        fallbacks += daemon.vmm.fallbacks
+    return {
+        "snapshot": snapshot,
+        "prefixes": frozenset(advertised),
+        "withdrawn": frozenset(withdrawn),
+        "fallbacks": fallbacks,
     }
 
 
@@ -446,6 +536,18 @@ _CROSS_KEYS = ("snapshot", "prefixes", "withdrawn", "fallbacks")
 #: Keys compared between the fast and legacy arms of one
 #: implementation — these must match bit-for-bit, wire bytes included.
 _ARM_KEYS = ("snapshot", "downstream", "prefixes", "withdrawn", "stats", "fallbacks")
+#: Keys compared between the sequential and batched arms.  Batching
+#: legitimately collapses transient downstream traffic (an announce
+#: withdrawn inside one batch never hits the wire), so the withdraw
+#: event stream and raw bytes are out; the Loc-RIB, the effective
+#: advertised set and the fallback count must be identical.
+_BATCH_KEYS = ("snapshot", "prefixes", "fallbacks")
+#: Keys compared between the sequential and merged sharded arms.
+#: Sharding preserves full per-prefix sequential semantics, so the
+#: withdraw set is back in; per-message extension run counts differ
+#: (a split UPDATE runs RECEIVE once per owning shard), so fallbacks
+#: compare as a boolean, separately.
+_SHARD_KEYS = ("snapshot", "prefixes", "withdrawn")
 
 
 def _first_key_diff(left: dict, right: dict, keys) -> Optional[str]:
@@ -481,6 +583,29 @@ def run_host_case(case: HostCase) -> Optional[Divergence]:
                 f"FRR and BIRD disagree on {key!r} "
                 f"(plugin={case.plugin}, engine={case.engine})",
             )
+        # Scale arms: batching and sharding must be invisible.
+        for implementation in DAEMONS:
+            sequential = arms[(implementation, True)]
+            batched = _run_host_arm_batched(case, implementation, True)
+            key = _first_key_diff(sequential, batched, _BATCH_KEYS)
+            if key is not None:
+                return Divergence(
+                    "host",
+                    f"host:batch:{implementation}:{key}:{case.plugin}",
+                    f"{implementation} sequential vs batched arm disagree on "
+                    f"{key!r} (plugin={case.plugin}, engine={case.engine})",
+                )
+            sharded = _run_host_arm_sharded(case, implementation, True)
+            key = _first_key_diff(sequential, sharded, _SHARD_KEYS)
+            if key is None and bool(sequential["fallbacks"]) != bool(sharded["fallbacks"]):
+                key = "fallbacks"
+            if key is not None:
+                return Divergence(
+                    "host",
+                    f"host:shard:{implementation}:{key}:{case.plugin}",
+                    f"{implementation} sequential vs sharded arm disagree on "
+                    f"{key!r} (plugin={case.plugin}, engine={case.engine})",
+                )
     except Exception as exc:  # noqa: BLE001
         return _crash("host", "host-oracle", exc)
     return None

@@ -96,6 +96,9 @@ class ConvergenceHarness:
         hot_path: bool = True,
         provenance: bool = False,
         profiling: bool = False,
+        batch: int = 1,
+        shards: int = 1,
+        shard_collect: str = "full",
     ):
         if implementation not in DAEMONS:
             raise ValueError(f"unknown implementation {implementation!r}")
@@ -105,6 +108,12 @@ class ConvergenceHarness:
             raise ValueError(f"unknown mode {mode!r}")
         if engine not in ("jit", "interp", "native", "pyext"):
             raise ValueError(f"unknown engine {engine!r}")
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if shards > 1 and engine == "pyext":
+            raise ValueError("sharded replay does not support the pyext engine")
         self.implementation = implementation
         self.feature = feature
         self.mode = mode
@@ -126,10 +135,28 @@ class ConvergenceHarness:
         #: Telemetry snapshot of the most recent :meth:`run` (or None
         #: when the DUT runs uninstrumented).
         self.last_telemetry: Optional[Dict[str, object]] = None
+        #: UPDATEs per decode→decision vector; 1 = the sequential path.
+        self.batch = batch
+        #: Worker processes the route workload is partitioned across by
+        #: prefix range; 1 = single-daemon replay in this process.
+        self.shards = shards
+        #: Sharded result granularity: "full" merges route-level
+        #: snapshots (what parity suites compare); "summary" keeps them
+        #: in the workers and merges counts only (what benchmarks use).
+        self.shard_collect = shard_collect
+        #: Per-shard reports of the most recent sharded :meth:`run`.
+        self.shard_result = None
         self.collector = Collector(eager_attributes=not hot_path)
-        self.dut = self._build_dut()
-        self._wire()
-        self.feed = self._build_feed(max_prefixes_per_update)
+        if shards > 1:
+            # The DUT lives in the workers; building a parent DUT and
+            # pre-encoding a parent feed would only duplicate work.
+            self.dut = None
+            self.feed = None
+            self._max_prefixes_per_update = max_prefixes_per_update
+        else:
+            self.dut = self._build_dut()
+            self._wire()
+            self.feed = self._build_feed(max_prefixes_per_update)
 
     # -- construction -------------------------------------------------
 
@@ -211,13 +238,25 @@ class ConvergenceHarness:
         Timed span: first byte announced upstream → last prefix seen by
         the downstream collector (checked after the deterministic replay
         drains, mirroring the paper's first-announce-to-last-receive
-        delay).
+        delay).  With ``shards > 1`` the workload runs through
+        :class:`~repro.scale.ShardedReplay` workers instead and the
+        timed span is the parent's dispatch → merge wall clock.
         """
         expected = len(self.routes)
-        receive = self.dut.receive_raw
+        if self.shards > 1:
+            return self._run_sharded(expected)
         start = time.perf_counter()
-        for payload in self.feed:
-            receive(_UPSTREAM, payload)
+        if self.batch > 1:
+            from ..scale import BatchProcessor
+
+            processor = BatchProcessor(self.dut, batch_size=self.batch)
+            for payload in self.feed:
+                processor.receive_raw(_UPSTREAM, payload)
+            processor.flush()
+        else:
+            receive = self.dut.receive_raw
+            for payload in self.feed:
+                receive(_UPSTREAM, payload)
         elapsed = time.perf_counter() - start
         if len(self.collector) != expected:
             raise RuntimeError(
@@ -228,11 +267,94 @@ class ConvergenceHarness:
         self.last_telemetry = self.telemetry_snapshot()
         return elapsed
 
+    def _run_sharded(self, expected: int) -> float:
+        from ..scale import ShardedReplay
+
+        replay = ShardedReplay(
+            self.implementation,
+            self.routes,
+            feature=self.feature,
+            mode=self.mode,
+            roas=self.roas,
+            shards=self.shards,
+            batch=self.batch,
+            tier=self.engine,
+            hot_path=self.hot_path,
+            max_prefixes_per_update=self._max_prefixes_per_update,
+            profiling=self.profiling,
+            collect=self.shard_collect,
+        )
+        result = replay.run()
+        self.shard_result = result
+        if result.prefixes is not None:
+            self.collector.prefixes = {Prefix.parse(p) for p in result.prefixes}
+            self.collector.withdrawn = {Prefix.parse(p) for p in result.withdrawn}
+            held = len(self.collector)
+        else:
+            held = result.prefix_count  # shards disjoint: sum == union
+        if held != expected:
+            raise RuntimeError(
+                f"convergence incomplete: downstream holds "
+                f"{held}/{expected} prefixes across "
+                f"{result.shards} shards"
+            )
+        self.last_telemetry = self.telemetry_snapshot()
+        return result.wall_seconds
+
     def extension_stats(self) -> Dict[str, Dict[str, int]]:
-        return self.dut.vmm.stats()
+        return self.dut.vmm.stats() if self.dut is not None else {}
 
     def telemetry_snapshot(self) -> Optional[Dict[str, object]]:
-        """Current telemetry state (gauges refreshed), or None."""
+        """Current telemetry state (gauges refreshed), or None.
+
+        A sharded run has no parent DUT; instead, the workers' per-shard
+        counters are re-registered into a parent-side registry so the
+        ``xbgp stats`` surface (and the bench instruction totals) keep
+        working with ``shards > 1``.
+        """
+        if self.dut is None:
+            if not self.telemetry_enabled or self.shard_result is None:
+                return None
+            from ..telemetry import Telemetry
+
+            telemetry = Telemetry()
+            registry = telemetry.registry
+            for report in self.shard_result.per_shard:
+                shard = str(report["shard"])
+                registry.counter(
+                    "xbgp_shard_routes", "routes replayed per shard", shard=shard
+                ).inc(report["routes"])
+                registry.counter(
+                    "xbgp_shard_updates", "UPDATEs replayed per shard", shard=shard
+                ).inc(report["updates"])
+                registry.counter(
+                    "xbgp_shard_batches", "UPDATE batches flushed per shard", shard=shard
+                ).inc(report["batches"])
+                registry.gauge(
+                    "xbgp_shard_build_seconds",
+                    "worker DUT + feed build wall-clock",
+                    shard=shard,
+                ).set(report["build_seconds"])
+                registry.gauge(
+                    "xbgp_shard_replay_seconds",
+                    "worker replay wall-clock",
+                    shard=shard,
+                ).set(report["replay_seconds"])
+                pool = report.get("attr_pool") or {}
+                registry.counter(
+                    "xbgp_shard_attr_pool_hits",
+                    "worker AttrPool hits (incl. shipped intern table)",
+                    shard=shard,
+                ).inc(pool.get("hits", 0))
+                registry.counter(
+                    "xbgp_shard_attr_pool_misses",
+                    "worker AttrPool misses",
+                    shard=shard,
+                ).inc(pool.get("misses", 0))
+                registry.counter(
+                    "xbgp_shard_fallbacks", "worker VMM fallbacks", shard=shard
+                ).inc(report["fallbacks"])
+            return telemetry.snapshot()
         telemetry = self.dut.vmm.telemetry
         if telemetry is None:
             return None
@@ -242,7 +364,7 @@ class ConvergenceHarness:
     def convergence_report(self) -> Optional[Dict[str, object]]:
         """The DUT's provenance convergence report, or None when the
         harness runs without provenance."""
-        tracker = self.dut.provenance
+        tracker = self.dut.provenance if self.dut is not None else None
         if tracker is None:
             return None
         return tracker.convergence_report()
@@ -250,7 +372,7 @@ class ConvergenceHarness:
     def profile_report(self, top: int = 10) -> Optional[Dict[str, object]]:
         """The DUT's profiler report, or None when the harness runs
         without profiling."""
-        profiler = self.dut.profiler
+        profiler = self.dut.profiler if self.dut is not None else None
         if profiler is None:
             return None
         return profiler.report(top=top)

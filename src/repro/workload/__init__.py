@@ -1,6 +1,6 @@
 """Synthetic RIS-like workloads: AS topology and table generation."""
 
-from .mrt_io import routes_from_mrt
+from .mrt_io import iter_routes_from_mrt, routes_from_mrt
 from .rib_gen import RibGenerator, RouteSpec, build_updates, origins_of
 from .topology import AsTopology
 
@@ -10,5 +10,6 @@ __all__ = [
     "build_updates",
     "origins_of",
     "AsTopology",
+    "iter_routes_from_mrt",
     "routes_from_mrt",
 ]

@@ -4,17 +4,85 @@
 ``xbgp gen-table``, or a real RIS/RouteViews dump — back into
 :class:`RouteSpec` rows the experiment harness consumes, so the Fig. 4
 benchmarks can replay archived tables instead of generated ones.
+
+``iter_routes_from_mrt`` is the streaming twin: it yields the same
+rows in file order without ever materializing the table, so a 724k-route
+full-table dump can be partitioned into shard buckets (or counted, or
+filtered) at a memory cost of one record.
 """
 
 from __future__ import annotations
 
-from typing import BinaryIO, List, Union
+from typing import BinaryIO, Iterator, List, Optional, Union
 
 from ..bgp.constants import AttrTypeCode, Origin
-from ..mrt.format import read_table
+from ..mrt.format import (
+    MrtError,
+    PEER_INDEX_TABLE,
+    RIB_IPV4_UNICAST,
+    TABLE_DUMP_V2,
+    _decode_rib,
+    _read_records,
+)
 from .rib_gen import RouteSpec
 
-__all__ = ["routes_from_mrt"]
+__all__ = ["iter_routes_from_mrt", "routes_from_mrt"]
+
+
+def _spec_from_entry(entry) -> Optional[RouteSpec]:
+    """One RIB entry → RouteSpec, or None when there is no AS_PATH."""
+    as_path = ()
+    origin = int(Origin.INCOMPLETE)
+    med = None
+    communities = ()
+    for attribute in entry.attributes:
+        code = attribute.type_code
+        if code == AttrTypeCode.AS_PATH:
+            as_path = tuple(attribute.as_path().asn_iter())
+        elif code == AttrTypeCode.ORIGIN and attribute.value:
+            origin = attribute.value[0]
+        elif code == AttrTypeCode.MULTI_EXIT_DISC:
+            med = attribute.as_u32()
+        elif code == AttrTypeCode.COMMUNITIES:
+            communities = tuple(sorted(int(c) for c in attribute.as_communities()))
+    if not as_path:
+        return None
+    return RouteSpec(entry.prefix, as_path, origin, med, communities)
+
+
+def iter_routes_from_mrt(source: Union[str, BinaryIO]) -> Iterator[RouteSpec]:
+    """Stream RouteSpec rows out of an MRT TABLE_DUMP_V2 file.
+
+    Same semantics as :func:`routes_from_mrt` — entries without an
+    AS_PATH are skipped, duplicate prefixes keep the first entry — but
+    one record is decoded at a time, so the full table never
+    materializes.  Raises :class:`MrtError` if the dump carries no
+    PEER_INDEX_TABLE record.
+    """
+    if isinstance(source, str):
+        with open(source, "rb") as handle:
+            yield from iter_routes_from_mrt(handle)
+        return
+    seen = set()
+    saw_index = False
+    for record in _read_records(source):
+        if record.record_type != TABLE_DUMP_V2:
+            continue
+        if record.subtype == PEER_INDEX_TABLE:
+            saw_index = True
+            continue
+        if record.subtype != RIB_IPV4_UNICAST:
+            continue
+        for entry in _decode_rib(record.payload):
+            if entry.prefix in seen:
+                continue
+            spec = _spec_from_entry(entry)
+            if spec is None:
+                continue
+            seen.add(entry.prefix)
+            yield spec
+    if not saw_index:
+        raise MrtError("no PEER_INDEX_TABLE record")
 
 
 def routes_from_mrt(source: Union[str, BinaryIO]) -> List[RouteSpec]:
@@ -24,34 +92,4 @@ def routes_from_mrt(source: Union[str, BinaryIO]) -> List[RouteSpec]:
     occasionally archive such rows); duplicate prefixes keep the first
     entry, matching a single-peer view.
     """
-    if isinstance(source, str):
-        with open(source, "rb") as handle:
-            return routes_from_mrt(handle)
-    _, entries = read_table(source)
-    routes: List[RouteSpec] = []
-    seen = set()
-    for entry in entries:
-        if entry.prefix in seen:
-            continue
-        as_path = ()
-        origin = int(Origin.INCOMPLETE)
-        med = None
-        communities = ()
-        skip = False
-        for attribute in entry.attributes:
-            code = attribute.type_code
-            if code == AttrTypeCode.AS_PATH:
-                as_path = tuple(attribute.as_path().asn_iter())
-            elif code == AttrTypeCode.ORIGIN and attribute.value:
-                origin = attribute.value[0]
-            elif code == AttrTypeCode.MULTI_EXIT_DISC:
-                med = attribute.as_u32()
-            elif code == AttrTypeCode.COMMUNITIES:
-                communities = tuple(sorted(int(c) for c in attribute.as_communities()))
-        if not as_path:
-            skip = True
-        if skip:
-            continue
-        seen.add(entry.prefix)
-        routes.append(RouteSpec(entry.prefix, as_path, origin, med, communities))
-    return routes
+    return list(iter_routes_from_mrt(source))

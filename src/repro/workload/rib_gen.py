@@ -196,10 +196,19 @@ def build_updates(
     effective_local_pref = local_pref if session == "ibgp" else None
     first_asn = sender_asn if session == "ebgp" else None
 
+    # The spec signature fully determines the attribute tuple, so the
+    # (expensive) attribute build runs once per distinct set — a 724k
+    # table repeats a few thousand sets across hundreds of routes each.
     groups: Dict[Tuple[PathAttribute, ...], List[Prefix]] = {}
     order: List[Tuple[PathAttribute, ...]] = []
+    memo: Dict[tuple, Tuple[PathAttribute, ...]] = {}
     for spec in routes:
-        attributes = _attributes_for(spec, next_hop, effective_local_pref, first_asn)
+        key = (spec.as_path, spec.origin, spec.med, spec.communities)
+        attributes = memo.get(key)
+        if attributes is None:
+            attributes = memo[key] = _attributes_for(
+                spec, next_hop, effective_local_pref, first_asn
+            )
         bucket = groups.get(attributes)
         if bucket is None:
             groups[attributes] = [spec.prefix]

@@ -361,3 +361,83 @@ class TestBench:
                     "--compare", str(tmp_path / "nope"),
                 ]
             )
+
+    def test_bench_full_table_scenario_records_shards(self, tmp_path, capsys):
+        import json
+
+        code, output = run_cli(
+            [
+                "bench", "--scenario", "full-table", "--impl", "frr",
+                "--engine", "native", "--routes", "300", "--runs", "1",
+                "--batch", "32", "--shards", "2",
+            ],
+            capsys,
+        )
+        assert code == 0
+        record = json.loads(output)
+        assert record["scenario"] == "full-table-frr-native"
+        assert record["batch"] == 32 and record["shards"] == 2
+        per_shard = record["per_shard"]
+        assert len(per_shard) == 2
+        assert sum(shard["routes"] for shard in per_shard) == 300
+        assert all(shard["batches"] >= 1 for shard in per_shard)
+
+    def test_bench_profile_dir_writes_per_shard_artifacts(self, tmp_path, capsys):
+        import json
+
+        profile_dir = tmp_path / "profiles"
+        code, _ = run_cli(
+            [
+                "bench", "--scenario", "full-table", "--impl", "frr",
+                "--engine", "native", "--routes", "200", "--runs", "1",
+                "--batch", "32", "--shards", "2",
+                "--profile-dir", str(profile_dir),
+            ],
+            capsys,
+        )
+        assert code == 0
+        artifacts = sorted(profile_dir.iterdir())
+        assert [path.name for path in artifacts] == [
+            "shard-0-profile.json",
+            "shard-1-profile.json",
+        ]
+        for path in artifacts:
+            report = json.loads(path.read_text())
+            assert report["profile"]["phases"]
+            assert report["replay_seconds"] > 0
+
+    def test_bench_replays_mrt_table(self, tmp_path, capsys):
+        import json
+
+        table = tmp_path / "table.mrt"
+        main(["gen-table", str(table), "--routes", "120", "--seed", "3"])
+        capsys.readouterr()
+        code, output = run_cli(
+            [
+                "bench", "--scenario", "full-table", "--impl", "bird",
+                "--engine", "native", "--runs", "1", "--batch", "16",
+                "--mrt", str(table),
+            ],
+            capsys,
+        )
+        assert code == 0
+        record = json.loads(output)
+        assert record["routes"] == 120  # table size, not the --routes default
+
+
+class TestGenTableDeterminism:
+    def test_same_seed_same_bytes(self, tmp_path, capsys):
+        a, b = tmp_path / "a.mrt", tmp_path / "b.mrt"
+        for path in (a, b):
+            code, output = run_cli(
+                ["gen-table", str(path), "--routes", "80", "--seed", "11"], capsys
+            )
+            assert code == 0 and "80 RIB entries" in output
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_different_seed_different_tables(self, tmp_path, capsys):
+        a, b = tmp_path / "a.mrt", tmp_path / "b.mrt"
+        main(["gen-table", str(a), "--routes", "80", "--seed", "11"])
+        main(["gen-table", str(b), "--routes", "80", "--seed", "12"])
+        capsys.readouterr()
+        assert a.read_bytes() != b.read_bytes()
