@@ -15,6 +15,10 @@ Subcommands:
 * ``stats``    — drive one harness scenario and print the VMM's
   telemetry (per-insertion-point/extension counters, latency
   histograms, quarantine state) as Prometheus text and/or JSON;
+  ``--merge`` instead aggregates registry snapshot files offline;
+* ``events``   — tail, filter, validate or convert a JSONL structured
+  event log (replay/shard lifecycle, batch flushes, quarantine trips,
+  convergence signals);
 * ``explain``  — drive a provenance-enabled route-reflection scenario
   and reconstruct the full causal chain behind a prefix: peer →
   extension runs → attribute deltas → decision verdict → exports;
@@ -29,7 +33,10 @@ Subcommands:
   (optionally a collapsed-stack file for speedscope/flamegraph.pl);
 * ``bench``    — run one scenario as a benchmark; ``--record`` writes
   a schema'd ``BENCH_<scenario>.json``, ``--compare`` diffs against a
-  committed baseline and exits non-zero past the noise threshold.
+  committed baseline and exits non-zero past the noise threshold;
+  ``--telemetry``/``--serve``/``--events`` attach the cross-process
+  telemetry plane (merged worker registries, live progress over HTTP,
+  streamed lifecycle events).
 """
 
 from __future__ import annotations
@@ -170,6 +177,54 @@ def _cmd_loc(args) -> int:
     return 0
 
 
+def _merge_stats(args) -> int:
+    """Offline aggregation: merge registry snapshots from files.
+
+    Accepts both raw mergeable snapshots (``MetricsRegistry.snapshot``
+    output) and full ``xbgp stats`` JSON documents (their ``registry``
+    key) — the same merge core the sharded replay uses in-process.
+    """
+    import json as _json
+
+    from .telemetry import merge_into, render_prometheus, snapshot_registry
+    from .telemetry.metrics import MetricsRegistry
+
+    snapshots = []
+    for path in args.merge:
+        with open(path) as handle:
+            try:
+                document = _json.load(handle)
+            except _json.JSONDecodeError as exc:
+                raise SystemExit(f"xbgp stats: {path}: not JSON ({exc})")
+        if isinstance(document, dict) and "registry" in document:
+            document = document["registry"]
+        if not isinstance(document, dict) or "families" not in document:
+            raise SystemExit(
+                f"xbgp stats: {path}: neither a registry snapshot nor a "
+                "stats document with a 'registry' key"
+            )
+        snapshots.append(document)
+    merged = MetricsRegistry()
+    try:
+        for snapshot in snapshots:
+            merge_into(merged, snapshot)
+    except ValueError as exc:
+        raise SystemExit(f"xbgp stats: merge failed: {exc}")
+    sections: List[str] = []
+    if args.format in ("prom", "both"):
+        sections.append(render_prometheus(merged))
+    if args.format in ("json", "both"):
+        sections.append(_json.dumps(snapshot_registry(merged), indent=2) + "\n")
+    output = "".join(sections)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(output)
+        print(f"# merged stats written to {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(output)
+    return 0
+
+
 def _cmd_stats(args) -> int:
     """Run one convergence scenario and expose its telemetry."""
     import json as _json
@@ -179,6 +234,8 @@ def _cmd_stats(args) -> int:
     from .telemetry import QuarantinePolicy
     from .workload import RibGenerator, origins_of
 
+    if args.merge:
+        return _merge_stats(args)
     routes = RibGenerator(n_routes=args.routes, seed=args.seed).generate()
     roas = None
     if args.feature == "origin_validation":
@@ -248,6 +305,49 @@ def _cmd_stats(args) -> int:
         print(f"# stats written to {args.output}", file=sys.stderr)
     else:
         sys.stdout.write(output)
+    return 0
+
+
+def _cmd_events(args) -> int:
+    """Tail / filter / validate / convert a JSONL event log."""
+    import json as _json
+
+    from .telemetry.events import (
+        EventSchemaError,
+        filter_events,
+        read_events,
+        render_event,
+        validate_jsonl,
+    )
+
+    if args.validate:
+        try:
+            valid, errors = validate_jsonl(args.log)
+        except OSError as exc:
+            raise SystemExit(f"xbgp events: {exc}")
+        for error in errors:
+            print(error, file=sys.stderr)
+        print(f"# {valid} valid event(s), {len(errors)} error(s)")
+        return 1 if errors else 0
+    try:
+        events = read_events(args.log)
+    except OSError as exc:
+        raise SystemExit(f"xbgp events: {exc}")
+    except EventSchemaError as exc:
+        raise SystemExit(f"xbgp events: {exc}")
+    kinds = [k for part in args.type for k in part.split(",") if k] or None
+    events = filter_events(events, kinds=kinds, shard=args.shard)
+    if args.tail:
+        events = events[-args.tail:]
+    if args.format == "text":
+        for event in events:
+            print(render_event(event))
+    elif args.format == "jsonl":
+        for event in events:
+            print(_json.dumps(event))
+    else:
+        print(_json.dumps(events, indent=2))
+    print(f"# {len(events)} event(s)", file=sys.stderr)
     return 0
 
 
@@ -383,7 +483,7 @@ def _scenario_routes(args):
     return routes
 
 
-def _scenario_harness(args, profiling=False):
+def _scenario_harness(args, profiling=False, events=None, progress=None):
     """Build a ConvergenceHarness for a profile/bench scenario slug."""
     from .bgp.roa import make_roas_for_prefixes
     from .sim.harness import ConvergenceHarness
@@ -411,6 +511,9 @@ def _scenario_harness(args, profiling=False):
         # state in the workers instead of marshalling 724k-entry
         # snapshots through the Pool pipe.
         shard_collect="summary",
+        shard_telemetry=getattr(args, "telemetry", False),
+        events=events,
+        progress=progress,
     )
 
 
@@ -515,6 +618,64 @@ def _write_shard_profiles(args) -> None:
         print(f"# wrote {path}", file=sys.stderr)
 
 
+def _bench_telemetry_plane(args):
+    """Build the optional bench observability plane.
+
+    Returns ``(event_log, on_heartbeat, exporter)`` — all ``None`` when
+    neither ``--serve`` nor ``--events`` was given, so the default bench
+    path carries zero telemetry-plane cost.
+    """
+    import threading
+    import time as _time
+
+    if getattr(args, "serve", None) is None and not getattr(args, "events", None):
+        return None, None, None
+    from .telemetry import EventLog, ReplayProgress, TelemetryExporter
+    from .telemetry.metrics import MetricsRegistry
+
+    event_log = EventLog(args.events) if getattr(args, "events", None) else None
+    live_registry = MetricsRegistry()
+    progress = ReplayProgress(live_registry)
+    exporter = None
+    if getattr(args, "serve", None) is not None:
+        exporter = TelemetryExporter(
+            registry=live_registry,
+            health=lambda: [],
+            events=event_log,
+            port=args.serve,
+        ).start()
+        print(f"# serving telemetry on {exporter.url('/')}", file=sys.stderr)
+    lock = exporter.lock if exporter is not None else threading.RLock()
+    last_line = [0.0]
+
+    def on_heartbeat(event):
+        with lock:
+            progress.on_event(event)
+        now = _time.monotonic()
+        if now - last_line[0] >= 1.0 or event.get("event") == "replay_finish":
+            last_line[0] = now
+            print(f"# {progress.render()}", file=sys.stderr)
+
+    return event_log, on_heartbeat, exporter
+
+
+def _bench_final_sources(harness):
+    """The registry + health rows /metrics and /health should serve
+    once the replay finished: the workers' merged shard-labeled
+    registry for a telemetry-on sharded run, the DUT's live registry
+    for a single-daemon run, else None (keep serving progress)."""
+    shard_result = harness.shard_result
+    if shard_result is not None and shard_result.telemetry is not None:
+        return (
+            shard_result.merged_registry(shard_labels=True),
+            shard_result.telemetry["health"],
+        )
+    dut = harness.dut
+    if dut is not None and dut.vmm.telemetry is not None:
+        return dut.vmm.telemetry.registry, dut.vmm.telemetry.health.snapshot()
+    return None, None
+
+
 def _cmd_bench(args) -> int:
     """Run one scenario as a benchmark; record and/or compare."""
     import json as _json
@@ -524,12 +685,19 @@ def _cmd_bench(args) -> int:
     from .eval import bench
 
     scenario = f"{args.scenario}-{args.impl}-{args.engine}"
+    event_log, on_heartbeat, exporter = _bench_telemetry_plane(args)
     wall = []
     _scenario_harness(args).run()  # warm (JIT translation, allocator)
     harness = None
     for _ in range(args.runs):
-        harness = _scenario_harness(args)
+        harness = _scenario_harness(
+            args, events=event_log, progress=on_heartbeat
+        )
         wall.append(harness.run())
+    if exporter is not None:
+        registry, health_rows = _bench_final_sources(harness)
+        if registry is not None:
+            exporter.replace_sources(registry=registry, health=health_rows)
     snapshot = harness.telemetry_snapshot()
     series = (
         snapshot["metrics"].get("xbgp_extension_instructions", {}).get("series", [])
@@ -570,6 +738,7 @@ def _cmd_bench(args) -> int:
     if args.record is not None:
         path = bench.write_record(record, args.record)
         print(f"# wrote {path}", file=sys.stderr)
+    exit_code = 0
     if args.compare is not None:
         baseline_path = args.compare
         if _os.path.isdir(baseline_path):
@@ -585,8 +754,24 @@ def _cmd_bench(args) -> int:
         except ValueError as exc:
             raise SystemExit(f"xbgp bench: {exc}")
         print(bench.render_compare(result), file=sys.stderr)
-        return 1 if result["regression"] else 0
-    return 0
+        exit_code = 1 if result["regression"] else 0
+    if exporter is not None:
+        linger = getattr(args, "serve_linger", 0.0) or 0.0
+        if linger > 0:
+            # Keep /metrics scrapeable after the run (CI smoke curls it
+            # here; a human can inspect the merged registry).
+            import time as _time
+
+            print(
+                f"# exporter lingering {linger:.0f}s on {exporter.url('/')}",
+                file=sys.stderr,
+            )
+            _time.sleep(linger)
+        exporter.stop()
+    if event_log is not None:
+        event_log.close()
+        print(f"# {event_log.recorded} event(s) -> {args.events}", file=sys.stderr)
+    return exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -669,7 +854,36 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", metavar="FILE", default=None,
         help="write the exposition to FILE instead of stdout",
     )
+    p.add_argument(
+        "--merge", nargs="+", metavar="SNAPSHOT", default=None,
+        help="skip the scenario: merge these registry snapshot files "
+        "(raw snapshots or stats JSON documents) and print the result",
+    )
     p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser("events", help="tail/filter/validate a JSONL event log")
+    p.add_argument("log", help="event log file (JSON Lines)")
+    p.add_argument(
+        "--type", action="append", default=[], metavar="KIND",
+        help="keep only these event types (repeatable, comma-splittable)",
+    )
+    p.add_argument(
+        "--shard", type=int, default=None,
+        help="keep only events from this shard",
+    )
+    p.add_argument(
+        "--tail", type=int, default=0, metavar="N",
+        help="keep only the last N events after filtering",
+    )
+    p.add_argument(
+        "--format", choices=["text", "jsonl", "json"], default="text",
+        help="output rendering (default: text)",
+    )
+    p.add_argument(
+        "--validate", action="store_true",
+        help="schema-check every line; exit 1 if any is invalid",
+    )
+    p.set_defaults(fn=_cmd_events)
 
     p = sub.add_parser(
         "explain", help="reconstruct why a prefix is (not) in the Loc-RIB"
@@ -790,6 +1004,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--threshold", type=float, default=0.5,
         help="regression threshold as a fraction over baseline (default 0.5)",
+    )
+    p.add_argument(
+        "--telemetry", action="store_true",
+        help="run shard workers with telemetry on and merge their "
+        "registries/breakers/trace tails into the parent",
+    )
+    p.add_argument(
+        "--serve", type=int, default=None, metavar="PORT",
+        help="serve /metrics, /health and /events over HTTP during the "
+        "run (0: ephemeral port); live progress gauges while replaying, "
+        "the merged registry afterwards",
+    )
+    p.add_argument(
+        "--serve-linger", type=float, default=0.0, metavar="SECONDS",
+        help="keep the exporter up this long after the bench finishes",
+    )
+    p.add_argument(
+        "--events", metavar="FILE", default=None,
+        help="stream schema'd lifecycle events to this JSONL file",
     )
     p.set_defaults(fn=_cmd_bench)
 

@@ -18,26 +18,53 @@ peer-config writes.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..bgp.messages import UpdateMessage, split_stream
 from ..bgp.prefix import parse_ipv4
+from ..telemetry.events import EventLog
 
 __all__ = ["BatchProcessor"]
 
 
 class BatchProcessor:
     """Feed raw BGP bytes to ``daemon`` in UPDATE batches of
-    ``batch_size`` messages per peer."""
+    ``batch_size`` messages per peer.
 
-    def __init__(self, daemon, batch_size: int = 64) -> None:
+    With the daemon's telemetry on, every flush increments the
+    ``xbgp_batches_flushed`` counter and feeds the ``xbgp_batch_size``
+    histogram; an attached :class:`EventLog` additionally gets one
+    schema'd ``batch_flush`` event per flush.
+    """
+
+    def __init__(
+        self,
+        daemon,
+        batch_size: int = 64,
+        events: Optional[EventLog] = None,
+    ) -> None:
         self.daemon = daemon
         self.batch_size = max(1, int(batch_size))
+        self.events = events
         self._buffers: Dict[str, bytearray] = {}
         self._pending: Dict[str, List[UpdateMessage]] = {}
         #: Counters the sharded replay reports per worker.
         self.batches_flushed = 0
         self.updates_batched = 0
+        telemetry = getattr(getattr(daemon, "vmm", None), "telemetry", None)
+        if telemetry is not None:
+            registry = telemetry.registry
+            self._flush_counter = registry.counter(
+                "xbgp_batches_flushed", "UPDATE batches handed to the daemon"
+            )
+            self._size_histogram = registry.histogram(
+                "xbgp_batch_size",
+                "UPDATE messages per flushed batch",
+                buckets=[1, 2, 4, 8, 16, 32, 64, 128, 256],
+            )
+        else:
+            self._flush_counter = None
+            self._size_histogram = None
 
     def receive_raw(self, peer_address: str, data: bytes) -> None:
         """Buffer ``data`` from ``peer_address``; flush full batches."""
@@ -73,4 +100,9 @@ class BatchProcessor:
             return
         self.batches_flushed += 1
         self.updates_batched += len(pending)
+        if self._flush_counter is not None:
+            self._flush_counter.inc()
+            self._size_histogram.observe(len(pending))
+        if self.events is not None:
+            self.events.emit("batch_flush", peer=peer_address, updates=len(pending))
         self.daemon.process_update_batch(neighbor, pending)

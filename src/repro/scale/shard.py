@@ -26,8 +26,8 @@ import gc
 import multiprocessing
 from bisect import bisect_right
 from collections import Counter
-from time import perf_counter
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from time import perf_counter, time as wall_clock
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..bgp.messages import UpdateMessage
 from ..bgp.prefix import Prefix, parse_ipv4
@@ -35,6 +35,9 @@ from ..bgp.roa import HashRoaTable, Roa, TrieRoaTable
 from ..bgp.trie import PrefixTrie
 from ..core.vmm import VmmConfig
 from ..frr.attrs_intern import FrrAttrs
+from ..telemetry.aggregate import merge_into, snapshot_registry
+from ..telemetry.events import EventLog
+from ..telemetry.metrics import MetricsRegistry
 from ..workload.rib_gen import RouteSpec, _attributes_for, build_updates
 from .batch import BatchProcessor
 
@@ -287,8 +290,25 @@ def _replay_shard(payload) -> Dict[str, object]:
 
     Module-level so ``multiprocessing`` can resolve it under any start
     method; also called directly by the inline backend.
+
+    When the parent armed heartbeats (``heartbeat_every > 0`` and a
+    queue was installed by :func:`_init_worker`), the worker announces
+    ``shard_start``, streams ``shard_progress`` every N updates, and
+    closes with ``shard_finish`` — the raw feed behind live progress,
+    ETA, and the lifecycle event log.  When the daemon runs with
+    telemetry on, the full registry (mergeable snapshot), the breaker
+    table and the trace-ring tail ride back in the report.
     """
     config, shard, routes, intern_table = payload
+    queue = _HEARTBEAT_QUEUE
+    every = int(config.get("heartbeat_every", 0))
+    heartbeat = queue is not None and every > 0
+
+    def beat(kind: str, **fields: object) -> None:
+        if heartbeat:
+            queue.put({"event": kind, "ts": wall_clock(), "shard": shard, **fields})
+
+    beat("shard_start", routes=len(routes))
     # The replay allocates millions of acyclic objects (routes, attrs,
     # messages); cyclic-gc passes over that live set are pure overhead,
     # so collection pauses for the duration (refcounting still frees
@@ -312,26 +332,66 @@ def _replay_shard(payload) -> Dict[str, object]:
             sender_asn=65100 if session == "ebgp" else None,
             max_prefixes_per_update=int(config.get("max_prefixes_per_update", 64)),
         )
-        feed = [update.encode() for update in updates]
+        feed = []
+        nlri_counts = []
+        for update in updates:
+            feed.append(update.encode())
+            nlri_counts.append(len(update.nlri))
         feed.append(UpdateMessage.end_of_rib().encode())
+        nlri_counts.append(0)
         build_seconds = perf_counter() - started
 
         batch = int(config.get("batch", 64))
         started = perf_counter()
+        processor = None
         if batch > 1:
             processor = BatchProcessor(daemon, batch_size=batch)
+            receive = processor.receive_raw
+        else:
+            receive = daemon.receive_raw
+        if heartbeat:
+            routes_done = 0
+            since_beat = 0
+            for index, payload_bytes in enumerate(feed):
+                receive(_UPSTREAM, payload_bytes)
+                routes_done += nlri_counts[index]
+                since_beat += 1
+                if since_beat >= every:
+                    since_beat = 0
+                    beat("shard_progress", routes_done=routes_done, routes=len(routes))
+        else:
             for payload_bytes in feed:
-                processor.receive_raw(_UPSTREAM, payload_bytes)
+                receive(_UPSTREAM, payload_bytes)
+        if processor is not None:
             processor.flush()
             batches = processor.batches_flushed
         else:
-            for payload_bytes in feed:
-                daemon.receive_raw(_UPSTREAM, payload_bytes)
             batches = 0
         replay_seconds = perf_counter() - started
     finally:
         if gc_was_enabled:
             gc.enable()
+    beat(
+        "shard_finish",
+        routes=len(routes),
+        replay_seconds=replay_seconds,
+        build_seconds=build_seconds,
+    )
+
+    telemetry_report = None
+    telemetry = daemon.vmm.telemetry
+    if telemetry is not None:
+        # Everything the PR 1/4/5 stack recorded in this process, in
+        # picklable form: the registry as a mergeable snapshot, the
+        # breaker table, and the tail of the trace ring.
+        daemon.update_telemetry_gauges()
+        tail = int(config.get("trace_tail", 256))
+        telemetry_report = {
+            "registry": snapshot_registry(telemetry.registry),
+            "health": telemetry.health.snapshot(),
+            "trace_tail": telemetry.trace.events()[-tail:] if tail > 0 else [],
+            "trace_stats": telemetry.trace.stats(),
+        }
 
     pool = getattr(daemon, "attr_pool", None)
     profiler = getattr(daemon, "profiler", None)
@@ -345,6 +405,7 @@ def _replay_shard(payload) -> Dict[str, object]:
         "replay_seconds": replay_seconds,
         "stats": dict(daemon.stats),
         "fallbacks": daemon.vmm.fallbacks,
+        "telemetry": telemetry_report,
         "attr_pool": {
             "hits": pool.hits if pool is not None else 0,
             "misses": pool.misses if pool is not None else 0,
@@ -373,6 +434,29 @@ def _replay_shard(payload) -> Dict[str, object]:
 #: set only for the duration of a process-backend run.
 _FORK_PAYLOADS: Optional[List[tuple]] = None
 
+#: Heartbeat sink the current worker writes progress events to: a
+#: ``multiprocessing.Queue`` installed by :func:`_init_worker` in pool
+#: workers, a :class:`_CallbackQueue` for the inline backend, or None
+#: (heartbeats off — the default, and free).
+_HEARTBEAT_QUEUE = None
+
+
+def _init_worker(queue) -> None:
+    """Pool initializer: install the parent's heartbeat queue."""
+    global _HEARTBEAT_QUEUE
+    _HEARTBEAT_QUEUE = queue
+
+
+class _CallbackQueue:
+    """Queue-shaped shim delivering heartbeats synchronously (inline
+    backend: worker and parent share one process)."""
+
+    def __init__(self, deliver: Callable[[Dict[str, object]], None]) -> None:
+        self._deliver = deliver
+
+    def put(self, event: Dict[str, object]) -> None:
+        self._deliver(event)
+
 
 def _replay_shard_by_index(index: int) -> Dict[str, object]:
     """Fork-backend worker entry: resolve the payload from the memory
@@ -396,6 +480,7 @@ class ShardedResult:
         "wall_seconds",
         "build_seconds",
         "replay_seconds",
+        "telemetry",
     )
 
     def __init__(self, per_shard: List[Dict[str, object]], wall_seconds: float):
@@ -441,6 +526,63 @@ class ShardedResult:
         self.replay_seconds = max(
             (report["replay_seconds"] for report in per_shard), default=0.0
         )
+        self.telemetry = self._merge_telemetry(per_shard)
+
+    @staticmethod
+    def _merge_telemetry(
+        per_shard: List[Dict[str, object]],
+    ) -> Optional[Dict[str, object]]:
+        """One shard-labeled registry + tagged health/trace rows from
+        the per-worker telemetry reports (None when workers ran with
+        telemetry off)."""
+        shipped = [
+            (report["shard"], report["telemetry"])
+            for report in per_shard
+            if report.get("telemetry") is not None
+        ]
+        if not shipped:
+            return None
+        registry = MetricsRegistry()
+        health: List[Dict[str, object]] = []
+        trace_tail: List[Dict[str, object]] = []
+        for shard, worker in shipped:
+            merge_into(
+                registry, worker["registry"], labels={"shard": str(shard)}
+            )
+            for row in worker["health"]:
+                tagged = dict(row)
+                tagged["shard"] = shard
+                health.append(tagged)
+            for event in worker["trace_tail"]:
+                tagged = dict(event)
+                tagged["shard"] = shard
+                trace_tail.append(tagged)
+        return {
+            "registry": snapshot_registry(registry),
+            "health": health,
+            "trace_tail": trace_tail,
+        }
+
+    def merged_registry(self, shard_labels: bool = True) -> MetricsRegistry:
+        """The cross-shard registry as a live :class:`MetricsRegistry`.
+
+        ``shard_labels=True`` keeps the per-shard origin label (what
+        ``/metrics`` serves); ``shard_labels=False`` re-merges the raw
+        worker snapshots without the stamp — counters become plain
+        cross-shard sums, directly comparable to a sequential replay's
+        registry (the batch-parity suite pins this equality).
+        """
+        if self.telemetry is None:
+            raise RuntimeError("workers ran with telemetry off")
+        registry = MetricsRegistry()
+        if shard_labels:
+            merge_into(registry, self.telemetry["registry"])
+            return registry
+        for report in self.per_shard:
+            worker = report.get("telemetry")
+            if worker is not None:
+                merge_into(registry, worker["registry"])
+        return registry
 
 
 class ShardedReplay:
@@ -483,6 +625,11 @@ class ShardedReplay:
         ship_intern_table: bool = False,
         profiling: bool = False,
         collect: str = "full",
+        telemetry: bool = False,
+        heartbeat_every: int = 0,
+        progress: Optional[Callable[[Dict[str, object]], None]] = None,
+        events: Optional[EventLog] = None,
+        trace_tail: int = 256,
     ) -> None:
         if backend not in ("process", "inline"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -493,6 +640,13 @@ class ShardedReplay:
         self.backend = backend
         self.batch = batch
         self.ship_intern_table = ship_intern_table and implementation == "frr"
+        self.progress = progress
+        self.events = events
+        if heartbeat_every <= 0 and (progress is not None or events is not None):
+            # A sink was attached but no cadence chosen: a sensible
+            # default beats silently never hearing from the workers.
+            heartbeat_every = 500
+        self.heartbeat_every = heartbeat_every
         self.partition = PartitionMap(
             (spec.prefix for spec in self.routes), shards
         )
@@ -507,7 +661,9 @@ class ShardedReplay:
             "valley": valley,
             "batch": batch,
             "max_prefixes_per_update": max_prefixes_per_update,
-            "telemetry": False,
+            "telemetry": bool(telemetry),
+            "heartbeat_every": heartbeat_every,
+            "trace_tail": trace_tail,
             "profiling": profiling,
             "collect": collect,
         }
@@ -535,22 +691,89 @@ class ShardedReplay:
             payloads.append((self.config, shard, bucket, table))
         return payloads
 
+    def _emit(self, event: Dict[str, object]) -> None:
+        """Deliver one heartbeat to the attached sinks (parent side)."""
+        if self.events is not None:
+            self.events.append(dict(event))
+        if self.progress is not None:
+            self.progress(event)
+
     def run(self) -> ShardedResult:
         started = perf_counter()
         payloads = self._payloads()
+        self._emit(
+            {
+                "event": "replay_start",
+                "ts": wall_clock(),
+                "shards": self.partition.shards,
+                "routes": len(self.routes),
+            }
+        )
         if self.backend == "inline" or self.partition.shards == 1:
-            reports = [_replay_shard(payload) for payload in payloads]
+            global _HEARTBEAT_QUEUE
+            saved = _HEARTBEAT_QUEUE
+            _HEARTBEAT_QUEUE = (
+                _CallbackQueue(self._emit) if self.heartbeat_every > 0 else None
+            )
+            try:
+                reports = [_replay_shard(payload) for payload in payloads]
+            finally:
+                _HEARTBEAT_QUEUE = saved
         else:
-            import os
+            reports = self._run_pool(payloads)
+        wall_seconds = perf_counter() - started
+        self._emit(
+            {
+                "event": "replay_finish",
+                "ts": wall_clock(),
+                "shards": self.partition.shards,
+                "routes": len(self.routes),
+                "wall_seconds": wall_seconds,
+            }
+        )
+        return ShardedResult(reports, wall_seconds)
 
-            # Never oversubscribe: with more workers than cores the
-            # shards time-slice, and their large working sets thrash
-            # the caches against each other (measured ~2.3x per-shard
-            # inflation at 4 shards on 1 core).  Excess shards queue
-            # and run at solo speed instead.
-            processes = min(self.partition.shards, os.cpu_count() or 1)
-            methods = multiprocessing.get_all_start_methods()
-            if "fork" in methods:
+    def _run_pool(self, payloads: List[tuple]) -> List[Dict[str, object]]:
+        import os
+        from queue import Empty
+
+        # Never oversubscribe: with more workers than cores the
+        # shards time-slice, and their large working sets thrash
+        # the caches against each other (measured ~2.3x per-shard
+        # inflation at 4 shards on 1 core).  Excess shards queue
+        # and run at solo speed instead.
+        processes = min(self.partition.shards, os.cpu_count() or 1)
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else None
+        context = multiprocessing.get_context(start_method)
+        manager = context.Manager() if self.heartbeat_every > 0 else None
+        heartbeats = manager.Queue() if manager is not None else None
+        initializer = _init_worker if heartbeats is not None else None
+        initargs = (heartbeats,) if heartbeats is not None else ()
+
+        def drain(block: bool) -> None:
+            while True:
+                try:
+                    event = (
+                        heartbeats.get(timeout=0.2)
+                        if block
+                        else heartbeats.get_nowait()
+                    )
+                except Empty:
+                    return
+                self._emit(event)
+                block = False
+
+        def wait_and_drain(pending) -> List[Dict[str, object]]:
+            if heartbeats is None:
+                return pending.get()
+            while not pending.ready():
+                drain(block=True)
+            drain(block=False)
+            return pending.get()
+
+        try:
+            if start_method == "fork":
                 # Forked workers inherit the parent's memory, so the
                 # payloads (181k RouteSpecs per shard at full-table
                 # scale) ride the fork for free instead of being
@@ -559,21 +782,32 @@ class ShardedReplay:
                 global _FORK_PAYLOADS
                 _FORK_PAYLOADS = payloads
                 try:
-                    context = multiprocessing.get_context("fork")
                     with context.Pool(
-                        processes=processes, maxtasksperchild=1
+                        processes=processes,
+                        maxtasksperchild=1,
+                        initializer=initializer,
+                        initargs=initargs,
                     ) as pool:
-                        reports = pool.map(
-                            _replay_shard_by_index,
-                            range(len(payloads)),
-                            chunksize=1,
+                        reports = wait_and_drain(
+                            pool.map_async(
+                                _replay_shard_by_index,
+                                range(len(payloads)),
+                                chunksize=1,
+                            )
                         )
                 finally:
                     _FORK_PAYLOADS = None
             else:
-                context = multiprocessing.get_context(None)
                 with context.Pool(
-                    processes=processes, maxtasksperchild=1
+                    processes=processes,
+                    maxtasksperchild=1,
+                    initializer=initializer,
+                    initargs=initargs,
                 ) as pool:
-                    reports = pool.map(_replay_shard, payloads, chunksize=1)
-        return ShardedResult(reports, perf_counter() - started)
+                    reports = wait_and_drain(
+                        pool.map_async(_replay_shard, payloads, chunksize=1)
+                    )
+        finally:
+            if manager is not None:
+                manager.shutdown()
+        return reports

@@ -99,6 +99,10 @@ class ConvergenceHarness:
         batch: int = 1,
         shards: int = 1,
         shard_collect: str = "full",
+        shard_telemetry: bool = False,
+        events=None,
+        progress=None,
+        heartbeat_every: int = 0,
     ):
         if implementation not in DAEMONS:
             raise ValueError(f"unknown implementation {implementation!r}")
@@ -146,6 +150,22 @@ class ConvergenceHarness:
         self.shard_collect = shard_collect
         #: Per-shard reports of the most recent sharded :meth:`run`.
         self.shard_result = None
+        #: True runs the shard *workers* with telemetry on, shipping
+        #: each worker's registry/breakers/trace tail back for the
+        #: cross-process merge.  Separate from ``telemetry`` (the
+        #: single-daemon default) so the telemetry-off sharded bench
+        #: stays at its baseline cost.
+        self.shard_telemetry = shard_telemetry
+        #: Optional :class:`~repro.telemetry.EventLog` receiving the
+        #: schema'd lifecycle events (replay/shard progress, batch
+        #: flushes, quarantine trips, convergence signals).
+        self.events = events
+        #: Optional callable fed every raw heartbeat event (what a
+        #: :class:`~repro.telemetry.ReplayProgress` consumes live).
+        self.progress = progress
+        #: Worker heartbeat cadence in UPDATEs (0 = auto when a sink is
+        #: attached, silent otherwise).
+        self.heartbeat_every = heartbeat_every
         self.collector = Collector(eager_attributes=not hot_path)
         if shards > 1:
             # The DUT lives in the workers; building a parent DUT and
@@ -157,6 +177,9 @@ class ConvergenceHarness:
             self.dut = self._build_dut()
             self._wire()
             self.feed = self._build_feed(max_prefixes_per_update)
+            if events is not None and self.dut.vmm.telemetry is not None:
+                # Breaker transitions become schema'd quarantine events.
+                self.dut.vmm.telemetry.events = events
 
     # -- construction -------------------------------------------------
 
@@ -249,7 +272,9 @@ class ConvergenceHarness:
         if self.batch > 1:
             from ..scale import BatchProcessor
 
-            processor = BatchProcessor(self.dut, batch_size=self.batch)
+            processor = BatchProcessor(
+                self.dut, batch_size=self.batch, events=self.events
+            )
             for payload in self.feed:
                 processor.receive_raw(_UPSTREAM, payload)
             processor.flush()
@@ -265,6 +290,12 @@ class ConvergenceHarness:
                 f"(vmm fallbacks={self.dut.vmm.fallbacks})"
             )
         self.last_telemetry = self.telemetry_snapshot()
+        if self.events is not None:
+            report = self.convergence_report()
+            if report is not None:
+                from ..telemetry import emit_convergence_events
+
+                emit_convergence_events(self.events, report)
         return elapsed
 
     def _run_sharded(self, expected: int) -> float:
@@ -283,6 +314,10 @@ class ConvergenceHarness:
             max_prefixes_per_update=self._max_prefixes_per_update,
             profiling=self.profiling,
             collect=self.shard_collect,
+            telemetry=self.shard_telemetry,
+            heartbeat_every=self.heartbeat_every,
+            progress=self.progress,
+            events=self.events,
         )
         result = replay.run()
         self.shard_result = result
@@ -310,15 +345,21 @@ class ConvergenceHarness:
         A sharded run has no parent DUT; instead, the workers' per-shard
         counters are re-registered into a parent-side registry so the
         ``xbgp stats`` surface (and the bench instruction totals) keep
-        working with ``shards > 1``.
+        working with ``shards > 1``.  When the workers themselves ran
+        with telemetry on (``shard_telemetry=True``), their full
+        registries merge in too — every family shard-labeled — and the
+        snapshot's health table becomes the workers' breaker rows.
         """
         if self.dut is None:
             if not self.telemetry_enabled or self.shard_result is None:
                 return None
-            from ..telemetry import Telemetry
+            from ..telemetry import Telemetry, merge_into
 
             telemetry = Telemetry()
             registry = telemetry.registry
+            worker_telemetry = self.shard_result.telemetry
+            if worker_telemetry is not None:
+                merge_into(registry, worker_telemetry["registry"])
             for report in self.shard_result.per_shard:
                 shard = str(report["shard"])
                 registry.counter(
@@ -354,7 +395,13 @@ class ConvergenceHarness:
                 registry.counter(
                     "xbgp_shard_fallbacks", "worker VMM fallbacks", shard=shard
                 ).inc(report["fallbacks"])
-            return telemetry.snapshot()
+            snapshot = telemetry.snapshot()
+            if worker_telemetry is not None:
+                snapshot["health"] = worker_telemetry["health"]
+                snapshot["trace"] = {
+                    "tail_events": len(worker_telemetry["trace_tail"])
+                }
+            return snapshot
         telemetry = self.dut.vmm.telemetry
         if telemetry is None:
             return None

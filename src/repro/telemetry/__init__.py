@@ -23,6 +23,21 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from .aggregate import (
+    SNAPSHOT_VERSION,
+    merge_into,
+    merge_snapshots,
+    registry_from_snapshot,
+    snapshot_registry,
+)
+from .events import (
+    EVENT_TYPES,
+    EventLog,
+    EventSchemaError,
+    emit_convergence_events,
+    validate_event,
+)
+from .exporter import TelemetryExporter
 from .health import ExtensionHealth, QuarantineEngine, QuarantinePolicy
 from .metrics import (
     Counter,
@@ -33,6 +48,7 @@ from .metrics import (
     render_prometheus,
 )
 from .profiler import PHASES, Profiler, VmProfile
+from .progress import ReplayProgress
 from .provenance import DEFAULT_STORIES_PER_PREFIX, ProvenanceTracker
 from .spans import DEFAULT_SPAN_CAPACITY, SpanRecorder
 from .trace import DEFAULT_TRACE_CAPACITY, TraceRing
@@ -44,6 +60,18 @@ __all__ = [
     "MetricsRegistry",
     "log_buckets",
     "render_prometheus",
+    "SNAPSHOT_VERSION",
+    "snapshot_registry",
+    "registry_from_snapshot",
+    "merge_into",
+    "merge_snapshots",
+    "EVENT_TYPES",
+    "EventLog",
+    "EventSchemaError",
+    "emit_convergence_events",
+    "validate_event",
+    "TelemetryExporter",
+    "ReplayProgress",
     "TraceRing",
     "DEFAULT_TRACE_CAPACITY",
     "SpanRecorder",
@@ -72,6 +100,9 @@ class Telemetry:
         self.registry = MetricsRegistry()
         self.trace = TraceRing(trace_capacity, timestamps=trace_timestamps)
         self.health = QuarantineEngine(policy, on_transition=self._on_transition)
+        #: Optional structured event log; when set, breaker transitions
+        #: also become schema'd ``quarantine`` events.
+        self.events: Optional[EventLog] = None
 
     # -- quarantine plumbing ----------------------------------------------
 
@@ -90,6 +121,14 @@ class Telemetry:
             extension=health.name,
             to_state=health.state,
         ).inc()
+        if self.events is not None:
+            self.events.emit(
+                "quarantine",
+                point=health.point,
+                extension=health.name,
+                from_state=previous,
+                to_state=health.state,
+            )
 
     # -- export ------------------------------------------------------------
 
@@ -98,9 +137,16 @@ class Telemetry:
         return render_prometheus(self.registry)
 
     def snapshot(self) -> Dict[str, object]:
-        """One JSON-able view of everything: metrics, health, trace."""
+        """One JSON-able view of everything: metrics, health, trace.
+
+        ``registry`` is the full-fidelity mergeable form (exact
+        histogram buckets) — what ``xbgp stats --merge`` and the shard
+        merge path consume; ``metrics`` stays the human-facing summary
+        view.
+        """
         return {
             "metrics": self.registry.to_json(),
+            "registry": snapshot_registry(self.registry),
             "health": self.health.snapshot(),
             "trace": self.trace.stats(),
         }

@@ -235,6 +235,19 @@ class MetricsRegistry:
     def families(self) -> List[_Family]:
         return [self._families[name] for name in sorted(self._families)]
 
+    def snapshot(self) -> Dict[str, object]:
+        """Full-fidelity serializable capture (see
+        :mod:`repro.telemetry.aggregate` for the merge semantics)."""
+        from .aggregate import snapshot_registry
+
+        return snapshot_registry(self)
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Dict[str, object]) -> "MetricsRegistry":
+        from .aggregate import registry_from_snapshot
+
+        return registry_from_snapshot(snapshot)
+
     def to_json(self) -> Dict[str, object]:
         """JSON-able view: one entry per family, one row per label set."""
         out: Dict[str, object] = {}

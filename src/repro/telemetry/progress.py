@@ -1,0 +1,175 @@
+"""Live replay progress: shard heartbeats → per-shard state, ETA, gauges.
+
+:class:`ReplayProgress` consumes the heartbeat events a
+:class:`~repro.scale.ShardedReplay` parent drains from its workers
+(``replay_start``, ``shard_start``, ``shard_progress``,
+``shard_finish``, ``replay_finish``) and maintains:
+
+* per-shard ``routes_done``/``routes`` counts;
+* an overall completion ratio and a rate-based ETA;
+* if given a registry, live gauges (``xbgp_replay_progress_routes``
+  per shard, ``xbgp_replay_total_routes``, ``xbgp_replay_done_ratio``,
+  ``xbgp_replay_eta_seconds``) — what ``/metrics`` serves *during* a
+  replay, before any worker registry has been shipped back.
+
+The ETA is total remaining work over the aggregate observed rate; with
+balanced shards and workers running in parallel this tracks the true
+wall clock closely and degrades gracefully (over-estimates) when
+shards queue on fewer cores.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from .metrics import MetricsRegistry
+
+__all__ = ["ReplayProgress"]
+
+_HEARTBEAT_KINDS = (
+    "replay_start",
+    "replay_finish",
+    "shard_start",
+    "shard_progress",
+    "shard_finish",
+)
+
+
+class ReplayProgress:
+    """Fold heartbeat events into live progress state (see module doc)."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.registry = registry
+        self._clock = clock
+        #: shard -> {"routes": int, "done": int, "finished": bool}
+        self.shards: Dict[int, Dict[str, object]] = {}
+        self.total_routes = 0
+        self.started_at: Optional[float] = None
+        self.finished = False
+        self.wall_seconds: Optional[float] = None
+
+    # -- event intake ----------------------------------------------------
+
+    def on_event(self, event: Dict[str, object]) -> None:
+        """Consume one heartbeat event; other event types are ignored."""
+        kind = event.get("event")
+        if kind not in _HEARTBEAT_KINDS:
+            return
+        if self.started_at is None:
+            self.started_at = self._clock()
+        if kind == "replay_start":
+            self.total_routes = int(event["routes"])
+            self.finished = False
+        elif kind == "shard_start":
+            shard = int(event["shard"])
+            self.shards[shard] = {
+                "routes": int(event["routes"]),
+                "done": 0,
+                "finished": False,
+            }
+        elif kind == "shard_progress":
+            shard = int(event["shard"])
+            state = self.shards.setdefault(
+                shard,
+                {"routes": int(event["routes"]), "done": 0, "finished": False},
+            )
+            state["done"] = int(event["routes_done"])
+        elif kind == "shard_finish":
+            shard = int(event["shard"])
+            state = self.shards.setdefault(
+                shard,
+                {"routes": int(event["routes"]), "done": 0, "finished": False},
+            )
+            state["done"] = state["routes"]
+            state["finished"] = True
+        else:  # replay_finish
+            self.finished = True
+            self.wall_seconds = float(event["wall_seconds"])
+            for state in self.shards.values():
+                state["done"] = state["routes"]
+                state["finished"] = True
+        self._update_gauges()
+
+    # -- derived state ---------------------------------------------------
+
+    @property
+    def done_routes(self) -> int:
+        return sum(int(state["done"]) for state in self.shards.values())
+
+    @property
+    def known_routes(self) -> int:
+        """Total routes: the replay_start announcement, else shard sums."""
+        if self.total_routes:
+            return self.total_routes
+        return sum(int(state["routes"]) for state in self.shards.values())
+
+    def ratio(self) -> float:
+        total = self.known_routes
+        return (self.done_routes / total) if total else 0.0
+
+    def eta_seconds(self) -> Optional[float]:
+        """Remaining seconds at the observed aggregate rate, or None
+        before any progress exists to extrapolate from."""
+        if self.finished:
+            return 0.0
+        done = self.done_routes
+        if not done or self.started_at is None:
+            return None
+        elapsed = self._clock() - self.started_at
+        if elapsed <= 0:
+            return None
+        rate = done / elapsed
+        remaining = max(0, self.known_routes - done)
+        return remaining / rate if rate > 0 else None
+
+    def render(self) -> str:
+        """One status line: per-shard progress, total ratio, ETA."""
+        parts = []
+        for shard in sorted(self.shards):
+            state = self.shards[shard]
+            done, total = int(state["done"]), int(state["routes"])
+            pct = (100.0 * done / total) if total else 100.0
+            mark = "✓" if state["finished"] else f"{pct:.0f}%"
+            parts.append(f"shard {shard}: {done}/{total} ({mark})")
+        eta = self.eta_seconds()
+        tail = f"total {self.ratio() * 100.0:.1f}%"
+        if self.finished and self.wall_seconds is not None:
+            tail += f" · done in {self.wall_seconds:.1f}s"
+        elif eta is not None:
+            tail += f" · ETA {eta:.0f}s"
+        parts.append(tail)
+        return " | ".join(parts)
+
+    # -- gauge export ----------------------------------------------------
+
+    def _update_gauges(self) -> None:
+        registry = self.registry
+        if registry is None:
+            return
+        for shard in sorted(self.shards):
+            state = self.shards[shard]
+            registry.gauge(
+                "xbgp_replay_progress_routes",
+                "routes replayed so far, per shard",
+                shard=str(shard),
+            ).set(int(state["done"]))
+            registry.gauge(
+                "xbgp_replay_shard_routes",
+                "routes assigned, per shard",
+                shard=str(shard),
+            ).set(int(state["routes"]))
+        registry.gauge(
+            "xbgp_replay_total_routes", "routes in the replayed workload"
+        ).set(self.known_routes)
+        registry.gauge(
+            "xbgp_replay_done_ratio", "fraction of the workload replayed"
+        ).set(self.ratio())
+        eta = self.eta_seconds()
+        registry.gauge(
+            "xbgp_replay_eta_seconds", "estimated seconds to completion"
+        ).set(eta if eta is not None else -1.0)

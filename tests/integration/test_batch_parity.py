@@ -210,6 +210,42 @@ def test_batched_and_sharded_replay_match_sequential(feature, implementation):
 
 
 @pytest.mark.parametrize("implementation", ["frr", "bird"])
+def test_merged_shard_counters_match_sequential(implementation):
+    """Telemetry parity across the process boundary: the merged
+    per-worker execution counters of a sharded replay equal the
+    counters a sequential (one-shard) replay records — the
+    observability plane is as partition-invariant as the routing
+    state itself."""
+    routes = RibGenerator(n_routes=200, seed=19).generate()
+    kwargs = dict(
+        feature="route_reflection", mode="extension", batch=16, telemetry=True
+    )
+    sequential = ShardedReplay(
+        implementation, routes, backend="inline", shards=1, **kwargs
+    ).run()
+    sharded = ShardedReplay(
+        implementation, routes, backend="process", shards=2, **kwargs
+    ).run()
+    assert sharded.shards == 2
+
+    def execution_counters(registry):
+        out = {}
+        for family in registry.families():
+            if family.kind != "counter" or not family.name.startswith(
+                "xbgp_extension"
+            ):
+                continue
+            for values, child in family.children.items():
+                out[(family.name, values)] = child.value
+        return out
+
+    expected = execution_counters(sequential.merged_registry(shard_labels=False))
+    merged = execution_counters(sharded.merged_registry(shard_labels=False))
+    assert expected  # instrumentation engaged at all
+    assert merged == expected
+
+
+@pytest.mark.parametrize("implementation", ["frr", "bird"])
 def test_process_backend_matches_inline(implementation):
     """The multiprocessing boundary (pickled configs, shipped intern
     tables, merged reports) changes nothing vs the same worker code

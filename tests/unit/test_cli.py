@@ -198,6 +198,161 @@ class TestStats:
         assert snapshot["run"]["vmm"]["codes"]["rr_import"]["executions"] == 20
 
 
+class TestStatsMerge:
+    def make_snapshot(self, tmp_path, name, routes):
+        path = tmp_path / name
+        code = main(
+            [
+                "stats", "--routes", str(routes), "--format", "json",
+                "--output", str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_merge_doubles_counters(self, tmp_path, capsys):
+        import json
+
+        path = self.make_snapshot(tmp_path, "one.json", 30)
+        capsys.readouterr()
+        code, output = run_cli(
+            ["stats", "--merge", str(path), str(path), "--format", "prom"],
+            capsys,
+        )
+        assert code == 0
+        line = next(
+            l
+            for l in output.splitlines()
+            if l.startswith("xbgp_extension_executions_total")
+            and 'extension="rr_import"' in l
+        )
+        assert line.endswith(" 60")  # 30 + 30
+
+        # JSON output is itself a mergeable snapshot (closure).
+        code, output = run_cli(
+            ["stats", "--merge", str(path), str(path), "--format", "json"],
+            capsys,
+        )
+        merged = json.loads(output)
+        assert merged["snapshot_version"] == 1
+        assert "xbgp_extension_executions" in merged["families"]
+
+    def test_merge_accepts_raw_registry_snapshots(self, tmp_path, capsys):
+        import json
+
+        stats_path = self.make_snapshot(tmp_path, "doc.json", 20)
+        raw_path = tmp_path / "raw.json"
+        raw_path.write_text(
+            json.dumps(json.loads(stats_path.read_text())["registry"])
+        )
+        capsys.readouterr()
+        code, output = run_cli(
+            ["stats", "--merge", str(stats_path), str(raw_path), "--format", "prom"],
+            capsys,
+        )
+        assert code == 0
+        assert "xbgp_extension_executions_total" in output
+
+    def test_merge_rejects_non_snapshot(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"hello": 1}')
+        with pytest.raises(SystemExit, match="neither a registry snapshot"):
+            main(["stats", "--merge", str(bogus)])
+
+
+class TestEvents:
+    def write_log(self, tmp_path):
+        import json
+
+        path = tmp_path / "events.jsonl"
+        events = [
+            {"event": "replay_start", "ts": 1.0, "shards": 2, "routes": 100},
+            {"event": "shard_start", "ts": 1.1, "shard": 0, "routes": 60},
+            {"event": "shard_start", "ts": 1.1, "shard": 1, "routes": 40},
+            {"event": "shard_finish", "ts": 2.0, "shard": 0, "routes": 60,
+             "replay_seconds": 0.9},
+            {"event": "shard_finish", "ts": 2.1, "shard": 1, "routes": 40,
+             "replay_seconds": 1.0},
+            {"event": "replay_finish", "ts": 2.2, "shards": 2, "routes": 100,
+             "wall_seconds": 1.2},
+        ]
+        path.write_text("".join(json.dumps(e) + "\n" for e in events))
+        return path
+
+    def test_text_rendering_and_filters(self, tmp_path, capsys):
+        path = self.write_log(tmp_path)
+        code, output = run_cli(["events", str(path)], capsys)
+        assert code == 0
+        assert len(output.splitlines()) == 6
+
+        code, output = run_cli(
+            ["events", str(path), "--type", "shard_finish", "--shard", "1"],
+            capsys,
+        )
+        assert code == 0
+        lines = output.splitlines()
+        assert len(lines) == 1 and "shard=1" in lines[0]
+
+        code, output = run_cli(["events", str(path), "--tail", "2"], capsys)
+        assert code == 0
+        assert "replay_finish" in output.splitlines()[-1]
+
+    def test_jsonl_and_json_formats(self, tmp_path, capsys):
+        import json
+
+        path = self.write_log(tmp_path)
+        code, output = run_cli(
+            ["events", str(path), "--format", "jsonl", "--type", "shard_start"],
+            capsys,
+        )
+        assert code == 0
+        rows = [json.loads(line) for line in output.splitlines()]
+        assert [r["shard"] for r in rows] == [0, 1]
+
+        code, output = run_cli(["events", str(path), "--format", "json"], capsys)
+        assert len(json.loads(output)) == 6
+
+    def test_validate_clean_and_dirty(self, tmp_path, capsys):
+        path = self.write_log(tmp_path)
+        code, output = run_cli(["events", str(path), "--validate"], capsys)
+        assert code == 0
+        assert "6 valid event(s), 0 error(s)" in output
+
+        with path.open("a") as handle:
+            handle.write('{"event": "bogus", "ts": 1.0}\n')
+        code, output = run_cli(["events", str(path), "--validate"], capsys)
+        assert code == 1
+        assert "1 error(s)" in output
+
+    def test_invalid_log_without_validate_exits(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(SystemExit, match="not JSON"):
+            main(["events", str(path)])
+
+    def test_bench_streams_a_valid_event_log(self, tmp_path, capsys):
+        log = tmp_path / "bench-events.jsonl"
+        code, _ = run_cli(
+            [
+                "bench", "--scenario", "full-table", "--routes", "200",
+                "--shards", "2", "--runs", "1", "--telemetry",
+                "--events", str(log),
+            ],
+            capsys,
+        )
+        assert code == 0
+        code, output = run_cli(["events", str(log), "--validate"], capsys)
+        assert code == 0 and "0 error(s)" in output
+        code, output = run_cli(
+            ["events", str(log), "--type", "replay_finish", "--format", "jsonl"],
+            capsys,
+        )
+        import json
+
+        rows = [json.loads(line) for line in output.splitlines()]
+        assert rows and rows[-1]["routes"] == 200
+
+
 class TestExplainAndSpans:
     def test_explain_reconstructs_causal_chain(self, capsys):
         # Bytecode engine: attribute writes flow through the recorded

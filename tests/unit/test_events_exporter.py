@@ -1,0 +1,340 @@
+"""Unit tests for the telemetry plane: event log, progress, exporter.
+
+Covers the schema'd JSONL event log (validation, ring eviction,
+write-through files, the ``xbgp events`` file helpers), the live
+replay-progress folder (state machine, ETA, gauges), the HTTP exporter
+endpoints, and the batch processor's flush instrumentation.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.telemetry import Telemetry
+from repro.telemetry.events import (
+    EventLog,
+    EventSchemaError,
+    emit_convergence_events,
+    filter_events,
+    read_events,
+    render_event,
+    validate_event,
+    validate_jsonl,
+)
+from repro.telemetry.exporter import TelemetryExporter
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.progress import ReplayProgress
+
+
+class TestEventSchema:
+    def test_valid_event_passes(self):
+        validate_event(
+            {"event": "shard_start", "ts": 1.0, "shard": 0, "routes": 10}
+        )
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(EventSchemaError, match="unknown event type"):
+            validate_event({"event": "nope", "ts": 1.0})
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(EventSchemaError, match="missing required"):
+            validate_event({"event": "shard_start", "ts": 1.0, "shard": 0})
+
+    def test_bad_ts_rejected(self):
+        with pytest.raises(EventSchemaError, match="'ts'"):
+            validate_event(
+                {"event": "shard_start", "ts": "now", "shard": 0, "routes": 1}
+            )
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(EventSchemaError):
+            validate_event(["shard_start"])
+
+
+class TestEventLog:
+    def test_emit_stamps_ts_and_seq(self):
+        log = EventLog(clock=lambda: 123.0)
+        record = log.emit("shard_start", shard=0, routes=5)
+        assert record["ts"] == 123.0
+        assert record["seq"] == 1
+        assert log.emit("shard_finish", shard=0, routes=5, replay_seconds=0.1)[
+            "seq"
+        ] == 2
+
+    def test_append_keeps_worker_ts(self):
+        log = EventLog(clock=lambda: 999.0)
+        record = log.append(
+            {"event": "shard_start", "ts": 5.0, "shard": 1, "routes": 2}
+        )
+        assert record["ts"] == 5.0  # worker wall-clock survives
+        assert record["seq"] == 1  # seq is the log's, not the worker's
+
+    def test_invalid_emit_raises(self):
+        with pytest.raises(EventSchemaError):
+            EventLog().emit("shard_start", shard=0)  # no routes
+
+    def test_ring_evicts_and_counts(self):
+        log = EventLog(capacity=3)
+        for index in range(5):
+            log.emit("shard_start", shard=index, routes=1)
+        assert len(log) == 3
+        assert log.recorded == 5
+        assert log.evicted == 2
+        assert [e["shard"] for e in log.events()] == [2, 3, 4]
+        assert [e["shard"] for e in log.tail(2)] == [3, 4]
+
+    def test_kind_filter(self):
+        log = EventLog()
+        log.emit("shard_start", shard=0, routes=1)
+        log.emit("shard_finish", shard=0, routes=1, replay_seconds=0.1)
+        assert len(log.events("shard_start")) == 1
+
+    def test_write_through_file_round_trips(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(str(path))
+        log.emit("replay_start", shards=2, routes=100)
+        log.emit("shard_start", shard=0, routes=50)
+        log.close()
+        events = read_events(str(path))
+        assert [e["event"] for e in events] == ["replay_start", "shard_start"]
+        valid, errors = validate_jsonl(str(path))
+        assert (valid, errors) == (2, [])
+
+    def test_validate_jsonl_reports_bad_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"event": "shard_start", "ts": 1.0, "shard": 0, "routes": 1})
+            + "\nnot json\n"
+            + json.dumps({"event": "bogus", "ts": 1.0})
+            + "\n"
+        )
+        valid, errors = validate_jsonl(str(path))
+        assert valid == 1
+        assert len(errors) == 2
+        with pytest.raises(EventSchemaError, match="bad.jsonl:2"):
+            read_events(str(path))
+
+    def test_filter_events_by_kind_and_shard(self):
+        events = [
+            {"event": "shard_start", "ts": 1.0, "shard": 0, "routes": 1},
+            {"event": "shard_start", "ts": 1.0, "shard": 1, "routes": 1},
+            {"event": "replay_start", "ts": 1.0, "shards": 2, "routes": 2},
+        ]
+        assert len(filter_events(events, kinds=["shard_start"])) == 2
+        assert len(filter_events(events, shard=1)) == 1
+
+    def test_render_event_is_one_line(self):
+        line = render_event(
+            {"event": "batch_flush", "ts": 0.0, "seq": 3, "peer": "10.0.1.2", "updates": 7}
+        )
+        assert "batch_flush" in line
+        assert "peer=10.0.1.2" in line
+        assert "\n" not in line
+
+    def test_quarantine_transitions_become_events(self):
+        from repro.telemetry import QuarantinePolicy
+
+        telemetry = Telemetry(policy=QuarantinePolicy(error_threshold=2))
+        telemetry.events = EventLog()
+        health = telemetry.health.state_for("imp", "ext")
+        for _ in range(2):
+            telemetry.health.record_error(health)
+        trips = telemetry.events.events("quarantine")
+        assert trips and trips[0]["to_state"] == "open"
+
+    def test_convergence_report_emits_events(self):
+        log = EventLog()
+        count = emit_convergence_events(
+            log,
+            {
+                "router": "10.0.0.1",
+                "flaps": {"198.51.100.0/24": 5, "203.0.113.0/24": 1},
+                "oscillating": ["198.51.100.0/24"],
+                "time_of_last_change": 12.5,
+            },
+        )
+        assert count == 2
+        assert log.events("convergence")[0]["total_flaps"] == 6
+        assert log.events("oscillation")[0]["flaps"] == 5
+
+
+class TestReplayProgress:
+    def events(self):
+        return [
+            {"event": "replay_start", "ts": 0.0, "shards": 2, "routes": 100},
+            {"event": "shard_start", "ts": 0.0, "shard": 0, "routes": 60},
+            {"event": "shard_start", "ts": 0.0, "shard": 1, "routes": 40},
+            {"event": "shard_progress", "ts": 0.0, "shard": 0, "routes_done": 30, "routes": 60},
+        ]
+
+    def test_state_folds(self):
+        progress = ReplayProgress()
+        for event in self.events():
+            progress.on_event(event)
+        assert progress.done_routes == 30
+        assert progress.known_routes == 100
+        assert progress.ratio() == pytest.approx(0.3)
+        assert not progress.finished
+
+    def test_eta_uses_observed_rate(self):
+        clock = iter([0.0, 10.0, 10.0]).__next__
+        progress = ReplayProgress(clock=clock)
+        for event in self.events():
+            progress.on_event(event)
+        # 30 routes in 10s -> 3/s -> 70 remaining ~ 23.3s.
+        assert progress.eta_seconds() == pytest.approx(70 / 3.0)
+
+    def test_finish_closes_everything(self):
+        progress = ReplayProgress()
+        for event in self.events():
+            progress.on_event(event)
+        progress.on_event(
+            {"event": "replay_finish", "ts": 1.0, "shards": 2, "routes": 100, "wall_seconds": 4.2}
+        )
+        assert progress.finished
+        assert progress.ratio() == 1.0
+        assert progress.eta_seconds() == 0.0
+        assert "done in 4.2s" in progress.render()
+
+    def test_gauges_track_progress(self):
+        registry = MetricsRegistry()
+        progress = ReplayProgress(registry)
+        for event in self.events():
+            progress.on_event(event)
+        assert registry.gauge(
+            "xbgp_replay_progress_routes", "", shard="0"
+        ).get() == 30
+        assert registry.gauge("xbgp_replay_total_routes", "").get() == 100
+        assert registry.gauge("xbgp_replay_done_ratio", "").get() == pytest.approx(0.3)
+
+    def test_ignores_foreign_events(self):
+        progress = ReplayProgress()
+        progress.on_event({"event": "batch_flush", "ts": 0.0, "peer": "p", "updates": 1})
+        assert progress.shards == {}
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.read()
+
+
+class TestExporter:
+    def test_endpoints(self):
+        telemetry = Telemetry()
+        telemetry.registry.counter("xbgp_demo", "demo counter").inc(3)
+        log = EventLog()
+        log.emit("shard_start", shard=0, routes=5)
+        log.emit("shard_finish", shard=0, routes=5, replay_seconds=0.1)
+        with TelemetryExporter(telemetry, events=log) as exporter:
+            status, body = fetch(exporter.url("/metrics"))
+            assert status == 200
+            assert b"xbgp_demo_total 3" in body
+
+            status, body = fetch(exporter.url("/health"))
+            assert status == 200
+            health = json.loads(body)
+            assert health["status"] == "ok"
+
+            status, body = fetch(exporter.url("/events"))
+            assert json.loads(body)["count"] == 2
+
+            status, body = fetch(exporter.url("/events?event=shard_start"))
+            payload = json.loads(body)
+            assert payload["count"] == 1
+            assert payload["events"][0]["event"] == "shard_start"
+
+            status, body = fetch(exporter.url("/events?limit=1"))
+            assert json.loads(body)["events"][0]["event"] == "shard_finish"
+
+            status, _ = fetch(exporter.url("/"))
+            assert status == 200
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                fetch(exporter.url("/nope"))
+            assert exc_info.value.code == 404
+            assert exporter.requests_served == 7
+
+    def test_health_degrades_to_503(self):
+        from repro.telemetry import QuarantinePolicy
+
+        telemetry = Telemetry(policy=QuarantinePolicy(error_threshold=1))
+        telemetry.health.record_error(telemetry.health.state_for("imp", "ext"))
+        with TelemetryExporter(telemetry) as exporter:
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                fetch(exporter.url("/health"))
+            assert exc_info.value.code == 503
+            payload = json.loads(exc_info.value.read())
+            assert payload["status"] == "degraded"
+            assert payload["quarantined"] == 1
+
+    def test_replace_sources_swaps_registry(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("phase", "").inc(1)
+        second.counter("phase", "").inc(2)
+        with TelemetryExporter(registry=first) as exporter:
+            assert b"phase_total 1" in fetch(exporter.url("/metrics"))[1]
+            exporter.replace_sources(registry=second)
+            assert b"phase_total 2" in fetch(exporter.url("/metrics"))[1]
+
+    def test_callable_sources(self):
+        with TelemetryExporter(
+            registry=MetricsRegistry,  # a fresh registry per scrape
+            health=lambda: [{"state": "closed"}],
+            events=lambda: [
+                {"event": "replay_start", "ts": 0.0, "shards": 1, "routes": 1}
+            ],
+        ) as exporter:
+            assert fetch(exporter.url("/metrics"))[0] == 200
+            assert json.loads(fetch(exporter.url("/health"))[1])["extensions"] == 1
+            assert json.loads(fetch(exporter.url("/events"))[1])["count"] == 1
+
+
+class TestBatchFlushInstrumentation:
+    def build(self, events=None):
+        from repro.frr.daemon import FrrDaemon
+        from repro.core.vmm import VmmConfig
+        from repro.scale import BatchProcessor
+
+        daemon = FrrDaemon(
+            asn=65001,
+            router_id="10.0.0.1",
+            local_address="10.0.0.1",
+            vmm_config=VmmConfig(telemetry=True),
+        )
+        return daemon, BatchProcessor(daemon, batch_size=4, events=events)
+
+    def test_flush_counts_and_events(self):
+        from repro.bgp.messages import UpdateMessage
+        from repro.bgp.prefix import parse_ipv4
+        from repro.workload import RibGenerator, build_updates
+
+        log = EventLog()
+        daemon, processor = self.build(events=log)
+        peer = "10.0.1.2"
+        daemon.add_neighbor(peer, 65100, lambda data: None)
+        daemon._established[parse_ipv4(peer)] = True
+        daemon.neighbors[parse_ipv4(peer)].established = True
+        routes = RibGenerator(n_routes=24, seed=3).generate()
+        updates = build_updates(
+            routes,
+            next_hop=parse_ipv4(peer),
+            session="ebgp",
+            sender_asn=65100,
+            max_prefixes_per_update=2,
+        )
+        for update in updates:
+            processor.receive_raw(peer, update.encode())
+        processor.receive_raw(peer, UpdateMessage.end_of_rib().encode())
+        processor.flush()
+
+        registry = daemon.vmm.telemetry.registry
+        flushed = registry.counter("xbgp_batches_flushed", "").value
+        assert flushed == processor.batches_flushed > 1
+        sizes = registry.histogram(
+            "xbgp_batch_size", "", buckets=[1, 2, 4, 8, 16, 32, 64, 128, 256]
+        )
+        assert sizes.count == flushed
+        flush_events = log.events("batch_flush")
+        assert len(flush_events) == flushed
+        assert sum(e["updates"] for e in flush_events) == processor.updates_batched
