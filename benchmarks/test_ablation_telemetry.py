@@ -21,7 +21,7 @@ ROUTES = 400
 SEED = 20200604
 
 
-def make_run(telemetry, provenance=False, profiling=False):
+def make_run(telemetry, provenance=False, profiling=False, timeseries_every=0):
     routes = RibGenerator(n_routes=ROUTES, seed=SEED).generate()
 
     def run():
@@ -34,6 +34,7 @@ def make_run(telemetry, provenance=False, profiling=False):
             telemetry=telemetry,
             provenance=provenance,
             profiling=profiling,
+            timeseries_every=timeseries_every,
         )
         return harness.run()
 
@@ -168,6 +169,48 @@ def test_profiling_overhead_measured(benchmark):
         f"profiling {traced_time * 1000:.1f} ms, {ROUTES} routes)"
     )
     assert overhead < 6.0
+
+
+@pytest.mark.parametrize(
+    "arm", ["telemetry-only", "sampled"], ids=["telemetry", "sampled"]
+)
+def test_timeseries_sampler_arm_cost(benchmark, arm):
+    run = make_run(True, timeseries_every=(25 if arm == "sampled" else 0))
+    benchmark.pedantic(run, rounds=5, iterations=1, warmup_rounds=1)
+
+
+def test_timeseries_sampler_overhead_measured(benchmark):
+    """Time-series sampling on vs telemetry-only, interleaved.
+
+    Every 25 routes the sampler snapshots the whole registry into the
+    bounded ring (16 samples across the 400-route run) — a full
+    ``snapshot_registry`` walk each time, but off the per-route hot
+    path.  The printed figure feeds the EXPERIMENTS.md ablation row;
+    off (``timeseries_every=0``, the default) takes one integer
+    comparison per run and allocates nothing.
+    """
+    baseline = make_run(True, timeseries_every=0)
+    sampled = make_run(True, timeseries_every=25)
+    baseline_times, sampled_times = [], []
+    baseline()
+    sampled()  # warm both arms (JIT translation, allocator)
+    for _ in range(5):
+        baseline_times.append(min(timeit.repeat(baseline, number=1, repeat=2)))
+        sampled_times.append(min(timeit.repeat(sampled, number=1, repeat=2)))
+    benchmark.pedantic(sampled, rounds=3, iterations=1, warmup_rounds=1)
+    baseline_time = statistics.median(baseline_times)
+    sampled_time = statistics.median(sampled_times)
+    overhead = sampled_time / baseline_time - 1.0
+    print(
+        f"\ntimeseries sampler overhead: {overhead * 100:+.1f}% "
+        f"(telemetry-only {baseline_time * 1000:.1f} ms, "
+        f"sampled {sampled_time * 1000:.1f} ms, "
+        f"{ROUTES} routes, every 25)"
+    )
+    # Sampling is registry-walk work every N routes, not per-route
+    # work: anything past 50% means the sampler leaked onto the hot
+    # path (e.g. snapshotting per update).
+    assert overhead < 0.50
 
 
 def test_record_route_reflection_scenario(benchmark, bench_recorder):

@@ -15,7 +15,8 @@ Subcommands:
 * ``stats``    — drive one harness scenario and print the VMM's
   telemetry (per-insertion-point/extension counters, latency
   histograms, quarantine state) as Prometheus text and/or JSON;
-  ``--merge`` instead aggregates registry snapshot files offline;
+  ``--merge`` instead aggregates registry snapshot files offline and
+  ``--diff A B`` prints what moved between two recorded runs;
 * ``events``   — tail, filter, validate or convert a JSONL structured
   event log (replay/shard lifecycle, batch flushes, quarantine trips,
   convergence signals);
@@ -36,7 +37,13 @@ Subcommands:
   committed baseline and exits non-zero past the noise threshold;
   ``--telemetry``/``--serve``/``--events`` attach the cross-process
   telemetry plane (merged worker registries, live progress over HTTP,
-  streamed lifecycle events).
+  streamed lifecycle events); ``--timeseries`` samples the registry
+  into a time-series (served at ``/timeseries``, recordable as JSONL)
+  and ``--alert``/``--alert-rules`` evaluate declarative alert rules
+  over it — a fired critical rule makes the bench exit non-zero;
+* ``top``      — live ANSI dashboard (progress bars, rate sparklines,
+  histogram quantiles, firing alerts) over a live exporter URL or a
+  recorded time-series file.
 """
 
 from __future__ import annotations
@@ -225,6 +232,42 @@ def _merge_stats(args) -> int:
     return 0
 
 
+def _diff_stats(args) -> int:
+    """``xbgp stats --diff A B``: what changed between two runs."""
+    import json as _json
+
+    from .telemetry.timeseries import (
+        diff_samples,
+        load_snapshot_source,
+        render_diff,
+    )
+
+    before_path, after_path = args.diff
+    try:
+        before = load_snapshot_source(before_path)
+        after = load_snapshot_source(after_path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"xbgp stats: {exc}")
+    diff = diff_samples(before, after)
+    if args.format == "json":
+        output = _json.dumps(diff, indent=2, sort_keys=True) + "\n"
+    else:
+        output = render_diff(diff) + "\n"
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(output)
+        print(f"# diff written to {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(output)
+    print(
+        f"# {len(diff['changes'])} changed series, "
+        f"{len(diff['added_families'])} added / "
+        f"{len(diff['removed_families'])} removed families",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_stats(args) -> int:
     """Run one convergence scenario and expose its telemetry."""
     import json as _json
@@ -234,8 +277,12 @@ def _cmd_stats(args) -> int:
     from .telemetry import QuarantinePolicy
     from .workload import RibGenerator, origins_of
 
+    if args.merge and args.diff:
+        raise SystemExit("xbgp stats: --merge and --diff are exclusive")
     if args.merge:
         return _merge_stats(args)
+    if args.diff:
+        return _diff_stats(args)
     routes = RibGenerator(n_routes=args.routes, seed=args.seed).generate()
     roas = None
     if args.feature == "origin_validation":
@@ -317,17 +364,26 @@ def _cmd_events(args) -> int:
         filter_events,
         read_events,
         render_event,
+        rotated_paths,
         validate_jsonl,
     )
 
     if args.validate:
-        try:
-            valid, errors = validate_jsonl(args.log)
-        except OSError as exc:
-            raise SystemExit(f"xbgp events: {exc}")
+        # A rotated log is a pair (events.jsonl.1 then events.jsonl);
+        # validate whatever portion of the pair exists, oldest first.
+        paths = rotated_paths(args.log)
+        valid, errors = 0, []
+        for path in paths:
+            try:
+                file_valid, file_errors = validate_jsonl(path)
+            except OSError as exc:
+                raise SystemExit(f"xbgp events: {exc}")
+            valid += file_valid
+            errors.extend(f"{path}: {error}" for error in file_errors)
         for error in errors:
             print(error, file=sys.stderr)
-        print(f"# {valid} valid event(s), {len(errors)} error(s)")
+        suffix = f" across {len(paths)} file(s)" if len(paths) > 1 else ""
+        print(f"# {valid} valid event(s), {len(errors)} error(s){suffix}")
         return 1 if errors else 0
     try:
         events = read_events(args.log)
@@ -514,6 +570,9 @@ def _scenario_harness(args, profiling=False, events=None, progress=None):
         shard_telemetry=getattr(args, "telemetry", False),
         events=events,
         progress=progress,
+        timeseries_every=getattr(args, "_timeseries_every", 0),
+        quarantine_after=getattr(args, "quarantine_after", 0),
+        inject_crasher=getattr(args, "inject_crasher", False),
     )
 
 
@@ -618,12 +677,38 @@ def _write_shard_profiles(args) -> None:
         print(f"# wrote {path}", file=sys.stderr)
 
 
-def _bench_telemetry_plane(args):
+def _bench_alert_engine(args):
+    """Parse ``--alert`` / ``--alert-rules`` into an AlertEngine (or
+    None when no rule was given, so rule-free benches stay rule-free)."""
+    from .telemetry.alerts import AlertEngine, AlertRuleError, load_rules, parse_rule
+
+    rules = []
+    try:
+        for expression in getattr(args, "alert", None) or []:
+            rules.append(parse_rule(expression))
+        if getattr(args, "alert_rules", None):
+            rules.extend(load_rules(args.alert_rules))
+    except AlertRuleError as exc:
+        raise SystemExit(f"xbgp bench: {exc}")
+    except OSError as exc:
+        raise SystemExit(f"xbgp bench: {exc}")
+    if not rules:
+        return None
+    try:
+        return AlertEngine(rules)
+    except AlertRuleError as exc:
+        raise SystemExit(f"xbgp bench: {exc}")
+
+
+def _bench_telemetry_plane(args, alert_engine=None):
     """Build the optional bench observability plane.
 
     Returns ``(event_log, on_heartbeat, exporter)`` — all ``None`` when
     neither ``--serve`` nor ``--events`` was given, so the default bench
-    path carries zero telemetry-plane cost.
+    path carries zero telemetry-plane cost.  With ``--serve`` the
+    exporter also serves ``/alerts`` (the engine's rule table) and, when
+    ``--timeseries`` is on, a live ``/timeseries`` fed by parent-side
+    samples of the progress registry on every worker heartbeat.
     """
     import threading
     import time as _time
@@ -632,16 +717,28 @@ def _bench_telemetry_plane(args):
         return None, None, None
     from .telemetry import EventLog, ReplayProgress, TelemetryExporter
     from .telemetry.metrics import MetricsRegistry
+    from .telemetry.timeseries import TimeSeriesSampler
 
     event_log = EventLog(args.events) if getattr(args, "events", None) else None
+    if alert_engine is not None and event_log is not None:
+        alert_engine.events = event_log
     live_registry = MetricsRegistry()
     progress = ReplayProgress(live_registry)
+    sampler = None
+    if getattr(args, "timeseries", None) is not None:
+        # Live temporal feed: the progress gauges, sampled at most once
+        # a second while heartbeats arrive.
+        sampler = TimeSeriesSampler(
+            live_registry, every_seconds=1.0, labels={"source": "progress"}
+        )
     exporter = None
     if getattr(args, "serve", None) is not None:
         exporter = TelemetryExporter(
             registry=live_registry,
             health=lambda: [],
             events=event_log,
+            alerts=alert_engine,
+            timeseries=sampler.series if sampler is not None else None,
             port=args.serve,
         ).start()
         print(f"# serving telemetry on {exporter.url('/')}", file=sys.stderr)
@@ -651,6 +748,8 @@ def _bench_telemetry_plane(args):
     def on_heartbeat(event):
         with lock:
             progress.on_event(event)
+            if sampler is not None:
+                sampler.maybe_sample()
         now = _time.monotonic()
         if now - last_line[0] >= 1.0 or event.get("event") == "replay_finish":
             last_line[0] = now
@@ -685,7 +784,15 @@ def _cmd_bench(args) -> int:
     from .eval import bench
 
     scenario = f"{args.scenario}-{args.impl}-{args.engine}"
-    event_log, on_heartbeat, exporter = _bench_telemetry_plane(args)
+    timeseries_on = getattr(args, "timeseries", None) is not None
+    if timeseries_on:
+        args._timeseries_every = max(1, getattr(args, "timeseries_every", 200))
+        if getattr(args, "shards", 1) > 1 and not args.telemetry:
+            # Worker-side sampling rides the telemetry channel.
+            print("# --timeseries implies --telemetry", file=sys.stderr)
+            args.telemetry = True
+    alert_engine = _bench_alert_engine(args)
+    event_log, on_heartbeat, exporter = _bench_telemetry_plane(args, alert_engine)
     wall = []
     _scenario_harness(args).run()  # warm (JIT translation, allocator)
     harness = None
@@ -694,10 +801,31 @@ def _cmd_bench(args) -> int:
             args, events=event_log, progress=on_heartbeat
         )
         wall.append(harness.run())
+    final_series = harness.timeseries
     if exporter is not None:
         registry, health_rows = _bench_final_sources(harness)
         if registry is not None:
             exporter.replace_sources(registry=registry, health=health_rows)
+        if final_series:
+            # /timeseries switches from the live progress feed to the
+            # merged (shard-labeled) worker series of the last run.
+            exporter.replace_sources(timeseries=final_series)
+    if alert_engine is not None:
+        alert_engine.evaluate(final_series or [])
+        for row in alert_engine.firing():
+            print(
+                f"# ALERT [{row['severity']}] {row['rule']}"
+                f" value={row['value']}",
+                file=sys.stderr,
+            )
+    if timeseries_on and args.timeseries:
+        from .telemetry.timeseries import write_timeseries
+
+        count = write_timeseries(final_series or [], args.timeseries)
+        print(
+            f"# wrote {count} time-series sample(s) to {args.timeseries}",
+            file=sys.stderr,
+        )
     snapshot = harness.telemetry_snapshot()
     series = (
         snapshot["metrics"].get("xbgp_extension_instructions", {}).get("series", [])
@@ -712,6 +840,8 @@ def _cmd_bench(args) -> int:
         "batch": getattr(args, "batch", 1),
         "shards": getattr(args, "shards", 1),
     }
+    if alert_engine is not None:
+        extra["alerts_fired"] = alert_engine.ever_fired()
     if harness.shard_result is not None:
         extra["per_shard"] = [
             {
@@ -755,6 +885,15 @@ def _cmd_bench(args) -> int:
             raise SystemExit(f"xbgp bench: {exc}")
         print(bench.render_compare(result), file=sys.stderr)
         exit_code = 1 if result["regression"] else 0
+    if alert_engine is not None:
+        critical = alert_engine.ever_fired("critical")
+        if critical:
+            print(
+                "# ALERT GATE: critical rule(s) fired: "
+                + ", ".join(critical),
+                file=sys.stderr,
+            )
+            exit_code = 1
     if exporter is not None:
         linger = getattr(args, "serve_linger", 0.0) or 0.0
         if linger > 0:
@@ -772,6 +911,65 @@ def _cmd_bench(args) -> int:
         event_log.close()
         print(f"# {event_log.recorded} event(s) -> {args.events}", file=sys.stderr)
     return exit_code
+
+
+def _cmd_top(args) -> int:
+    """``xbgp top``: live dashboard over /timeseries or a JSONL file."""
+    import json as _json
+    import time as _time
+    import urllib.error
+    import urllib.request
+
+    from .telemetry.dashboard import render_dashboard
+    from .telemetry.timeseries import read_timeseries
+
+    if bool(args.file) == bool(args.url):
+        raise SystemExit(
+            "xbgp top: give a recorded time-series FILE or --url, not both"
+        )
+
+    def _fetch_json(url):
+        try:
+            with urllib.request.urlopen(url, timeout=5) as response:
+                return _json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            # /health answers 503 (with a JSON body) while degraded;
+            # that body is exactly what the dashboard should show.
+            return _json.loads(exc.read().decode("utf-8"))
+
+    def _frame() -> str:
+        if args.file:
+            samples = read_timeseries(args.file)
+            alerts = health = None
+            source = args.file
+        else:
+            base = args.url.rstrip("/")
+            doc = _fetch_json(base + "/timeseries?limit=128")
+            samples = doc.get("samples", [])
+            alerts = _fetch_json(base + "/alerts")
+            health = _fetch_json(base + "/health")
+            source = base
+        return render_dashboard(samples, alerts, health, source=source)
+
+    try:
+        frame = _frame()
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"xbgp top: {exc}")
+    if args.once:
+        print(frame)
+        return 0
+    try:
+        while True:
+            sys.stdout.write("\x1b[H\x1b[2J" + frame + "\n")
+            sys.stdout.flush()
+            _time.sleep(args.interval)
+            try:
+                frame = _frame()
+            except (OSError, ValueError) as exc:
+                frame = f"xbgp top: {exc} (retrying)"
+    except KeyboardInterrupt:
+        print()
+        return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -858,6 +1056,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--merge", nargs="+", metavar="SNAPSHOT", default=None,
         help="skip the scenario: merge these registry snapshot files "
         "(raw snapshots or stats JSON documents) and print the result",
+    )
+    p.add_argument(
+        "--diff", nargs=2, metavar=("BEFORE", "AFTER"), default=None,
+        help="skip the scenario: diff two runs (registry snapshots, "
+        "stats JSON documents or time-series JSONL files) and print "
+        "what moved (--format json for machine-readable output)",
     )
     p.set_defaults(fn=_cmd_stats)
 
@@ -1024,7 +1228,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--events", metavar="FILE", default=None,
         help="stream schema'd lifecycle events to this JSONL file",
     )
+    p.add_argument(
+        "--timeseries", nargs="?", const="", default=None, metavar="FILE",
+        help="sample the metric registry periodically during the replay "
+        "(serving /timeseries with --serve); with FILE, also write the "
+        "final merged samples as JSON Lines",
+    )
+    p.add_argument(
+        "--timeseries-every", type=int, default=200, metavar="N",
+        help="take a sample every N replayed messages (default 200)",
+    )
+    p.add_argument(
+        "--alert", action="append", default=[], metavar="EXPR",
+        help="declarative alert rule, e.g. "
+        "'xbgp_quarantine_transitions > 0' or "
+        "'warning: xbgp_extension_run_seconds p95 > 0.001 for 5s' "
+        "(repeatable); a fired critical rule makes the bench exit 1",
+    )
+    p.add_argument(
+        "--alert-rules", metavar="FILE", default=None,
+        help="load alert rules from FILE (one expression per line, "
+        "# comments allowed)",
+    )
+    p.add_argument(
+        "--quarantine-after", type=int, default=0, metavar="N",
+        help="arm the workers' circuit breaker: quarantine an extension "
+        "after N consecutive errors (0: never)",
+    )
+    p.add_argument(
+        "--inject-crasher", action="store_true",
+        help="attach the deliberately crashing 'faulty' filter to the "
+        "DUT (fault-injection drill for the quarantine alert path)",
+    )
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser(
+        "top", help="live ANSI dashboard over /timeseries or a JSONL file"
+    )
+    p.add_argument(
+        "file", nargs="?", default=None,
+        help="recorded time-series JSONL file (from bench --timeseries)",
+    )
+    p.add_argument(
+        "--url", default=None, metavar="URL",
+        help="base URL of a live exporter (e.g. http://127.0.0.1:9179)",
+    )
+    p.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh interval (default 2s)",
+    )
+    p.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (no screen clearing)",
+    )
+    p.set_defaults(fn=_cmd_top)
 
     return parser
 

@@ -15,6 +15,13 @@ time exceeds the baseline by more than a noise threshold (default
 but a real slowdown like an accidentally disabled marshalling cache
 is a 2-10x cliff, far past any plausible noise).  ``xbgp bench
 --compare`` turns a regression into a nonzero exit for CI.
+
+Records can additionally carry the run's alert outcome (``xbgp bench
+--alert`` attaches ``alerts_fired`` via the ``extra`` field); the
+comparison surfaces it so a perf number that only held because an
+alert was firing (e.g. half the extensions quarantined) is visible in
+the gate's output, and the CLI's alert gate turns any fired critical
+rule into a nonzero exit of its own.
 """
 
 from __future__ import annotations
@@ -155,6 +162,8 @@ def compare(
         "current_instructions": current.get("instructions", 0),
         "baseline_sha": baseline.get("git_sha", "unknown"),
         "current_sha": current.get("git_sha", "unknown"),
+        "current_alerts_fired": list(current.get("alerts_fired") or []),
+        "baseline_alerts_fired": list(baseline.get("alerts_fired") or []),
     }
 
 
@@ -176,5 +185,11 @@ def render_compare(result: Dict[str, object]) -> str:
         lines.append(
             f"  note: instruction count changed {base_insns} -> {cur_insns} "
             "(workload or extension mix shifted)"
+        )
+    fired = list(result.get("current_alerts_fired") or [])
+    if fired:
+        lines.append(
+            f"  note: {len(fired)} alert rule(s) fired during the current "
+            f"run: {', '.join(str(rule) for rule in fired)}"
         )
     return "\n".join(lines)

@@ -12,7 +12,9 @@
 * :mod:`repro.plugins.closest_exit` — our extension: GeoLoc-based
   tie-breaking on the BGP_DECISION insertion point;
 * :mod:`repro.plugins.pynative` — host-speed twins of the RR and OV
-  programs (the benchmarks' ``pyext`` arm).
+  programs (the benchmarks' ``pyext`` arm);
+* :mod:`repro.plugins.faulty` — a deliberately crashing filter for
+  fault-injection drills (the seeded quarantine workload).
 
 Every program is plain eBPF once compiled; the *same* manifest loads
 into PyFRR and PyBIRD.
@@ -21,6 +23,7 @@ into PyFRR and PyBIRD.
 from . import (
     closest_exit,
     conditional_default,
+    faulty,
     geoloc,
     igp_filter,
     origin_validation,
@@ -32,6 +35,7 @@ from . import (
 __all__ = [
     "closest_exit",
     "conditional_default",
+    "faulty",
     "geoloc",
     "igp_filter",
     "origin_validation",

@@ -1,0 +1,47 @@
+"""A deliberately crashing extension: the seeded quarantine workload.
+
+The paper's safety story is that a buggy extension cannot take the
+router down — the sandbox absorbs the fault, the VMM falls back to the
+native behavior, and (with a quarantine policy armed) the circuit
+breaker eventually stops even trying.  This plugin is that buggy
+extension, packaged: a filter that dereferences NULL on every
+invocation, so every run is a sandbox fault.
+
+It exists for fault-injection drills — CI seeds it into a sharded
+bench run to prove the `xbgp_quarantine_transitions > 0` alert fires
+end-to-end (workers quarantine, the merged registry shows the
+transition counter, the alert gate exits non-zero).  It is *not* one
+of the paper's use cases and is never attached by default.
+"""
+
+from __future__ import annotations
+
+from ..core.manifest import Manifest
+
+__all__ = ["SOURCE", "build_manifest"]
+
+#: Unconditional NULL dereference: every execution is a sandbox fault.
+SOURCE = """
+u64 crash(u64 args) {
+    return *(u64 *)(0);
+}
+"""
+
+
+def build_manifest(
+    insertion_point: str = "BGP_INBOUND_FILTER", seq: int = 99
+) -> Manifest:
+    """Manifest attaching the crasher (late in the chain by default,
+    so legitimate extensions at earlier ``seq`` still run first)."""
+    return Manifest(
+        name="faulty",
+        codes=[
+            {
+                "name": "crash",
+                "insertion_point": insertion_point,
+                "seq": seq,
+                "helpers": [],
+                "source": SOURCE,
+            }
+        ],
+    )

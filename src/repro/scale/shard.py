@@ -34,10 +34,12 @@ from ..bgp.prefix import Prefix, parse_ipv4
 from ..bgp.roa import HashRoaTable, Roa, TrieRoaTable
 from ..bgp.trie import PrefixTrie
 from ..core.vmm import VmmConfig
+from ..telemetry.health import QuarantinePolicy
 from ..frr.attrs_intern import FrrAttrs
 from ..telemetry.aggregate import merge_into, snapshot_registry
 from ..telemetry.events import EventLog
 from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.timeseries import TimeSeriesSampler, merge_timeseries
 from ..workload.rib_gen import RouteSpec, _attributes_for, build_updates
 from .batch import BatchProcessor
 
@@ -211,6 +213,7 @@ def build_scale_daemon(config: Dict[str, object]):
     from ..frr.daemon import FrrDaemon
     from ..plugins import (
         closest_exit,
+        faulty,
         geoloc,
         origin_validation,
         route_reflector,
@@ -228,6 +231,12 @@ def build_scale_daemon(config: Dict[str, object]):
     if feature not in FEATURES:
         raise ValueError(f"unknown feature {feature!r}")
 
+    quarantine_after = int(config.get("quarantine_after", 0))
+    quarantine = (
+        QuarantinePolicy(error_threshold=quarantine_after)
+        if quarantine_after > 0
+        else None
+    )
     kwargs: Dict[str, object] = {
         "asn": 65001,
         "router_id": _DUT,
@@ -237,6 +246,7 @@ def build_scale_daemon(config: Dict[str, object]):
             telemetry=bool(config.get("telemetry", False)),
             fast_path=hot_path,
             lazy_heap=hot_path,
+            quarantine=quarantine,
         ),
         "hot_path": hot_path,
         "provenance": bool(config.get("provenance", False)),
@@ -269,6 +279,12 @@ def build_scale_daemon(config: Dict[str, object]):
             daemon.attach_manifest(geoloc.build_manifest())
         elif feature == "closest_exit":
             daemon.attach_manifest(closest_exit.build_manifest())
+
+    if bool(config.get("inject_crasher", False)):
+        # Fault-injection drill: a crash-on-every-run filter rides along
+        # at a late seq, so the breaker (when armed via quarantine_after)
+        # has real faults to trip on.
+        daemon.attach_manifest(faulty.build_manifest())
 
     collector = _Collector()
     session_asn = 65001 if feature == "route_reflection" else 65100
@@ -342,6 +358,12 @@ def _replay_shard(payload) -> Dict[str, object]:
         build_seconds = perf_counter() - started
 
         batch = int(config.get("batch", 64))
+        sample_every = int(config.get("timeseries_every", 0))
+        sampler = None
+        if sample_every > 0 and daemon.vmm.telemetry is not None:
+            # Mid-replay samples of this worker's own registry; the
+            # parent merges them into one shard-labeled time-series.
+            sampler = TimeSeriesSampler(daemon.vmm.telemetry.registry)
         started = perf_counter()
         processor = None
         if batch > 1:
@@ -349,16 +371,21 @@ def _replay_shard(payload) -> Dict[str, object]:
             receive = processor.receive_raw
         else:
             receive = daemon.receive_raw
-        if heartbeat:
+        if heartbeat or sampler is not None:
             routes_done = 0
             since_beat = 0
+            since_sample = 0
             for index, payload_bytes in enumerate(feed):
                 receive(_UPSTREAM, payload_bytes)
                 routes_done += nlri_counts[index]
                 since_beat += 1
-                if since_beat >= every:
+                since_sample += 1
+                if heartbeat and since_beat >= every:
                     since_beat = 0
                     beat("shard_progress", routes_done=routes_done, routes=len(routes))
+                if sampler is not None and since_sample >= sample_every:
+                    since_sample = 0
+                    sampler.sample()
         else:
             for payload_bytes in feed:
                 receive(_UPSTREAM, payload_bytes)
@@ -386,11 +413,16 @@ def _replay_shard(payload) -> Dict[str, object]:
         # breaker table, and the tail of the trace ring.
         daemon.update_telemetry_gauges()
         tail = int(config.get("trace_tail", 256))
+        if sampler is not None:
+            # Final post-replay sample (gauges now up to date): the
+            # merged series' last sample must carry the full totals.
+            sampler.sample()
         telemetry_report = {
             "registry": snapshot_registry(telemetry.registry),
             "health": telemetry.health.snapshot(),
             "trace_tail": telemetry.trace.events()[-tail:] if tail > 0 else [],
             "trace_stats": telemetry.trace.stats(),
+            "timeseries": sampler.series.samples() if sampler is not None else None,
         }
 
     pool = getattr(daemon, "attr_pool", None)
@@ -481,6 +513,7 @@ class ShardedResult:
         "build_seconds",
         "replay_seconds",
         "telemetry",
+        "shard_timeseries",
     )
 
     def __init__(self, per_shard: List[Dict[str, object]], wall_seconds: float):
@@ -527,6 +560,21 @@ class ShardedResult:
             (report["replay_seconds"] for report in per_shard), default=0.0
         )
         self.telemetry = self._merge_telemetry(per_shard)
+        self.shard_timeseries = self._collect_timeseries(per_shard)
+
+    @staticmethod
+    def _collect_timeseries(
+        per_shard: List[Dict[str, object]],
+    ) -> Optional[List[List[Dict[str, object]]]]:
+        """Per-shard sample lists, positionally indexed by shard (None
+        when workers ran without time-series sampling)."""
+        series = [
+            (report.get("telemetry") or {}).get("timeseries")
+            for report in per_shard
+        ]
+        if not any(series):
+            return None
+        return [samples or [] for samples in series]
 
     @staticmethod
     def _merge_telemetry(
@@ -584,6 +632,24 @@ class ShardedResult:
                 merge_into(registry, worker["registry"])
         return registry
 
+    def merged_timeseries(
+        self, shard_labels: bool = True
+    ) -> List[Dict[str, object]]:
+        """The cross-shard time-series, merged at the union of sample
+        instants (last-carried-forward per shard; see
+        :func:`~repro.telemetry.timeseries.merge_timeseries`).
+
+        ``shard_labels=False`` drops the per-shard stamp so the final
+        sample's counters are plain cross-shard sums — directly equal
+        to a sequential replay's final sample (pinned by the telemetry
+        plane integration suite).
+        """
+        if self.shard_timeseries is None:
+            raise RuntimeError("workers ran without time-series sampling")
+        return merge_timeseries(
+            self.shard_timeseries, shard_labels=shard_labels
+        )
+
 
 class ShardedReplay:
     """Partition a workload by prefix range and replay each bucket
@@ -627,9 +693,12 @@ class ShardedReplay:
         collect: str = "full",
         telemetry: bool = False,
         heartbeat_every: int = 0,
+        timeseries_every: int = 0,
         progress: Optional[Callable[[Dict[str, object]], None]] = None,
         events: Optional[EventLog] = None,
         trace_tail: int = 256,
+        quarantine_after: int = 0,
+        inject_crasher: bool = False,
     ) -> None:
         if backend not in ("process", "inline"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -663,9 +732,12 @@ class ShardedReplay:
             "max_prefixes_per_update": max_prefixes_per_update,
             "telemetry": bool(telemetry),
             "heartbeat_every": heartbeat_every,
+            "timeseries_every": int(timeseries_every),
             "trace_tail": trace_tail,
             "profiling": profiling,
             "collect": collect,
+            "quarantine_after": int(quarantine_after),
+            "inject_crasher": bool(inject_crasher),
         }
 
     def _payloads(self) -> List[tuple]:

@@ -103,6 +103,9 @@ class ConvergenceHarness:
         events=None,
         progress=None,
         heartbeat_every: int = 0,
+        timeseries_every: int = 0,
+        quarantine_after: int = 0,
+        inject_crasher: bool = False,
     ):
         if implementation not in DAEMONS:
             raise ValueError(f"unknown implementation {implementation!r}")
@@ -166,6 +169,22 @@ class ConvergenceHarness:
         #: Worker heartbeat cadence in UPDATEs (0 = auto when a sink is
         #: attached, silent otherwise).
         self.heartbeat_every = heartbeat_every
+        #: Mid-replay registry sampling cadence in UPDATEs (0 = off).
+        #: Needs telemetry on (single-daemon) / shard_telemetry on
+        #: (sharded) — there is no registry to sample otherwise.
+        self.timeseries_every = timeseries_every
+        #: Samples of the most recent :meth:`run` (shard-labeled and
+        #: merged for sharded runs), or None.
+        self.timeseries: Optional[List[Dict[str, object]]] = None
+        #: Breaker error threshold for fault-injection drills (0 keeps
+        #: the paper's always-retry default).
+        self.quarantine_after = quarantine_after
+        #: True attaches the deliberately crashing ``faulty`` plugin.
+        self.inject_crasher = inject_crasher
+        if quarantine_after > 0 and self.quarantine is None:
+            from ..telemetry import QuarantinePolicy
+
+            self.quarantine = QuarantinePolicy(error_threshold=quarantine_after)
         self.collector = Collector(eager_attributes=not hot_path)
         if shards > 1:
             # The DUT lives in the workers; building a parent DUT and
@@ -223,6 +242,10 @@ class ConvergenceHarness:
                 dut.attach_program(pynative.origin_validation_program(self.roas))
             else:
                 dut.attach_manifest(origin_validation.build_manifest(self.roas))
+        if self.inject_crasher:
+            from ..plugins import faulty
+
+            dut.attach_manifest(faulty.build_manifest())
         return dut
 
     def _wire(self) -> None:
@@ -268,6 +291,11 @@ class ConvergenceHarness:
         expected = len(self.routes)
         if self.shards > 1:
             return self._run_sharded(expected)
+        sampler = None
+        if self.timeseries_every > 0 and self.dut.vmm.telemetry is not None:
+            from ..telemetry import TimeSeriesSampler
+
+            sampler = TimeSeriesSampler(self.dut.vmm.telemetry.registry)
         start = time.perf_counter()
         if self.batch > 1:
             from ..scale import BatchProcessor
@@ -275,9 +303,27 @@ class ConvergenceHarness:
             processor = BatchProcessor(
                 self.dut, batch_size=self.batch, events=self.events
             )
-            for payload in self.feed:
-                processor.receive_raw(_UPSTREAM, payload)
+            if sampler is not None:
+                since_sample = 0
+                for payload in self.feed:
+                    processor.receive_raw(_UPSTREAM, payload)
+                    since_sample += 1
+                    if since_sample >= self.timeseries_every:
+                        since_sample = 0
+                        sampler.sample()
+            else:
+                for payload in self.feed:
+                    processor.receive_raw(_UPSTREAM, payload)
             processor.flush()
+        elif sampler is not None:
+            receive = self.dut.receive_raw
+            since_sample = 0
+            for payload in self.feed:
+                receive(_UPSTREAM, payload)
+                since_sample += 1
+                if since_sample >= self.timeseries_every:
+                    since_sample = 0
+                    sampler.sample()
         else:
             receive = self.dut.receive_raw
             for payload in self.feed:
@@ -290,6 +336,11 @@ class ConvergenceHarness:
                 f"(vmm fallbacks={self.dut.vmm.fallbacks})"
             )
         self.last_telemetry = self.telemetry_snapshot()
+        if sampler is not None:
+            # Final post-replay sample with gauges refreshed by the
+            # telemetry_snapshot() call above.
+            sampler.sample()
+            self.timeseries = sampler.series.samples()
         if self.events is not None:
             report = self.convergence_report()
             if report is not None:
@@ -316,11 +367,16 @@ class ConvergenceHarness:
             collect=self.shard_collect,
             telemetry=self.shard_telemetry,
             heartbeat_every=self.heartbeat_every,
+            timeseries_every=self.timeseries_every,
             progress=self.progress,
             events=self.events,
+            quarantine_after=self.quarantine_after,
+            inject_crasher=self.inject_crasher,
         )
         result = replay.run()
         self.shard_result = result
+        if result.shard_timeseries is not None:
+            self.timeseries = result.merged_timeseries()
         if result.prefixes is not None:
             self.collector.prefixes = {Prefix.parse(p) for p in result.prefixes}
             self.collector.withdrawn = {Prefix.parse(p) for p in result.withdrawn}

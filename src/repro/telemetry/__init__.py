@@ -13,6 +13,15 @@ monitor, three layers sharing one facade:
   that quarantines crash-looping extension codes and optionally
   re-arms them after probation.
 
+On top of the facade live the temporal layers:
+:mod:`~repro.telemetry.timeseries` (periodic registry samples, derived
+rates/quantiles, the shard merge path), :mod:`~repro.telemetry.alerts`
+(declarative rules evaluated against those samples),
+:mod:`~repro.telemetry.events` (the structured lifecycle log the alert
+engine writes ``alert_fire``/``alert_resolve`` into),
+:mod:`~repro.telemetry.exporter` (the HTTP surface) and
+:mod:`~repro.telemetry.dashboard` (the ``xbgp top`` renderer).
+
 One :class:`Telemetry` instance belongs to one
 :class:`~repro.core.vmm.VirtualMachineManager`; the daemons, the
 experiment harness and the ``xbgp stats`` CLI all read the same object,
@@ -30,6 +39,8 @@ from .aggregate import (
     registry_from_snapshot,
     snapshot_registry,
 )
+from .alerts import AlertEngine, AlertRule, AlertRuleError, load_rules, parse_rule
+from .dashboard import render_dashboard, sparkline
 from .events import (
     EVENT_TYPES,
     EventLog,
@@ -51,6 +62,15 @@ from .profiler import PHASES, Profiler, VmProfile
 from .progress import ReplayProgress
 from .provenance import DEFAULT_STORIES_PER_PREFIX, ProvenanceTracker
 from .spans import DEFAULT_SPAN_CAPACITY, SpanRecorder
+from .timeseries import (
+    TIMESERIES_VERSION,
+    TimeSeries,
+    TimeSeriesSampler,
+    diff_samples,
+    merge_timeseries,
+    read_timeseries,
+    render_diff,
+)
 from .trace import DEFAULT_TRACE_CAPACITY, TraceRing
 
 __all__ = [
@@ -72,6 +92,20 @@ __all__ = [
     "validate_event",
     "TelemetryExporter",
     "ReplayProgress",
+    "TIMESERIES_VERSION",
+    "TimeSeries",
+    "TimeSeriesSampler",
+    "diff_samples",
+    "merge_timeseries",
+    "read_timeseries",
+    "render_diff",
+    "AlertEngine",
+    "AlertRule",
+    "AlertRuleError",
+    "load_rules",
+    "parse_rule",
+    "render_dashboard",
+    "sparkline",
     "TraceRing",
     "DEFAULT_TRACE_CAPACITY",
     "SpanRecorder",

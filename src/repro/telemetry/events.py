@@ -24,6 +24,7 @@ tails, filters, validates and re-renders these files.
 from __future__ import annotations
 
 import json
+import os
 import time
 from collections import deque
 from typing import Deque, Dict, Iterable, List, Optional, Tuple
@@ -38,6 +39,7 @@ __all__ = [
     "filter_events",
     "read_events",
     "render_event",
+    "rotated_paths",
     "validate_event",
     "validate_jsonl",
 ]
@@ -57,6 +59,8 @@ EVENT_TYPES: Dict[str, Tuple[str, ...]] = {
     "quarantine": ("point", "extension", "from_state", "to_state"),
     "convergence": ("router", "prefixes", "time_to_quiescence"),
     "oscillation": ("router", "prefix", "flaps"),
+    "alert_fire": ("rule", "severity", "value"),
+    "alert_resolve": ("rule",),
 }
 
 
@@ -86,6 +90,13 @@ class EventLog:
     ``path=None`` keeps events in memory only (the ``/events`` endpoint
     ring); with a path, every event is appended to the file as emitted
     and flushed, so tailers see it immediately.
+
+    ``max_bytes`` caps the write-through file for long-running serves:
+    before a write would push the file past the cap, the current file
+    rotates to ``<path>.1`` (replacing any previous rotation) and a
+    fresh file starts, so disk use is bounded by ~2×``max_bytes`` while
+    the most recent events are always on disk.  ``0`` disables
+    rotation (the default — short bench runs keep one file).
     """
 
     def __init__(
@@ -93,14 +104,20 @@ class EventLog:
         path: Optional[str] = None,
         capacity: int = DEFAULT_EVENT_CAPACITY,
         clock=time.time,
+        max_bytes: int = 0,
     ) -> None:
         if capacity < 1:
             raise ValueError("event capacity must be >= 1")
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
         self.path = path
         self.capacity = capacity
+        self.max_bytes = max_bytes
+        self.rotations = 0
         self._clock = clock
         self._ring: Deque[Dict[str, object]] = deque(maxlen=capacity)
         self._seq = 0
+        self._written_bytes = 0
         self._handle = open(path, "w") if path else None
 
     # -- recording -------------------------------------------------------
@@ -124,9 +141,25 @@ class EventLog:
         event["seq"] = self._seq
         self._ring.append(event)
         if self._handle is not None:
-            self._handle.write(json.dumps(event) + "\n")
+            line = json.dumps(event) + "\n"
+            if (
+                self.max_bytes
+                and self._written_bytes
+                and self._written_bytes + len(line) > self.max_bytes
+            ):
+                self._rotate()
+            self._handle.write(line)
             self._handle.flush()
+            self._written_bytes += len(line)
         return event
+
+    def _rotate(self) -> None:
+        """Roll the write-through file to ``<path>.1`` and start fresh."""
+        self._handle.close()
+        os.replace(self.path, self.path + ".1")
+        self._handle = open(self.path, "w")
+        self._written_bytes = 0
+        self.rotations += 1
 
     # -- inspection ------------------------------------------------------
 
@@ -166,6 +199,18 @@ class EventLog:
 
 
 # -- file-side tooling (the ``xbgp events`` surface) ----------------------
+
+
+def rotated_paths(path: str) -> List[str]:
+    """The on-disk file set for a (possibly rotated) event log.
+
+    Returns ``[path.1, path]`` when a rotation sibling exists (oldest
+    first, so concatenating preserves event order), else ``[path]``.
+    """
+    sibling = path + ".1"
+    if os.path.exists(sibling):
+        return [sibling, path]
+    return [path]
 
 
 def read_events(path: str) -> List[Dict[str, object]]:

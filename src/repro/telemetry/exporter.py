@@ -12,6 +12,12 @@ attachable to anything that can produce a registry:
   in quarantine (so load-balancer-style checks work unmodified);
 * ``GET /events``  — the recent structured-event ring as JSON
   (``?event=<type>`` filters, ``?limit=<n>`` truncates to the tail);
+* ``GET /alerts``  — the alert engine's rule table as JSON (state,
+  last value, fire counts); a firing **critical** rule also turns
+  ``/health`` into a 503, so existing probes catch alert regressions
+  without learning a new endpoint;
+* ``GET /timeseries`` — the recorded metric time-series as JSON
+  (``?limit=<n>`` truncates to the most recent samples);
 * ``GET /``        — a plain-text index of the above.
 
 Sources are late-bound callables, so the same exporter can serve a live
@@ -37,6 +43,9 @@ from .metrics import MetricsRegistry, render_prometheus
 
 __all__ = ["TelemetryExporter"]
 
+#: Every JSON endpoint declares its charset explicitly, like /metrics.
+_JSON_TYPE = "application/json; charset=utf-8"
+
 
 class TelemetryExporter:
     """Serve telemetry over HTTP (see module docstring).
@@ -48,7 +57,11 @@ class TelemetryExporter:
     * ``registry``  — :class:`MetricsRegistry` (or ``() -> registry``);
     * ``health``    — list of breaker rows (or a callable producing it);
     * ``events``    — an :class:`~repro.telemetry.events.EventLog`, a
-      list of event dicts, or a callable producing either.
+      list of event dicts, or a callable producing either;
+    * ``alerts``    — an :class:`~repro.telemetry.alerts.AlertEngine`,
+      a snapshot dict, or a callable producing either;
+    * ``timeseries`` — a :class:`~repro.telemetry.timeseries.TimeSeries`,
+      a list of samples, or a callable producing either.
     """
 
     def __init__(
@@ -58,6 +71,8 @@ class TelemetryExporter:
         registry=None,
         health=None,
         events=None,
+        alerts=None,
+        timeseries=None,
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:
@@ -67,6 +82,8 @@ class TelemetryExporter:
         self._registry_source = registry
         self._health_source = health
         self._events_source = events
+        self._alerts_source = alerts
+        self._timeseries_source = timeseries
         self.host = host
         self.requested_port = port
         self.port: Optional[int] = None
@@ -97,7 +114,30 @@ class TelemetryExporter:
             return source.events()
         return list(source)
 
-    def replace_sources(self, registry=None, health=None, events=None) -> None:
+    def alerts_snapshot(self):
+        source = self._resolve(self._alerts_source)
+        if source is None:
+            return {"rules": [], "firing": 0, "critical_firing": False}
+        if hasattr(source, "snapshot"):
+            return source.snapshot()
+        return source
+
+    def timeseries_samples(self) -> List[Dict[str, object]]:
+        source = self._resolve(self._timeseries_source)
+        if source is None:
+            return []
+        if hasattr(source, "samples"):
+            return source.samples()
+        return list(source)
+
+    def replace_sources(
+        self,
+        registry=None,
+        health=None,
+        events=None,
+        alerts=None,
+        timeseries=None,
+    ) -> None:
         """Swap sources atomically (e.g. live progress → merged result)."""
         with self.lock:
             if registry is not None:
@@ -106,6 +146,10 @@ class TelemetryExporter:
                 self._health_source = health
             if events is not None:
                 self._events_source = events
+            if alerts is not None:
+                self._alerts_source = alerts
+            if timeseries is not None:
+                self._timeseries_source = timeseries
 
     # -- responses ---------------------------------------------------------
 
@@ -116,14 +160,19 @@ class TelemetryExporter:
     def _render_health(self):
         with self.lock:
             rows = self.health_rows()
+            alerts = self.alerts_snapshot()
         open_rows = [row for row in rows if row.get("state") == "open"]
+        critical = bool(alerts.get("critical_firing"))
         body = {
-            "status": "degraded" if open_rows else "ok",
+            "status": "degraded" if (open_rows or critical) else "ok",
             "extensions": len(rows),
             "quarantined": len(open_rows),
+            "alerts_firing": alerts.get("firing", 0),
+            "critical_alerts": critical,
             "breakers": rows,
         }
-        return (503 if open_rows else 200), json.dumps(body, indent=2).encode()
+        degraded = bool(open_rows) or critical
+        return (503 if degraded else 200), json.dumps(body, indent=2).encode()
 
     def _render_events(self, query: Dict[str, List[str]]) -> bytes:
         with self.lock:
@@ -141,6 +190,24 @@ class TelemetryExporter:
             if limit > 0:
                 events = events[-limit:]
         return json.dumps({"count": len(events), "events": events}).encode()
+
+    def _render_alerts(self) -> bytes:
+        with self.lock:
+            snapshot = self.alerts_snapshot()
+        return json.dumps(snapshot, indent=2).encode()
+
+    def _render_timeseries(self, query: Dict[str, List[str]]) -> bytes:
+        with self.lock:
+            samples = self.timeseries_samples()
+        limits = query.get("limit")
+        if limits:
+            try:
+                limit = int(limits[0])
+            except ValueError:
+                limit = 0
+            if limit > 0:
+                samples = samples[-limit:]
+        return json.dumps({"count": len(samples), "samples": samples}).encode()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -172,21 +239,31 @@ class TelemetryExporter:
                         )
                     elif parsed.path == "/health":
                         status, body = exporter._render_health()
-                        self._reply(status, "application/json", body)
+                        self._reply(status, _JSON_TYPE, body)
                     elif parsed.path == "/events":
                         self._reply(
                             200,
-                            "application/json",
+                            _JSON_TYPE,
                             exporter._render_events(parse_qs(parsed.query)),
+                        )
+                    elif parsed.path == "/alerts":
+                        self._reply(200, _JSON_TYPE, exporter._render_alerts())
+                    elif parsed.path == "/timeseries":
+                        self._reply(
+                            200,
+                            _JSON_TYPE,
+                            exporter._render_timeseries(parse_qs(parsed.query)),
                         )
                     elif parsed.path == "/":
                         self._reply(
                             200,
                             "text/plain; charset=utf-8",
                             b"xbgp telemetry exporter\n"
-                            b"  /metrics  Prometheus text exposition\n"
-                            b"  /health   quarantine/breaker table (JSON)\n"
-                            b"  /events   recent structured events (JSON)\n",
+                            b"  /metrics     Prometheus text exposition\n"
+                            b"  /health      quarantine/breaker table (JSON)\n"
+                            b"  /events      recent structured events (JSON)\n"
+                            b"  /alerts      alert-rule states (JSON)\n"
+                            b"  /timeseries  recorded metric samples (JSON)\n",
                         )
                     else:
                         self._reply(404, "text/plain", b"not found\n")

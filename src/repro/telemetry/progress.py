@@ -39,19 +39,26 @@ _HEARTBEAT_KINDS = (
 class ReplayProgress:
     """Fold heartbeat events into live progress state (see module doc)."""
 
+    #: Seconds without forward progress before the replay reads "stalled".
+    DEFAULT_STALL_AFTER = 10.0
+
     def __init__(
         self,
         registry: Optional[MetricsRegistry] = None,
         clock=time.monotonic,
+        stall_after: float = DEFAULT_STALL_AFTER,
     ) -> None:
         self.registry = registry
         self._clock = clock
+        self.stall_after = stall_after
         #: shard -> {"routes": int, "done": int, "finished": bool}
         self.shards: Dict[int, Dict[str, object]] = {}
         self.total_routes = 0
         self.started_at: Optional[float] = None
         self.finished = False
         self.wall_seconds: Optional[float] = None
+        self._last_done = 0
+        self._last_advance_at: Optional[float] = None
 
     # -- event intake ----------------------------------------------------
 
@@ -93,6 +100,10 @@ class ReplayProgress:
             for state in self.shards.values():
                 state["done"] = state["routes"]
                 state["finished"] = True
+        done = self.done_routes
+        if done > self._last_done or self._last_advance_at is None:
+            self._last_done = done
+            self._last_advance_at = self._clock()
         self._update_gauges()
 
     # -- derived state ---------------------------------------------------
@@ -112,20 +123,39 @@ class ReplayProgress:
         total = self.known_routes
         return (self.done_routes / total) if total else 0.0
 
+    def stalled(self) -> bool:
+        """True when no shard has advanced for ``stall_after`` seconds.
+
+        A stalled replay has a meaningless rate extrapolation; callers
+        (and :meth:`render`) should show "stalled" instead of an ETA.
+        """
+        if self.finished or self._last_advance_at is None:
+            return False
+        return self._clock() - self._last_advance_at >= self.stall_after
+
     def eta_seconds(self) -> Optional[float]:
-        """Remaining seconds at the observed aggregate rate, or None
-        before any progress exists to extrapolate from."""
+        """Remaining seconds at the observed aggregate rate.
+
+        ``None`` when no extrapolation is honest: before any progress
+        exists, under a non-positive elapsed clock (monotonic-clock
+        injection in tests, or a heartbeat arriving in the same tick as
+        ``replay_start``), on a zero/negative observed rate, or while
+        :meth:`stalled` — a divide-by-zero or nonsense ETA is never
+        produced.
+        """
         if self.finished:
             return 0.0
         done = self.done_routes
-        if not done or self.started_at is None:
+        if done <= 0 or self.started_at is None or self.stalled():
             return None
         elapsed = self._clock() - self.started_at
         if elapsed <= 0:
             return None
         rate = done / elapsed
+        if rate <= 0 or rate != rate or rate == float("inf"):
+            return None
         remaining = max(0, self.known_routes - done)
-        return remaining / rate if rate > 0 else None
+        return remaining / rate
 
     def render(self) -> str:
         """One status line: per-shard progress, total ratio, ETA."""
@@ -140,6 +170,8 @@ class ReplayProgress:
         tail = f"total {self.ratio() * 100.0:.1f}%"
         if self.finished and self.wall_seconds is not None:
             tail += f" · done in {self.wall_seconds:.1f}s"
+        elif self.stalled():
+            tail += " · stalled"
         elif eta is not None:
             tail += f" · ETA {eta:.0f}s"
         parts.append(tail)

@@ -1,0 +1,671 @@
+"""Metric time-series: periodic registry snapshots, derived series, merge.
+
+The cross-process plane (:mod:`repro.telemetry.aggregate`) made one
+registry portable at one instant; this module adds the *temporal* axis.
+A :class:`TimeSeries` is a bounded ring of **samples**, each a full-
+fidelity registry snapshot (the same versioned format ``aggregate``
+merges) stamped with a wall-clock ``ts`` and a per-series ``seq``:
+
+``{"timeseries_version": 1, "ts": ..., "seq": ..., "labels": {...},
+"registry": <registry snapshot>}``
+
+:class:`TimeSeriesSampler` drives one: point it at any
+:class:`~repro.telemetry.metrics.MetricsRegistry` and call
+:meth:`~TimeSeriesSampler.sample` (or the time-gated
+:meth:`~TimeSeriesSampler.maybe_sample`) at whatever cadence the host
+loop has — per heartbeat, per N routes, per scrape.  Optional
+write-through JSONL mirrors every sample to disk as it is taken, so a
+crash loses nothing already written (the same discipline as
+:class:`~repro.telemetry.events.EventLog`).
+
+Derived series are computed *from* samples, never stored: counter
+rates between consecutive samples, per-window histogram quantiles from
+bucket-count deltas, gauge last-value.  That keeps a sample a pure
+snapshot — mergeable, diffable, replayable.
+
+:func:`merge_timeseries` folds per-shard series into one shard-labeled
+series the same way ``aggregate`` merges registries: at the union of
+sample timestamps, each shard contributes its latest sample at-or-
+before that instant (last-carried-forward), stamped ``shard=<i>``.
+The final merged sample therefore merges every shard's final sample,
+so merged counter totals equal a sequential replay's — the same
+partition-invariance law the registry merge obeys.
+
+:func:`diff_samples` / :func:`render_diff` power ``xbgp stats --diff``:
+new/removed families, counter deltas, gauge shifts and histogram
+p50/p95 shifts between any two registry snapshots, stats documents or
+recorded time-series files.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .aggregate import merge_into, snapshot_registry
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "DEFAULT_TIMESERIES_CAPACITY",
+    "TIMESERIES_VERSION",
+    "TimeSeries",
+    "TimeSeriesSampler",
+    "counter_rates",
+    "counter_total",
+    "diff_samples",
+    "gauge_value",
+    "histogram_quantiles",
+    "histogram_windows",
+    "load_snapshot_source",
+    "make_sample",
+    "merge_timeseries",
+    "read_timeseries",
+    "render_diff",
+    "validate_sample",
+]
+
+TIMESERIES_VERSION = 1
+
+DEFAULT_TIMESERIES_CAPACITY = 512
+
+
+def make_sample(
+    registry_snapshot: Dict[str, object],
+    ts: float,
+    seq: int = 0,
+    labels: Optional[Dict[str, str]] = None,
+) -> Dict[str, object]:
+    """Build one schema'd sample around a registry snapshot."""
+    sample: Dict[str, object] = {
+        "timeseries_version": TIMESERIES_VERSION,
+        "ts": float(ts),
+        "seq": int(seq),
+        "registry": registry_snapshot,
+    }
+    if labels:
+        sample["labels"] = {str(k): str(v) for k, v in labels.items()}
+    return sample
+
+
+def validate_sample(sample: object) -> Dict[str, object]:
+    """Check one sample's schema; returns it on success."""
+    if not isinstance(sample, dict):
+        raise ValueError(f"sample must be an object, got {type(sample).__name__}")
+    version = sample.get("timeseries_version")
+    if version != TIMESERIES_VERSION:
+        raise ValueError(
+            f"timeseries_version {version!r}, expected {TIMESERIES_VERSION}"
+        )
+    ts = sample.get("ts")
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+        raise ValueError(f"'ts' must be a number, got {ts!r}")
+    registry = sample.get("registry")
+    if not isinstance(registry, dict) or "families" not in registry:
+        raise ValueError("'registry' must be a registry snapshot")
+    return sample
+
+
+class TimeSeries:
+    """Bounded ring of registry samples (see module docstring)."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_TIMESERIES_CAPACITY,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("time-series capacity must be >= 1")
+        self.capacity = capacity
+        self.labels = {str(k): str(v) for k, v in (labels or {}).items()}
+        self._ring: Deque[Dict[str, object]] = deque(maxlen=capacity)
+        self._seq = 0
+
+    def append(
+        self,
+        registry_snapshot: Dict[str, object],
+        ts: float,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> Dict[str, object]:
+        """Record one snapshot; stamps ``seq`` and the series labels."""
+        self._seq += 1
+        merged_labels = dict(self.labels)
+        if labels:
+            merged_labels.update({str(k): str(v) for k, v in labels.items()})
+        sample = make_sample(
+            registry_snapshot, ts, self._seq, merged_labels or None
+        )
+        self._ring.append(sample)
+        return sample
+
+    def append_sample(self, sample: Dict[str, object]) -> Dict[str, object]:
+        """Record a pre-built sample (e.g. one shipped from a worker)."""
+        validate_sample(sample)
+        self._seq += 1
+        sample = {**sample, "seq": self._seq}
+        self._ring.append(sample)
+        return sample
+
+    def samples(self) -> List[Dict[str, object]]:
+        return list(self._ring)
+
+    def last(self) -> Optional[Dict[str, object]]:
+        return self._ring[-1] if self._ring else None
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def recorded(self) -> int:
+        return self._seq
+
+    @property
+    def evicted(self) -> int:
+        return self._seq - len(self._ring)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "capacity": self.capacity,
+            "buffered": len(self._ring),
+            "recorded": self._seq,
+            "evicted": self.evicted,
+        }
+
+
+class TimeSeriesSampler:
+    """Snapshot a registry into a :class:`TimeSeries` on demand.
+
+    ``every_seconds`` makes :meth:`maybe_sample` a cheap no-op between
+    cadence boundaries, so the caller can invoke it from a hot loop
+    (every heartbeat, every batch) without thinking about timing.
+    ``path`` mirrors every sample to a JSONL file as it is taken.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        series: Optional[TimeSeries] = None,
+        *,
+        every_seconds: float = 0.0,
+        path: Optional[str] = None,
+        capacity: int = DEFAULT_TIMESERIES_CAPACITY,
+        labels: Optional[Dict[str, str]] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.registry = registry
+        self.series = series if series is not None else TimeSeries(
+            capacity=capacity, labels=labels
+        )
+        self.every_seconds = float(every_seconds)
+        self._clock = clock
+        self._last_sample_at: Optional[float] = None
+        self.path = path
+        self._handle = open(path, "w") if path else None
+
+    def sample(self) -> Dict[str, object]:
+        """Take one sample now, unconditionally."""
+        now = self._clock()
+        self._last_sample_at = now
+        sample = self.series.append(snapshot_registry(self.registry), now)
+        if self._handle is not None:
+            self._handle.write(json.dumps(sample) + "\n")
+            self._handle.flush()
+        return sample
+
+    def maybe_sample(self) -> Optional[Dict[str, object]]:
+        """Take a sample if ``every_seconds`` has elapsed since the last."""
+        if self._last_sample_at is not None:
+            if self._clock() - self._last_sample_at < self.every_seconds:
+                return None
+        return self.sample()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TimeSeriesSampler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# -- file I/O --------------------------------------------------------------
+
+
+def read_timeseries(path: str) -> List[Dict[str, object]]:
+    """Load and validate a JSONL time-series file."""
+    samples: List[Dict[str, object]] = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                sample = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_number}: not JSON ({exc})")
+            try:
+                validate_sample(sample)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{line_number}: {exc}")
+            samples.append(sample)
+    return samples
+
+
+def write_timeseries(samples: Iterable[Dict[str, object]], path: str) -> int:
+    """Write samples as JSONL; returns the count written."""
+    count = 0
+    with open(path, "w") as handle:
+        for sample in samples:
+            handle.write(json.dumps(sample) + "\n")
+            count += 1
+    return count
+
+
+# -- derived series --------------------------------------------------------
+
+
+def _match_series(
+    registry_snapshot: Dict[str, object],
+    family: str,
+    selector: Optional[Dict[str, str]] = None,
+) -> Tuple[Optional[Dict[str, object]], List[Dict[str, object]]]:
+    """Rows of ``family`` whose labels satisfy ``selector``."""
+    families = registry_snapshot.get("families", {})
+    info = families.get(family)
+    if info is None:
+        return None, []
+    label_names: List[str] = list(info.get("label_names", []))
+    rows = []
+    for row in info.get("series", []):
+        labels = dict(zip(label_names, [str(v) for v in row.get("labels", [])]))
+        if selector and any(
+            labels.get(key) != str(value) for key, value in selector.items()
+        ):
+            continue
+        rows.append(row)
+    return info, rows
+
+
+def counter_total(
+    sample: Dict[str, object],
+    family: str,
+    selector: Optional[Dict[str, str]] = None,
+) -> Optional[float]:
+    """Sum of matching counter (or gauge) series at one sample.
+
+    ``None`` when the family is absent or no series matches — the
+    caller distinguishes "zero" from "not there" (absence alerts).
+    """
+    info, rows = _match_series(sample["registry"], family, selector)
+    if info is None or not rows:
+        return None
+    return float(sum(row.get("value", 0) for row in rows))
+
+
+def gauge_value(
+    sample: Dict[str, object],
+    family: str,
+    selector: Optional[Dict[str, str]] = None,
+) -> Optional[float]:
+    """Gauge reading at one sample (summed across matching series)."""
+    return counter_total(sample, family, selector)
+
+
+def counter_rates(
+    samples: Sequence[Dict[str, object]],
+    family: str,
+    selector: Optional[Dict[str, str]] = None,
+) -> List[Tuple[float, float]]:
+    """Per-second rate between consecutive samples: ``[(ts, rate), ...]``.
+
+    Negative deltas (a counter reset — e.g. the exporter swapped from
+    the live progress registry to the merged result) clamp to 0.0
+    rather than reporting a nonsensical negative rate.
+    """
+    points: List[Tuple[float, float]] = []
+    prev_ts: Optional[float] = None
+    prev_value: Optional[float] = None
+    for sample in samples:
+        value = counter_total(sample, family, selector)
+        ts = float(sample["ts"])
+        if value is not None and prev_value is not None and prev_ts is not None:
+            dt = ts - prev_ts
+            if dt > 0:
+                points.append((ts, max(0.0, (value - prev_value) / dt)))
+        if value is not None:
+            prev_ts, prev_value = ts, value
+    return points
+
+
+def _histogram_totals(
+    registry_snapshot: Dict[str, object],
+    family: str,
+    selector: Optional[Dict[str, str]] = None,
+) -> Optional[Tuple[List[float], List[float], float, float]]:
+    """Matching histogram series summed: (boundaries, counts, sum, count)."""
+    info, rows = _match_series(registry_snapshot, family, selector)
+    if info is None or info.get("kind") != "histogram" or not rows:
+        return None
+    boundaries = [float(b) for b in (info.get("buckets") or [])]
+    counts = [0.0] * (len(boundaries) + 1)
+    total_sum = 0.0
+    total_count = 0.0
+    for row in rows:
+        row_counts = row.get("counts", [])
+        if len(row_counts) != len(counts):
+            # Bucket layouts differ between series; refuse a lossy sum.
+            raise ValueError(
+                f"metric {family!r}: histogram series disagree on buckets"
+            )
+        for index, count in enumerate(row_counts):
+            counts[index] += count
+        total_sum += float(row.get("sum", 0.0))
+        total_count += float(row.get("count", 0))
+    return boundaries, counts, total_sum, total_count
+
+
+def _bucket_quantile(
+    boundaries: Sequence[float], counts: Sequence[float], q: float
+) -> float:
+    """Upper bound of the bucket holding the q-quantile (0 if empty)."""
+    total = sum(counts)
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    seen = 0.0
+    for index, count in enumerate(counts):
+        seen += count
+        if seen >= rank and count:
+            if index < len(boundaries):
+                return float(boundaries[index])
+            return float("inf")
+    return float("inf")
+
+
+def histogram_quantiles(
+    sample: Dict[str, object],
+    family: str,
+    quantiles: Sequence[float] = (0.5, 0.95),
+    selector: Optional[Dict[str, str]] = None,
+) -> Optional[Dict[str, float]]:
+    """Cumulative distribution summary at one sample.
+
+    Returns ``{"count", "sum", "p50", "p95", ...}`` or ``None`` when
+    the family is absent / has no matching series.
+    """
+    totals = _histogram_totals(sample["registry"], family, selector)
+    if totals is None:
+        return None
+    boundaries, counts, total_sum, total_count = totals
+    out: Dict[str, float] = {"count": total_count, "sum": total_sum}
+    for q in quantiles:
+        out[f"p{int(round(q * 100))}"] = _bucket_quantile(boundaries, counts, q)
+    return out
+
+
+def histogram_windows(
+    samples: Sequence[Dict[str, object]],
+    family: str,
+    quantiles: Sequence[float] = (0.5, 0.95),
+    selector: Optional[Dict[str, str]] = None,
+) -> List[Dict[str, float]]:
+    """Per-window quantiles from bucket-count *deltas* between samples.
+
+    One row per consecutive sample pair that saw new observations:
+    ``{"ts", "count", "p50", "p95", ...}`` — the distribution of just
+    that window, not the whole run.  Counter-reset windows (negative
+    deltas) are skipped.
+    """
+    rows: List[Dict[str, float]] = []
+    prev: Optional[Tuple[List[float], List[float], float, float]] = None
+    for sample in samples:
+        totals = _histogram_totals(sample["registry"], family, selector)
+        if totals is None:
+            continue
+        if prev is not None and totals[0] == prev[0]:
+            deltas = [now - before for now, before in zip(totals[1], prev[1])]
+            window_count = totals[3] - prev[3]
+            if window_count > 0 and all(delta >= 0 for delta in deltas):
+                row: Dict[str, float] = {
+                    "ts": float(sample["ts"]),
+                    "count": window_count,
+                }
+                for q in quantiles:
+                    row[f"p{int(round(q * 100))}"] = _bucket_quantile(
+                        totals[0], deltas, q
+                    )
+                rows.append(row)
+        prev = totals
+    return rows
+
+
+# -- the shard merge path --------------------------------------------------
+
+
+def merge_timeseries(
+    shard_series: Sequence[Sequence[Dict[str, object]]],
+    shard_labels: bool = True,
+    gauge_policy: Optional[Dict[str, str]] = None,
+) -> List[Dict[str, object]]:
+    """Fold per-shard sample lists into one merged, shard-labeled series.
+
+    At the union of all shard sample timestamps, each shard contributes
+    its latest sample at-or-before that instant (last-carried-forward)
+    stamped ``shard=<index>``, merged under the same per-kind semantics
+    as :func:`~repro.telemetry.aggregate.merge_into`.  The final merged
+    sample merges every shard's final sample, so its counter totals
+    equal a sequential replay's — partition invariance, extended to the
+    temporal axis.
+    """
+    per_shard: List[List[Dict[str, object]]] = []
+    for samples in shard_series:
+        ordered = sorted(
+            (validate_sample(sample) for sample in samples),
+            key=lambda sample: (float(sample["ts"]), int(sample.get("seq", 0))),
+        )
+        per_shard.append(ordered)
+    instants = sorted(
+        {
+            float(sample["ts"])
+            for samples in per_shard
+            for sample in samples
+        }
+    )
+    merged: List[Dict[str, object]] = []
+    cursors = [0] * len(per_shard)
+    latest: List[Optional[Dict[str, object]]] = [None] * len(per_shard)
+    for seq, ts in enumerate(instants, 1):
+        for index, samples in enumerate(per_shard):
+            cursor = cursors[index]
+            while cursor < len(samples) and float(samples[cursor]["ts"]) <= ts:
+                latest[index] = samples[cursor]
+                cursor += 1
+            cursors[index] = cursor
+        registry = MetricsRegistry()
+        for index, sample in enumerate(latest):
+            if sample is None:
+                continue
+            labels = {"shard": str(index)} if shard_labels else None
+            merge_into(
+                registry,
+                sample["registry"],
+                labels=labels,
+                gauge_policy=gauge_policy,
+            )
+        merged.append(make_sample(snapshot_registry(registry), ts, seq))
+    return merged
+
+
+# -- run diffing (``xbgp stats --diff``) -----------------------------------
+
+
+def load_snapshot_source(path: str) -> Dict[str, object]:
+    """Load a registry snapshot from any of the formats the CLI writes.
+
+    Accepts: a raw registry snapshot (``xbgp stats --merge`` output), a
+    stats document carrying a ``registry`` key (``xbgp stats --format
+    json``), a single time-series sample, or a time-series JSONL file
+    (the *final* sample's registry is used).
+    """
+    with open(path) as handle:
+        text = handle.read()
+    if not text.strip():
+        raise ValueError(f"{path}: empty file")
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError:
+        # Not one JSON document — try JSONL: the final line is the most
+        # recent sample of a recorded time-series.
+        lines = [line for line in text.splitlines() if line.strip()]
+        try:
+            sample = json.loads(lines[-1])
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not JSON ({exc})")
+        try:
+            return validate_sample(sample)["registry"]  # type: ignore[return-value]
+        except ValueError as exc:
+            raise ValueError(f"{path}: {exc}")
+    if not isinstance(document, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    if "timeseries_version" in document:
+        return validate_sample(document)["registry"]  # type: ignore[return-value]
+    if "families" in document:
+        return document
+    registry = document.get("registry")
+    if isinstance(registry, dict) and "families" in registry:
+        return registry
+    raise ValueError(
+        f"{path}: not a registry snapshot, stats document or time-series"
+    )
+
+
+def _snapshot_rows(
+    snapshot: Dict[str, object],
+) -> Dict[str, Dict[str, object]]:
+    """Flatten a snapshot to ``{family: {kind, rows: {labelkey: row}}}``."""
+    out: Dict[str, Dict[str, object]] = {}
+    for name, info in snapshot.get("families", {}).items():
+        label_names = list(info.get("label_names", []))
+        rows: Dict[str, Dict[str, object]] = {}
+        for row in info.get("series", []):
+            labels = dict(
+                zip(label_names, [str(v) for v in row.get("labels", [])])
+            )
+            key = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+            rows[key] = row
+        out[name] = {
+            "kind": info.get("kind"),
+            "buckets": info.get("buckets"),
+            "rows": rows,
+        }
+    return out
+
+
+def diff_samples(
+    before: Dict[str, object], after: Dict[str, object]
+) -> Dict[str, object]:
+    """Structural + numeric diff of two registry snapshots.
+
+    Returns ``{"added_families", "removed_families", "changes"}`` where
+    each change row is ``{"family", "labels", "kind", ...}`` with
+    before/after/delta for counters and gauges, and count/p50/p95
+    shifts for histograms.  Unchanged series are omitted.
+    """
+    rows_a = _snapshot_rows(before)
+    rows_b = _snapshot_rows(after)
+    added = sorted(set(rows_b) - set(rows_a))
+    removed = sorted(set(rows_a) - set(rows_b))
+    changes: List[Dict[str, object]] = []
+    for family in sorted(set(rows_a) | set(rows_b)):
+        info_a = rows_a.get(family)
+        info_b = rows_b.get(family)
+        kind = (info_b or info_a)["kind"]
+        series_a = info_a["rows"] if info_a else {}
+        series_b = info_b["rows"] if info_b else {}
+        for key in sorted(set(series_a) | set(series_b)):
+            row_a = series_a.get(key)
+            row_b = series_b.get(key)
+            if kind in ("counter", "gauge"):
+                value_a = float(row_a["value"]) if row_a else None
+                value_b = float(row_b["value"]) if row_b else None
+                if value_a == value_b:
+                    continue
+                changes.append(
+                    {
+                        "family": family,
+                        "labels": key,
+                        "kind": kind,
+                        "before": value_a,
+                        "after": value_b,
+                        "delta": (value_b or 0.0) - (value_a or 0.0),
+                    }
+                )
+            else:
+                buckets = (info_b or info_a).get("buckets") or []
+
+                def _summary(row):
+                    if row is None:
+                        return None
+                    counts = row.get("counts", [])
+                    return {
+                        "count": float(row.get("count", 0)),
+                        "p50": _bucket_quantile(buckets, counts, 0.5),
+                        "p95": _bucket_quantile(buckets, counts, 0.95),
+                    }
+
+                summary_a = _summary(row_a)
+                summary_b = _summary(row_b)
+                if summary_a == summary_b:
+                    continue
+                changes.append(
+                    {
+                        "family": family,
+                        "labels": key,
+                        "kind": kind,
+                        "before": summary_a,
+                        "after": summary_b,
+                    }
+                )
+    return {
+        "added_families": added,
+        "removed_families": removed,
+        "changes": changes,
+    }
+
+
+def render_diff(diff: Dict[str, object]) -> str:
+    """Human-readable rendering of :func:`diff_samples` output."""
+    lines: List[str] = []
+    for family in diff["added_families"]:
+        lines.append(f"+ family {family} (new)")
+    for family in diff["removed_families"]:
+        lines.append(f"- family {family} (removed)")
+    for change in diff["changes"]:
+        where = change["family"]
+        if change["labels"]:
+            where += "{" + change["labels"] + "}"
+        if change["kind"] in ("counter", "gauge"):
+            before = change["before"]
+            after = change["after"]
+            delta = change["delta"]
+            sign = "+" if delta >= 0 else ""
+            lines.append(
+                f"  {where}: {before if before is not None else '∅'}"
+                f" -> {after if after is not None else '∅'}"
+                f" ({sign}{delta:g})"
+            )
+        else:
+            before = change["before"] or {"count": 0, "p50": 0.0, "p95": 0.0}
+            after = change["after"] or {"count": 0, "p50": 0.0, "p95": 0.0}
+            lines.append(
+                f"  {where}: count {before['count']:g} -> {after['count']:g}"
+                f" · p50 {before['p50']:.6g} -> {after['p50']:.6g}"
+                f" · p95 {before['p95']:.6g} -> {after['p95']:.6g}"
+            )
+    if not lines:
+        lines.append("no differences")
+    return "\n".join(lines)

@@ -147,3 +147,59 @@ def test_worker_telemetry_off_ships_nothing():
     assert all(r["telemetry"] is None for r in result.per_shard)
     with pytest.raises(RuntimeError, match="telemetry off"):
         result.merged_registry()
+
+
+@pytest.mark.parametrize("implementation", ["frr", "bird"])
+def test_merged_timeseries_final_sample_matches_sequential(implementation):
+    """The temporal extension of partition invariance: the *final*
+    sample of the merged shard-labeled time-series carries exactly the
+    counter totals a sequential replay's final sample records."""
+    from repro.telemetry.timeseries import counter_total
+
+    routes = RibGenerator(n_routes=240, seed=37).generate()
+    sequential = run_replay(
+        implementation, routes, shards=1, timeseries_every=40
+    )
+    sharded = run_replay(
+        implementation, routes, shards=3, timeseries_every=40
+    )
+    assert sequential.shard_timeseries is not None
+    assert sharded.shard_timeseries is not None
+    assert len(sharded.shard_timeseries) == 3
+
+    seq_final = sequential.merged_timeseries(shard_labels=False)[-1]
+    merged = sharded.merged_timeseries()
+    final = merged[-1]
+    for family in (
+        "xbgp_extension_executions",
+        "xbgp_extension_instructions",
+        "xbgp_extension_next",
+    ):
+        seq_total = counter_total(seq_final, family)
+        assert seq_total is not None and seq_total > 0
+        assert counter_total(final, family) == seq_total
+        # The shard attribution partitions the total exactly.
+        per_shard = [
+            counter_total(final, family, {"shard": str(index)}) or 0.0
+            for index in range(3)
+        ]
+        assert sum(per_shard) == seq_total
+        assert all(value > 0 for value in per_shard)
+
+    # Counters are monotone along the merged series.
+    executions = [
+        counter_total(sample, "xbgp_extension_executions") or 0.0
+        for sample in merged
+    ]
+    assert executions == sorted(executions)
+    # Samples exist beyond the final one: the workers really sampled
+    # mid-replay instead of snapshotting once at the end.
+    assert len(merged) > 3
+
+
+def test_timeseries_off_ships_no_samples():
+    routes = RibGenerator(n_routes=100, seed=41).generate()
+    result = run_replay("frr", routes, shards=2)
+    assert result.shard_timeseries is None
+    with pytest.raises(RuntimeError, match="without time-series"):
+        result.merged_timeseries()

@@ -1,0 +1,220 @@
+"""Unit tests for repro.telemetry.alerts.
+
+Covers the expression grammar (severity prefix, label selectors,
+signals, sustain clause, rejection of junk), per-rule measurement
+semantics (value / rate / quantile / absence), the ok → pending →
+firing state machine with sustain, and the engine's EventLog emission
+plus the inspection surface the exporter and the bench gate consume.
+"""
+
+import pytest
+
+from repro.telemetry.aggregate import snapshot_registry
+from repro.telemetry.alerts import (
+    AlertEngine,
+    AlertRule,
+    AlertRuleError,
+    load_rules,
+    parse_rule,
+)
+from repro.telemetry.events import EventLog
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.timeseries import make_sample
+
+
+def _sample(ts, errors=None, latencies=(), labelled=None):
+    registry = MetricsRegistry()
+    if errors is not None:
+        registry.counter("xbgp_errors", "errors").inc(errors)
+    if latencies:
+        histogram = registry.histogram("xbgp_run_seconds", "latency")
+        for value in latencies:
+            histogram.observe(value)
+    for labels, value in (labelled or {}).items():
+        registry.counter("xbgp_labelled", "labelled", point=labels).inc(value)
+    return make_sample(snapshot_registry(registry), ts)
+
+
+class TestGrammar:
+    def test_minimal_rule_defaults(self):
+        rule = parse_rule("xbgp_errors > 0")
+        assert rule.family == "xbgp_errors"
+        assert rule.signal == "value"
+        assert rule.severity == "critical"
+        assert rule.for_seconds == 0.0
+
+    def test_warning_prefix_and_sustain(self):
+        rule = parse_rule("warning: xbgp_errors rate < 100 for 10s")
+        assert rule.severity == "warning"
+        assert rule.signal == "rate"
+        assert rule.op == "<"
+        assert rule.bound == 100.0
+        assert rule.for_seconds == 10.0
+
+    def test_selector_parsing(self):
+        rule = parse_rule('xbgp_labelled{point="BGP_INBOUND_FILTER"} >= 2')
+        assert rule.selector == {"point": "BGP_INBOUND_FILTER"}
+
+    def test_absent_rule(self):
+        rule = parse_rule("xbgp_heartbeats absent for 5s")
+        assert rule.signal == "absent"
+        assert rule.for_seconds == 5.0
+
+    def test_quantile_signal(self):
+        rule = parse_rule("xbgp_run_seconds p95 > 0.5")
+        assert rule.signal == "p95"
+
+    def test_scientific_bound(self):
+        assert parse_rule("xbgp_errors > 1e3").bound == 1000.0
+
+    def test_expression_round_trips(self):
+        text = "warning: xbgp_errors{point=X} rate < 100 for 10s"
+        assert parse_rule(parse_rule(text).expression()).name == parse_rule(text).name
+
+    @pytest.mark.parametrize(
+        "junk",
+        [
+            "",
+            "xbgp_errors",
+            "xbgp_errors ~ 3",
+            "fatal: xbgp_errors > 0",
+            "xbgp_errors p42 > 0",
+            "xbgp_errors > zero",
+            "xbgp_errors{point} > 0",
+        ],
+    )
+    def test_junk_rejected(self, junk):
+        with pytest.raises(AlertRuleError):
+            parse_rule(junk)
+
+    def test_constructor_validates(self):
+        with pytest.raises(AlertRuleError, match="signal"):
+            AlertRule("f", signal="median")
+        with pytest.raises(AlertRuleError, match="operator"):
+            AlertRule("f", op="~")
+        with pytest.raises(AlertRuleError, match="severity"):
+            AlertRule("f", severity="fatal")
+        with pytest.raises(AlertRuleError, match="for_seconds"):
+            AlertRule("f", for_seconds=-1)
+
+    def test_load_rules_skips_comments(self, tmp_path):
+        path = tmp_path / "rules.txt"
+        path.write_text(
+            "# quarantine must stay quiet\n"
+            "xbgp_errors > 0\n"
+            "\n"
+            "warning: xbgp_run_seconds p95 > 0.5\n"
+        )
+        rules = load_rules(str(path))
+        assert [r.severity for r in rules] == ["critical", "warning"]
+
+    def test_load_rules_reports_line_number(self, tmp_path):
+        path = tmp_path / "rules.txt"
+        path.write_text("xbgp_errors > 0\nbogus ~ rule\n")
+        with pytest.raises(AlertRuleError, match=":2:"):
+            load_rules(str(path))
+
+
+class TestMeasurement:
+    def test_value_threshold(self):
+        rule = parse_rule("xbgp_errors > 2")
+        assert rule.breached(_sample(0.0, errors=3)) == (True, 3.0)
+        assert rule.breached(_sample(0.0, errors=1)) == (False, 1.0)
+        # Missing family: not measurable, never breaches a value rule.
+        assert rule.breached(_sample(0.0)) == (False, None)
+
+    def test_selector_narrows_measurement(self):
+        rule = parse_rule("xbgp_labelled{point=a} > 5")
+        sample = _sample(0.0, labelled={"a": 3, "b": 30})
+        assert rule.breached(sample) == (False, 3.0)
+
+    def test_rate_needs_two_samples(self):
+        rule = parse_rule("xbgp_errors rate > 1")
+        first = _sample(0.0, errors=0)
+        second = _sample(2.0, errors=10)
+        assert rule.breached(first, None) == (False, None)
+        assert rule.breached(second, first) == (True, 5.0)
+
+    def test_quantile_measurement(self):
+        rule = parse_rule("xbgp_run_seconds p95 > 0.1")
+        slow = _sample(0.0, latencies=[0.5] * 10)
+        fast = _sample(0.0, latencies=[0.0001] * 10)
+        breached, value = rule.breached(slow)
+        assert breached and value > 0.1
+        assert rule.breached(fast)[0] is False
+
+    def test_absence_semantics(self):
+        rule = parse_rule("xbgp_errors absent")
+        assert rule.breached(_sample(0.0))[0] is True
+        # Present with value zero is *not* absent.
+        assert rule.breached(_sample(0.0, errors=0))[0] is False
+
+
+class TestEngine:
+    def test_fire_and_resolve_transitions(self):
+        engine = AlertEngine([parse_rule("xbgp_errors > 0")])
+        assert engine.observe(_sample(0.0, errors=0)) == []
+        fired = engine.observe(_sample(1.0, errors=2))
+        assert [e["event"] for e in fired] == ["alert_fire"]
+        assert engine.has_critical()
+        resolved = engine.observe(_sample(2.0, errors=0))
+        assert [e["event"] for e in resolved] == ["alert_resolve"]
+        assert not engine.has_critical()
+        assert engine.ever_fired() == ["critical: xbgp_errors > 0"]
+
+    def test_sustain_defers_firing(self):
+        engine = AlertEngine([parse_rule("xbgp_errors > 0 for 5s")])
+        assert engine.observe(_sample(0.0, errors=1)) == []   # pending
+        assert engine.observe(_sample(3.0, errors=1)) == []   # still pending
+        fired = engine.observe(_sample(5.0, errors=1))        # sustained
+        assert [e["event"] for e in fired] == ["alert_fire"]
+
+    def test_sustain_resets_when_condition_clears(self):
+        engine = AlertEngine([parse_rule("xbgp_errors > 0 for 5s")])
+        engine.observe(_sample(0.0, errors=1))
+        engine.observe(_sample(3.0, errors=0))   # back to ok
+        engine.observe(_sample(4.0, errors=1))   # pending restarts
+        assert engine.observe(_sample(8.0, errors=1)) == []
+        assert engine.observe(_sample(9.0, errors=1)) != []
+
+    def test_warning_does_not_gate_critical(self):
+        engine = AlertEngine([parse_rule("warning: xbgp_errors > 0")])
+        engine.observe(_sample(0.0, errors=1))
+        assert not engine.has_critical()
+        assert engine.ever_fired("critical") == []
+        assert engine.ever_fired("warning") == ["warning: xbgp_errors > 0"]
+
+    def test_events_written_to_log(self):
+        log = EventLog(clock=lambda: 50.0)
+        engine = AlertEngine([parse_rule("xbgp_errors > 0")], events=log)
+        engine.evaluate([_sample(0.0, errors=1), _sample(1.0, errors=0)])
+        kinds = [event["event"] for event in log.events()]
+        assert kinds == ["alert_fire", "alert_resolve"]
+        fire = log.events("alert_fire")[0]
+        assert fire["rule"] == "critical: xbgp_errors > 0"
+        assert fire["severity"] == "critical"
+        assert fire["value"] == 1.0
+
+    def test_snapshot_shape(self):
+        engine = AlertEngine(
+            [parse_rule("xbgp_errors > 0"), parse_rule("warning: xbgp_errors < 100")]
+        )
+        engine.observe(_sample(0.0, errors=1))
+        snapshot = engine.snapshot()
+        assert snapshot["firing"] == 2
+        assert snapshot["critical_firing"] is True
+        by_rule = {row["rule"]: row for row in snapshot["rules"]}
+        assert by_rule["critical: xbgp_errors > 0"]["fires"] == 1
+        assert by_rule["critical: xbgp_errors > 0"]["value"] == 1.0
+        assert engine.firing()[0]["state"] == "firing"
+
+    def test_duplicate_rule_names_rejected(self):
+        with pytest.raises(AlertRuleError, match="duplicate"):
+            AlertEngine([parse_rule("x > 0"), parse_rule("x > 0")])
+
+    def test_absence_rule_fires_until_family_appears(self):
+        engine = AlertEngine([parse_rule("xbgp_errors absent")])
+        fired = engine.observe(_sample(0.0))
+        assert [e["event"] for e in fired] == ["alert_fire"]
+        resolved = engine.observe(_sample(1.0, errors=0))
+        assert [e["event"] for e in resolved] == ["alert_resolve"]

@@ -1,0 +1,163 @@
+"""Unit tests for the ``xbgp top`` renderer (repro.telemetry.dashboard).
+
+The renderer is a pure function of (samples, alerts, health); these
+tests pin the frame sections — header, shard progress bars, counter
+sparklines, histogram summaries, the alert table — without a terminal.
+"""
+
+from repro.telemetry.aggregate import snapshot_registry
+from repro.telemetry.dashboard import render_dashboard, sparkline
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.timeseries import make_sample
+
+
+def _sample(ts, seq=1, updates=0.0, shards=None, latencies=()):
+    registry = MetricsRegistry()
+    if updates:
+        registry.counter("xbgp_updates", "updates").inc(updates)
+    for shard, (done, total) in (shards or {}).items():
+        registry.gauge(
+            "xbgp_replay_progress_routes", "done", shard=shard
+        ).set(done)
+        registry.gauge(
+            "xbgp_replay_shard_routes", "total", shard=shard
+        ).set(total)
+    if shards:
+        done_sum = sum(d for d, _ in shards.values())
+        total_sum = sum(t for _, t in shards.values())
+        registry.gauge("xbgp_replay_done_ratio", "ratio").set(
+            done_sum / total_sum if total_sum else 0.0
+        )
+    if latencies:
+        histogram = registry.histogram("xbgp_run_seconds", "latency")
+        for value in latencies:
+            histogram.observe(value)
+    return make_sample(snapshot_registry(registry), ts, seq)
+
+
+class TestSparkline:
+    def test_fixed_width(self):
+        assert len(sparkline([1, 2, 3], width=10)) == 10
+        assert len(sparkline(list(range(100)), width=10)) == 10
+
+    def test_empty_is_blank(self):
+        assert sparkline([], width=5) == "     "
+
+    def test_scales_to_max(self):
+        line = sparkline([0, 10], width=2)
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_all_zero_uses_floor_tick(self):
+        assert set(sparkline([0, 0, 0], width=3)) == {"▁"}
+
+
+class TestRenderDashboard:
+    def test_empty_series(self):
+        frame = render_dashboard([])
+        assert "no samples yet" in frame
+
+    def test_header_and_source(self):
+        frame = render_dashboard(
+            [_sample(10.0, seq=1), _sample(13.0, seq=2)], source="ts.jsonl"
+        )
+        assert "xbgp top · ts.jsonl" in frame
+        assert "samples 2" in frame
+        assert "span 3.0s" in frame
+
+    def test_shard_progress_bars(self):
+        frame = render_dashboard(
+            [_sample(0.0, shards={"0": (50, 100), "1": (100, 100)})]
+        )
+        assert "replay progress" in frame
+        assert "shard   0" in frame
+        assert "50/100 (50%)" in frame
+        assert "100/100 (100%)" in frame
+        assert "total 75.0%" in frame
+
+    def test_counter_sparklines_and_totals(self):
+        samples = [
+            _sample(0.0, seq=1, updates=10),
+            _sample(1.0, seq=2, updates=30),
+        ]
+        frame = render_dashboard(samples)
+        assert "counters (rate/s, total)" in frame
+        assert "xbgp_updates" in frame
+        assert "20.0/s" in frame
+
+    def test_progress_gauges_not_listed_as_counters(self):
+        frame = render_dashboard([_sample(0.0, shards={"0": (1, 2)})])
+        assert "counters" not in frame
+
+    def test_histogram_summaries(self):
+        frame = render_dashboard([_sample(0.0, latencies=[0.001] * 10)])
+        assert "histograms (cumulative)" in frame
+        assert "xbgp_run_seconds" in frame
+        assert "count         10" in frame
+
+    def test_counter_overflow_noted(self):
+        registry = MetricsRegistry()
+        for index in range(9):
+            registry.counter(f"xbgp_family_{index}", "x").inc(index + 1)
+        sample = make_sample(snapshot_registry(registry), 0.0, 1)
+        frame = render_dashboard([sample], max_counters=6)
+        assert "3 more counter familie(s) not shown" in frame
+
+    def test_alert_table_orders_critical_first(self):
+        alerts = {
+            "rules": [
+                {
+                    "rule": "warning: a > 0",
+                    "severity": "warning",
+                    "state": "firing",
+                    "value": 1.0,
+                    "fires": 1,
+                },
+                {
+                    "rule": "critical: b > 0",
+                    "severity": "critical",
+                    "state": "firing",
+                    "value": 2.0,
+                    "fires": 3,
+                },
+                {
+                    "rule": "critical: c > 0",
+                    "severity": "critical",
+                    "state": "ok",
+                    "value": 0.0,
+                    "fires": 0,
+                },
+            ],
+            "firing": 2,
+            "critical_firing": True,
+        }
+        frame = render_dashboard([_sample(0.0, updates=1)], alerts=alerts)
+        assert "alerts · 2 firing / 3 rules" in frame
+        critical_at = frame.index("critical: b > 0")
+        warning_at = frame.index("warning: a > 0")
+        assert critical_at < warning_at
+        assert "fired 3×" in frame
+        assert "critical: c > 0" not in frame  # ok rules are not listed
+
+    def test_all_quiet_when_rules_but_none_firing(self):
+        alerts = {
+            "rules": [
+                {
+                    "rule": "critical: c > 0",
+                    "severity": "critical",
+                    "state": "ok",
+                    "value": 0.0,
+                    "fires": 0,
+                }
+            ],
+            "firing": 0,
+            "critical_firing": False,
+        }
+        frame = render_dashboard([_sample(0.0, updates=1)], alerts=alerts)
+        assert "all quiet" in frame
+
+    def test_health_status_in_header(self):
+        frame = render_dashboard(
+            [_sample(0.0, updates=1)], health={"status": "degraded"}
+        )
+        assert "health degraded" in frame

@@ -179,10 +179,13 @@ class TestReplayProgress:
         assert not progress.finished
 
     def test_eta_uses_observed_rate(self):
-        clock = iter([0.0, 10.0, 10.0]).__next__
-        progress = ReplayProgress(clock=clock)
-        for event in self.events():
+        now = [0.0]
+        progress = ReplayProgress(clock=lambda: now[0])
+        events = self.events()
+        for event in events[:3]:
             progress.on_event(event)
+        now[0] = 10.0
+        progress.on_event(events[3])
         # 30 routes in 10s -> 3/s -> 70 remaining ~ 23.3s.
         assert progress.eta_seconds() == pytest.approx(70 / 3.0)
 
@@ -338,3 +341,278 @@ class TestBatchFlushInstrumentation:
         flush_events = log.events("batch_flush")
         assert len(flush_events) == flushed
         assert sum(e["updates"] for e in flush_events) == processor.updates_batched
+
+
+class TestEventLogRotation:
+    def test_rotation_moves_full_file_aside(self, tmp_path):
+        from repro.telemetry.events import rotated_paths
+
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog(path, max_bytes=400, clock=lambda: 1.0)
+        emitted = 0
+        while log.rotations == 0:
+            log.emit("shard_start", shard=emitted, routes=10)
+            emitted += 1
+            assert emitted < 100, "rotation never triggered"
+        log.emit("shard_start", shard=emitted, routes=10)
+        emitted += 1
+        log.close()
+        sibling = path + ".1"
+        assert log.rotations == 1
+        assert rotated_paths(path) == [sibling, path]
+        # One rotation keeps everything: concatenating oldest-first
+        # recovers every event in order.
+        events = []
+        for part in rotated_paths(path):
+            events.extend(read_events(part))
+        assert [e["shard"] for e in events] == list(range(emitted))
+
+    def test_no_rotation_without_cap(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog(path, clock=lambda: 1.0)
+        for index in range(50):
+            log.emit("shard_start", shard=index, routes=10)
+        log.close()
+        assert log.rotations == 0
+        assert not (tmp_path / "events.jsonl.1").exists()
+
+    def test_second_rotation_replaces_sibling(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog(path, max_bytes=150, clock=lambda: 1.0)
+        for index in range(20):
+            log.emit("shard_start", shard=index, routes=10)
+        log.close()
+        assert log.rotations >= 2
+        # The sibling holds the window right before the live file.
+        sibling_events = read_events(path + ".1")
+        live_events = read_events(path)
+        assert sibling_events[-1]["seq"] == live_events[0]["seq"] - 1
+
+    def test_rotated_paths_without_sibling(self, tmp_path):
+        from repro.telemetry.events import rotated_paths
+
+        path = str(tmp_path / "events.jsonl")
+        assert rotated_paths(path) == [path]
+
+
+class TestReplayProgressStall:
+    def events(self):
+        return [
+            {"event": "replay_start", "ts": 0.0, "shards": 1, "routes": 100},
+            {"event": "shard_start", "ts": 0.0, "shard": 0, "routes": 100},
+            {
+                "event": "shard_progress",
+                "ts": 0.0,
+                "shard": 0,
+                "routes_done": 40,
+                "routes": 100,
+            },
+        ]
+
+    def test_stalled_after_quiet_period(self):
+        now = [0.0]
+        progress = ReplayProgress(clock=lambda: now[0], stall_after=10.0)
+        for event in self.events():
+            progress.on_event(event)
+        now[0] = 12.0
+        assert progress.stalled()
+        assert progress.eta_seconds() is None
+        assert "stalled" in progress.render()
+
+    def test_not_stalled_while_advancing(self):
+        clock = [0.0]
+        progress = ReplayProgress(clock=lambda: clock[0], stall_after=10.0)
+        for event in self.events():
+            progress.on_event(event)
+        clock[0] = 9.0
+        assert not progress.stalled()
+        assert progress.eta_seconds() is not None
+
+    def test_finished_replay_never_stalled(self):
+        clock = [0.0]
+        progress = ReplayProgress(clock=lambda: clock[0], stall_after=10.0)
+        for event in self.events():
+            progress.on_event(event)
+        progress.on_event(
+            {
+                "event": "replay_finish",
+                "ts": 1.0,
+                "shards": 1,
+                "routes": 100,
+                "wall_seconds": 1.0,
+            }
+        )
+        clock[0] = 100.0
+        assert not progress.stalled()
+        assert progress.eta_seconds() == 0.0
+
+    def test_untouched_progress_not_stalled(self):
+        progress = ReplayProgress(clock=lambda: 1e9)
+        assert not progress.stalled()
+        assert progress.eta_seconds() is None
+
+    def test_zero_elapsed_yields_no_eta(self):
+        # Same-tick heartbeats: elapsed == 0, no divide-by-zero.
+        progress = ReplayProgress(clock=lambda: 5.0)
+        for event in self.events():
+            progress.on_event(event)
+        assert progress.eta_seconds() is None
+
+    def test_stalled_eta_gauge_reads_sentinel(self):
+        now = [0.0]
+        registry = MetricsRegistry()
+        progress = ReplayProgress(
+            registry, clock=lambda: now[0], stall_after=10.0
+        )
+        for event in self.events():
+            progress.on_event(event)
+        now[0] = 50.0
+        # A later heartbeat with no forward progress re-exports gauges.
+        progress.on_event(
+            {
+                "event": "shard_progress",
+                "ts": 2.0,
+                "shard": 0,
+                "routes_done": 40,
+                "routes": 100,
+            }
+        )
+        assert registry.gauge("xbgp_replay_eta_seconds", "").get() == -1.0
+
+
+class TestAlertAndTimeseriesEndpoints:
+    def test_alerts_endpoint_serves_engine_snapshot(self):
+        from repro.telemetry.aggregate import snapshot_registry
+        from repro.telemetry.alerts import AlertEngine, parse_rule
+        from repro.telemetry.timeseries import make_sample
+
+        engine = AlertEngine([parse_rule("xbgp_demo > 0")])
+        registry = MetricsRegistry()
+        registry.counter("xbgp_demo", "demo").inc()
+        engine.observe(make_sample(snapshot_registry(registry), 1.0))
+        with TelemetryExporter(registry=registry, alerts=engine) as exporter:
+            status, body = fetch(exporter.url("/alerts"))
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["critical_firing"] is True
+            assert payload["rules"][0]["state"] == "firing"
+            # A firing critical rule degrades /health to 503.
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                fetch(exporter.url("/health"))
+            assert exc_info.value.code == 503
+            assert json.loads(exc_info.value.read())["critical_alerts"] is True
+
+    def test_alerts_endpoint_defaults_empty(self):
+        with TelemetryExporter(registry=MetricsRegistry()) as exporter:
+            payload = json.loads(fetch(exporter.url("/alerts"))[1])
+            assert payload == {
+                "rules": [],
+                "firing": 0,
+                "critical_firing": False,
+            }
+
+    def test_timeseries_endpoint_serves_and_limits(self):
+        from repro.telemetry.timeseries import TimeSeries
+        from repro.telemetry.aggregate import snapshot_registry
+
+        series = TimeSeries()
+        registry = MetricsRegistry()
+        for ts in (1.0, 2.0, 3.0):
+            series.append(snapshot_registry(registry), ts)
+        with TelemetryExporter(
+            registry=registry, timeseries=series
+        ) as exporter:
+            payload = json.loads(fetch(exporter.url("/timeseries"))[1])
+            assert payload["count"] == 3
+            payload = json.loads(fetch(exporter.url("/timeseries?limit=2"))[1])
+            assert payload["count"] == 2
+            assert [s["ts"] for s in payload["samples"]] == [2.0, 3.0]
+
+
+class TestConcurrentScrapes:
+    def test_hammered_endpoints_stay_parseable_mid_replay(self):
+        """Scrape /metrics and /events from threads while a writer
+        mutates the served registry and event log under the exporter
+        lock (what a live sharded replay does), and assert every
+        response parses and declares an explicit charset."""
+        import threading
+
+        registry = MetricsRegistry()
+        log = EventLog()
+        stop = threading.Event()
+        with TelemetryExporter(registry=registry, events=log) as exporter:
+
+            def writer():
+                shard = 0
+                while not stop.is_set():
+                    with exporter.lock:
+                        registry.counter(
+                            "xbgp_scraped", "scrape-churn counter",
+                            shard=str(shard % 4),
+                        ).inc()
+                        registry.histogram(
+                            "xbgp_scrape_seconds", "scrape-churn histogram"
+                        ).observe(0.001 * (shard % 7))
+                        log.emit(
+                            "shard_progress",
+                            shard=shard % 4,
+                            routes_done=shard,
+                            routes=10_000,
+                        )
+                    shard += 1
+
+            failures = []
+
+            def scraper(path, parse):
+                for _ in range(50):
+                    try:
+                        with urllib.request.urlopen(
+                            exporter.url(path), timeout=5
+                        ) as response:
+                            content_type = response.headers["Content-Type"]
+                            body = response.read()
+                        assert "charset=utf-8" in content_type, content_type
+                        parse(body)
+                    except Exception as exc:  # noqa: BLE001 - collected
+                        failures.append(f"{path}: {exc!r}")
+                        return
+
+            def parse_metrics(body):
+                for line in body.decode("utf-8").splitlines():
+                    assert line.startswith("#") or " " in line, line
+
+            threads = [threading.Thread(target=writer, daemon=True)]
+            for _ in range(3):
+                threads.append(
+                    threading.Thread(
+                        target=scraper, args=("/metrics", parse_metrics)
+                    )
+                )
+                threads.append(
+                    threading.Thread(
+                        target=scraper, args=("/events", json.loads)
+                    )
+                )
+            for thread in threads:
+                thread.start()
+            for thread in threads[1:]:
+                thread.join(timeout=60)
+            stop.set()
+            threads[0].join(timeout=10)
+            assert not failures, failures
+            assert exporter.requests_served >= 300
+
+    def test_content_type_charsets(self):
+        with TelemetryExporter(registry=MetricsRegistry()) as exporter:
+            expectations = {
+                "/metrics": "text/plain; version=0.0.4; charset=utf-8",
+                "/health": "application/json; charset=utf-8",
+                "/events": "application/json; charset=utf-8",
+                "/alerts": "application/json; charset=utf-8",
+                "/timeseries": "application/json; charset=utf-8",
+            }
+            for path, expected in expectations.items():
+                with urllib.request.urlopen(
+                    exporter.url(path), timeout=5
+                ) as response:
+                    assert response.headers["Content-Type"] == expected, path
